@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it (bypassing pytest capture so the rows land in the report),
+then asserts the reproduction targets that define its "shape".
+"""
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print straight to the terminal, bypassing capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit

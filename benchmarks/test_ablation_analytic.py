@@ -1,0 +1,54 @@
+"""Ablation: validate the analytic Table-1 model against the full DES.
+
+Table 1 at 512K keys/node is produced by the analytic phase model; here
+we run the *actual* Split-C benchmarks in the discrete-event simulator
+at reduced key counts on both substrates and check the projection
+tracks the simulation.  Fixed per-run costs (barriers, cold queues) are
+proportionally larger at small scale, so the tolerance is loose; the
+point is that the model is anchored to the simulator, not free-floating.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.apps import RadixConfig, SampleConfig, run_radix_sort, run_sample_sort
+from repro.hw import PENTIUM_120, SPARCSTATION_20
+from repro.perfmodel import atm_stage_costs, fe_stage_costs, project_radix, project_sample
+from repro.splitc import Cluster, atm_cluster_cpus, fe_cluster_cpus
+
+KEYS = 4096
+NODES = 4
+
+
+def _des_and_model():
+    results = []
+    for substrate, stage_costs, cpus in (
+        ("fe-switch", fe_stage_costs(PENTIUM_120), fe_cluster_cpus(NODES)),
+        ("atm", atm_stage_costs(SPARCSTATION_20), atm_cluster_cpus(NODES)),
+    ):
+        rcfg = RadixConfig(keys_per_node=KEYS, small_messages=False)
+        des = run_radix_sort(Cluster(NODES, substrate=substrate), rcfg).elapsed_us
+        model = project_radix(rcfg, NODES, stage_costs, cpus).total_us
+        results.append((f"rsortlg {substrate}", des / 1000, model / 1000))
+
+        scfg = SampleConfig(keys_per_node=KEYS, small_messages=False)
+        des = run_sample_sort(Cluster(NODES, substrate=substrate), scfg).elapsed_us
+        model = project_sample(scfg, NODES, stage_costs, cpus).total_us
+        results.append((f"ssortlg {substrate}", des / 1000, model / 1000))
+    return results
+
+
+def test_ablation_analytic_vs_des(benchmark, emit):
+    results = benchmark.pedantic(_des_and_model, rounds=1, iterations=1)
+    rows = [
+        (name, des, model, f"{model / des:.2f}x")
+        for name, des, model in results
+    ]
+    emit(format_table(
+        ("benchmark", "DES (ms)", "model (ms)", "model/DES"),
+        rows,
+        title=f"Ablation - analytic model vs full DES ({NODES} nodes, {KEYS} keys/node)",
+    ))
+    for name, des, model in results:
+        assert model == pytest.approx(des, rel=0.5), name

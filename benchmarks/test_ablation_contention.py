@@ -1,0 +1,60 @@
+"""Ablation: shared hub vs switched Fast Ethernet under contention.
+
+Section 4: "the use of Fast Ethernet for high-performance communication
+raises the concern that contention for the shared medium might degrade
+performance as more hosts are added", while a switch gives every
+station a private full-duplex link.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.splitc import Cluster
+
+import numpy as np
+
+NBYTES = 60_000
+
+
+def _exchange_time(substrate: str, n: int) -> float:
+    """All nodes bulk-store to their ring successor simultaneously."""
+    cluster = Cluster(n, substrate=substrate)
+
+    def program(rt):
+        rt.all_spread_malloc("blob", NBYTES, np.uint8)
+        yield from rt.barrier()
+        t0 = rt.sim.now
+        dest = (rt.node + 1) % rt.nprocs
+        yield from rt.store_bytes(dest, "blob", 0, b"x" * NBYTES)
+        yield from rt.all_store_sync()
+        return rt.sim.now - t0
+
+    return max(cluster.run(program))
+
+
+def test_ablation_hub_vs_switch_contention(benchmark, emit):
+    def run():
+        return {
+            (sub, n): _exchange_time(sub, n)
+            for sub in ("fe-hub", "fe-switch")
+            for n in (2, 4, 8)
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for n in (2, 4, 8):
+        hub_ms = times[("fe-hub", n)] / 1000
+        sw_ms = times[("fe-switch", n)] / 1000
+        rows.append((n, hub_ms, sw_ms, f"{hub_ms / sw_ms:.1f}x"))
+    emit(format_table(
+        ("nodes", "hub (ms)", "switch (ms)", "hub penalty"),
+        rows,
+        title=f"Ablation - neighbour exchange of {NBYTES} bytes/node, hub vs switch",
+    ))
+    # on the hub all transmissions share one half-duplex wire: the
+    # exchange degrades roughly linearly with node count
+    assert times[("fe-hub", 8)] > 3.0 * times[("fe-hub", 2)]
+    # the switch keeps per-pair time nearly flat
+    assert times[("fe-switch", 8)] < 1.6 * times[("fe-switch", 2)]
+    # and at 8 nodes the hub is far behind the switch
+    assert times[("fe-hub", 8)] > 2.5 * times[("fe-switch", 8)]

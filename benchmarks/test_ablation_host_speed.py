@@ -1,0 +1,45 @@
+"""Ablation: faster hosts — where each U-Net architecture bottlenecks.
+
+The paper's conclusion: "The i960 co-processor on the ATM interface is
+significantly slower than the Pentium host and its use slows down the
+latency times."  Scaling the host CPU up shows the consequence — the
+kernel-path U-Net/FE keeps improving with the host, while U-Net/ATM
+latency plateaus at the co-processor and wire costs.  (This is the
+trajectory that led user-level NIC designs toward VIA/RDMA.)
+"""
+
+import pytest
+
+from repro.analysis import format_table, measure_rtt, setup_atm, setup_fe_hub
+from repro.hw import PENTIUM_120
+
+
+def _rtts(scale: float):
+    cpu = PENTIUM_120.scaled(scale)
+    fe = measure_rtt(setup_fe_hub(cpu=cpu), 40)
+    atm = measure_rtt(setup_atm(cpu=cpu), 40)
+    return fe, atm
+
+
+def test_ablation_host_speed(benchmark, emit):
+    scales = (1.0, 2.0, 4.0, 8.0)
+
+    def run():
+        return {s: _rtts(s) for s in scales}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(f"{s:g}x Pentium-120", fe, atm) for s, (fe, atm) in results.items()]
+    emit(format_table(("host speed", "FE RTT (us)", "ATM RTT (us)"),
+                      rows,
+                      title="Ablation - 40-byte RTT vs host CPU speed"))
+    fe1, atm1 = results[1.0]
+    fe8, atm8 = results[8.0]
+    fe_gain = fe1 - fe8
+    atm_gain = atm1 - atm8
+    # the FE path lives on the host CPU: it gains much more from faster
+    # hosts than the co-processor-bound ATM path
+    assert fe_gain > 2.0 * atm_gain
+    # ATM latency plateaus: the i960 + SONET costs dominate
+    assert atm8 > 0.75 * atm1
+    # at 1x the two are comparable; at 8x FE has pulled clearly ahead
+    assert fe8 < 0.75 * atm8

@@ -1,0 +1,59 @@
+"""Ablation: IPv4 encapsulation for multi-switch scalability (§4.4.3).
+
+"The use of Ethernet MAC addresses and port IDs to address endpoints
+does not allow messages to traverse multiple switches or IP routers.
+One solution would be to use a simple IPv4 encapsulation for U-Net
+messages; however, this would add considerable communication overhead.
+U-Net/ATM does not suffer this problem as virtual circuits are
+established network-wide."
+
+We built the proposal and measure the overhead: raw tags vs. IPv4/UDP
+encapsulation on one segment, and the full path through a software IP
+router between segments.
+"""
+
+import pytest
+
+from repro.analysis import format_table, measure_rtt, setup_fe_switch
+from repro.analysis.microbench import _ENDPOINT, MicrobenchSetup
+from repro.ethernet import RoutedFeNetwork
+from repro.hw import PENTIUM_120
+from repro.sim import Simulator
+
+
+def _routed_setup(cross_segment: bool) -> MicrobenchSetup:
+    sim = Simulator()
+    net = RoutedFeNetwork(sim, segments=2)
+    h1 = net.add_host("h1", PENTIUM_120, segment=0)
+    h2 = net.add_host("h2", PENTIUM_120, segment=1 if cross_segment else 0)
+    ep1 = h1.create_endpoint(config=_ENDPOINT, rx_buffers=64)
+    ep2 = h2.create_endpoint(config=_ENDPOINT, rx_buffers=64)
+    ch1, ch2 = net.connect(ep1, ep2)
+    label = "routed" if cross_segment else "ip-same-segment"
+    return MicrobenchSetup(label, sim, ep1, ep2, ch1, ch2)
+
+
+def test_ablation_ip_encapsulation(benchmark, emit):
+    def run():
+        return {
+            "raw U-Net/FE tags (one switch)": measure_rtt(setup_fe_switch(), 40),
+            "IPv4 encapsulated (one switch)": measure_rtt(_routed_setup(False), 40),
+            "IPv4 across a software router": measure_rtt(_routed_setup(True), 40),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = results["raw U-Net/FE tags (one switch)"]
+    rows = [(name, rtt, f"+{rtt - base:.1f}") for name, rtt in results.items()]
+    emit(format_table(
+        ("configuration", "40B RTT (us)", "vs raw"),
+        rows,
+        title="Ablation - IPv4 encapsulation overhead (Section 4.4.3)",
+    ))
+    encap = results["IPv4 encapsulated (one switch)"]
+    routed = results["IPv4 across a software router"]
+    # 'considerable communication overhead': headers + checksum cost
+    # noticeably more than the raw path even without a router...
+    assert encap > base + 15.0
+    # ...and crossing a mid-90s software router more than doubles the
+    # end-to-end latency
+    assert routed > 2 * base

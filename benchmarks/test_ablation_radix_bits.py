@@ -1,0 +1,54 @@
+"""Ablation: radix width of the parallel radix sort.
+
+The paper fixes "a fixed number of passes over the keys, one for every
+digit in the radix"; the digit width trades passes (communication
+rounds) against histogram size (allgather volume + scan work).  We
+sweep it with the analytic model at full scale on both clusters.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.apps import RadixConfig
+from repro.hw import PENTIUM_120, SPARCSTATION_20
+from repro.perfmodel import atm_stage_costs, fe_stage_costs, project_radix
+from repro.splitc import atm_cluster_cpus, fe_cluster_cpus
+
+K = 512 * 1024
+NODES = 8
+WIDTHS = (4, 8, 11, 16)
+
+
+def _sweep():
+    fe = fe_stage_costs(PENTIUM_120)
+    atm = atm_stage_costs(SPARCSTATION_20)
+    out = {}
+    for bits in WIDTHS:
+        cfg = RadixConfig(keys_per_node=K, small_messages=False, radix_bits=bits)
+        out[bits] = (
+            project_radix(cfg, NODES, fe, fe_cluster_cpus(NODES)).total_s,
+            project_radix(cfg, NODES, atm, atm_cluster_cpus(NODES)).total_s,
+            cfg.passes,
+            cfg.buckets,
+        )
+    return out
+
+
+def test_ablation_radix_bits(benchmark, emit):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        (bits, passes, buckets, fe_s, atm_s)
+        for bits, (fe_s, atm_s, passes, buckets) in results.items()
+    ]
+    emit(format_table(
+        ("radix bits", "passes", "buckets", "FE (s)", "ATM (s)"),
+        rows,
+        title=f"Ablation - radix digit width, {NODES} nodes x {K} keys (rsortlg)",
+    ))
+    # too narrow: pass count explodes (8 passes at 4 bits)
+    assert results[4][0] > results[11][0]
+    # too wide: the 64K-bucket histogram allgather + scan dominates
+    assert results[16][0] > results[11][0]
+    # the paper-era choice (11 bits, 3 passes) is at/near the sweet spot
+    best_fe = min(fe for fe, _a, _p, _b in results.values())
+    assert results[11][0] == pytest.approx(best_fe, rel=0.15)

@@ -1,0 +1,93 @@
+"""Ablation: scaling beyond one switch — ATM VCs vs IP-encapsulated FE.
+
+Section 4.4.3's closing contrast: Fast Ethernet U-Net tags cannot cross
+switches/routers without IP encapsulation and its overhead, while
+"U-Net/ATM does not suffer this problem as virtual circuits are
+established network-wide."  We measure a 40-byte RTT between hosts on
+*different* switches for both technologies.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.microbench import _ENDPOINT
+from repro.atm import AtmFabric
+from repro.ethernet import RoutedFeNetwork
+from repro.hw import PENTIUM_120
+from repro.sim import Simulator
+
+
+def _rtt(sim, ep1, ep2, ch1, ch2, size=40):
+    def ponger():
+        while True:
+            msg = yield from ep2.recv()
+            yield from ep2.send(ch2, msg.data)
+
+    def pinger():
+        last = 0.0
+        for _ in range(4):
+            t0 = sim.now
+            yield from ep1.send(ch1, b"x" * size)
+            yield from ep1.recv()
+            last = sim.now - t0
+        return last
+
+    sim.process(ponger())
+    return sim.run_until_complete(sim.process(pinger()))
+
+
+def _atm_cross_fabric():
+    sim = Simulator()
+    fabric = AtmFabric(sim, switches=2)
+    h1 = fabric.add_host("h1", PENTIUM_120, switch=0)
+    h2 = fabric.add_host("h2", PENTIUM_120, switch=1)
+    ep1 = h1.create_endpoint(config=_ENDPOINT, rx_buffers=32)
+    ep2 = h2.create_endpoint(config=_ENDPOINT, rx_buffers=32)
+    ch1, ch2 = fabric.connect(ep1, ep2)
+    return _rtt(sim, ep1, ep2, ch1, ch2)
+
+
+def _atm_one_switch():
+    sim = Simulator()
+    fabric = AtmFabric(sim, switches=1)
+    h1 = fabric.add_host("h1", PENTIUM_120)
+    h2 = fabric.add_host("h2", PENTIUM_120)
+    ep1 = h1.create_endpoint(config=_ENDPOINT, rx_buffers=32)
+    ep2 = h2.create_endpoint(config=_ENDPOINT, rx_buffers=32)
+    ch1, ch2 = fabric.connect(ep1, ep2)
+    return _rtt(sim, ep1, ep2, ch1, ch2)
+
+
+def _fe_cross_router():
+    sim = Simulator()
+    net = RoutedFeNetwork(sim, segments=2)
+    h1 = net.add_host("h1", PENTIUM_120, segment=0)
+    h2 = net.add_host("h2", PENTIUM_120, segment=1)
+    ep1 = h1.create_endpoint(config=_ENDPOINT, rx_buffers=32)
+    ep2 = h2.create_endpoint(config=_ENDPOINT, rx_buffers=32)
+    ch1, ch2 = net.connect(ep1, ep2)
+    return _rtt(sim, ep1, ep2, ch1, ch2)
+
+
+def test_ablation_multi_switch_scalability(benchmark, emit):
+    def run():
+        return {
+            "ATM, one switch": _atm_one_switch(),
+            "ATM, two switches (network-wide VC)": _atm_cross_fabric(),
+            "FE, two segments (IP + software router)": _fe_cross_router(),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(name, rtt) for name, rtt in results.items()]
+    emit(format_table(("configuration", "40B RTT (us)"), rows,
+                      title="Ablation - crossing switch boundaries (Section 4.4.3)"))
+    atm1 = results["ATM, one switch"]
+    atm2 = results["ATM, two switches (network-wide VC)"]
+    fe2 = results["FE, two segments (IP + software router)"]
+    # an extra ATM switch costs only its forwarding latency (~7us/hop
+    # plus trunk serialization) ...
+    assert atm2 - atm1 < 60.0
+    # ... while the FE path pays the router + encapsulation: much slower
+    # than ATM crossing the same boundary, despite FE winning inside one
+    # switch (Fig. 5)
+    assert fe2 > 1.5 * atm2

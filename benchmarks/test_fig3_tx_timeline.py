@@ -1,0 +1,23 @@
+"""Figure 3: U-Net/FE transmission timeline for a 40-byte message.
+
+Paper: eight numbered steps totalling ~4.2 us of processor time on a
+120 MHz Pentium, of which about 20% is trap entry/return overhead.
+"""
+
+import pytest
+
+from repro.analysis import figure3_timeline
+
+PAPER_TOTAL_US = 4.2
+PAPER_TRAP_FRACTION = 0.20
+
+
+def test_fig3_tx_timeline(benchmark, emit):
+    timeline = benchmark.pedantic(figure3_timeline, rounds=1, iterations=1)
+    emit(timeline.render(title="Figure 3 - U-Net/FE TX timeline, 40-byte message "
+                               f"(paper total: {PAPER_TOTAL_US} us)"))
+    assert timeline.total == pytest.approx(PAPER_TOTAL_US, abs=0.05)
+    steps = timeline.steps()
+    assert len(steps) == 8
+    trap = sum(s.duration for s in steps if "trap" in s.label)
+    assert trap / timeline.total == pytest.approx(PAPER_TRAP_FRACTION, abs=0.05)

@@ -1,0 +1,32 @@
+"""Figure 4: U-Net/FE reception timelines for 40- and 100-byte messages.
+
+Paper: 4.1 us for 40 bytes (copied inline into the receive descriptor)
+and 5.6 us for 100 bytes (buffer allocation plus copy); copy cost rises
+1.42 us per additional 100 bytes.
+"""
+
+import pytest
+
+from repro.analysis import figure4_timeline
+
+PAPER_40B_US = 4.1
+PAPER_100B_US = 5.6
+#: our handler span additionally includes the final empty ring poll
+EXTRA_POLL_US = 0.52
+
+
+def test_fig4_rx_timeline(benchmark, emit):
+    def run():
+        return figure4_timeline(40), figure4_timeline(100)
+
+    t40, t100 = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(t40.render(title=f"Figure 4a - RX timeline, 40-byte message (paper: {PAPER_40B_US} us)"))
+    emit(t100.render(title=f"Figure 4b - RX timeline, 100-byte message (paper: {PAPER_100B_US} us)"))
+    assert t40.total == pytest.approx(PAPER_40B_US + EXTRA_POLL_US, abs=0.25)
+    assert t100.total == pytest.approx(PAPER_100B_US + EXTRA_POLL_US, abs=0.25)
+    # the small-message optimization saved the buffer allocation
+    assert not any("allocate U-Net recv buffer" in s.label for s in t40.steps())
+    assert any("allocate U-Net recv buffer" in s.label for s in t100.steps())
+    # copy slope: ~1.42us per additional 100 bytes (70 MB/s memcpy)
+    t300 = figure4_timeline(300)
+    assert t300.total - t100.total == pytest.approx(2 * 1.42, abs=0.3)

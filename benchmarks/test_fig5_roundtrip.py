@@ -1,0 +1,56 @@
+"""Figure 5: round-trip latency vs. message size, four configurations.
+
+Paper targets: 40-byte RTT of 57 us (hub) to 91 us (FN100) on Fast
+Ethernet and 89 us on ATM (single-cell optimized); the ATM curve jumps
+to ~130 us at 44 bytes (first multi-cell size) and reaches ~351 us at
+1500 bytes; FE latency grows ~25 us / 100 bytes, ATM ~17 us / 100 bytes.
+"""
+
+import pytest
+
+from repro.analysis import FIGURE5_CONFIGS, ascii_plot, format_comparison, measure_rtt
+
+SIZES = [0, 8, 16, 24, 32, 40, 44, 64, 96, 128, 256, 512, 1024, 1498]
+PAPER_TARGETS = [
+    ("hub 40B", 57.0, "hub", 40),
+    ("fn100 40B", 91.0, "fn100", 40),
+    ("atm 40B", 89.0, "atm", 40),
+    ("atm 44B (multi-cell)", 130.0, "atm", 44),
+    ("atm 1498B", 351.0, "atm", 1498),
+]
+
+
+def _collect():
+    series = {}
+    for name, factory in FIGURE5_CONFIGS.items():
+        series[name] = [(size, measure_rtt(factory(), size)) for size in SIZES]
+    return series
+
+
+def test_fig5_roundtrip(benchmark, emit):
+    series = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    lookup = {name: dict(points) for name, points in series.items()}
+
+    rows = [(label, paper, lookup[config][size]) for label, paper, config, size in PAPER_TARGETS]
+    emit(format_comparison(rows, title="Figure 5 - round-trip latency (us), paper vs measured"))
+    emit(ascii_plot(
+        {name: [(float(s), r) for s, r in pts] for name, pts in series.items()},
+        title="Figure 5 - RTT vs message size",
+        xlabel="message size (bytes)",
+        ylabel="round-trip time (us)",
+    ))
+    inset = {name: [(float(s), r) for s, r in pts if s <= 128] for name, pts in series.items()}
+    emit(ascii_plot(inset, title="Figure 5 (inset) - small messages",
+                    xlabel="message size (bytes)", ylabel="RTT (us)"))
+
+    for label, paper, config, size in PAPER_TARGETS:
+        assert lookup[config][size] == pytest.approx(paper, rel=0.12), label
+    # FE slope ~25 us/100B; ATM slope ~17 us/100B (we accept +-20%)
+    fe_slope = (lookup["hub"][1024] - lookup["hub"][128]) / 8.96
+    atm_slope = (lookup["atm"][1024] - lookup["atm"][128]) / 8.96
+    assert fe_slope == pytest.approx(25.0, rel=0.20)
+    assert atm_slope == pytest.approx(17.0, rel=0.20)
+    # ordering: hub < bay28115 < fn100 for small messages
+    assert lookup["hub"][40] < lookup["bay28115"][40] < lookup["fn100"][40]
+    # ATM's multi-cell discontinuity
+    assert lookup["atm"][44] - lookup["atm"][40] > 25.0

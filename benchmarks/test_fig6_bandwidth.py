@@ -1,0 +1,53 @@
+"""Figure 6: bandwidth vs. message size.
+
+Paper targets: Fast Ethernet saturates around 96-97 Mb/s (wire limit
+after framing overhead) for messages of ~1 KB and up; ATM reaches
+118-120 Mb/s on the 140 Mb/s TAXI receive link, with a jagged curve
+caused by segmentation into fixed 48-byte cells.
+"""
+
+import pytest
+
+from repro.analysis import FIGURE6_CONFIGS, ascii_plot, format_comparison, measure_bandwidth
+
+SIZES = [16, 40, 64, 128, 256, 384, 512, 768, 1024, 1280, 1498]
+PAPER_TARGETS = [
+    ("FE @1498B", 96.5, "hub", 1498),
+    ("FE @1024B", 93.0, "hub", 1024),
+    ("ATM @1498B", 118.0, "atm", 1498),
+]
+
+
+def _collect():
+    series = {}
+    for name, factory in FIGURE6_CONFIGS.items():
+        series[name] = [(size, measure_bandwidth(factory(), size)) for size in SIZES]
+    return series
+
+
+def test_fig6_bandwidth(benchmark, emit):
+    series = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    lookup = {name: dict(points) for name, points in series.items()}
+
+    rows = [(label, paper, lookup[config][size]) for label, paper, config, size in PAPER_TARGETS]
+    emit(format_comparison(rows, title="Figure 6 - bandwidth (Mb/s), paper vs measured"))
+    emit(ascii_plot(
+        {name: [(float(s), b) for s, b in pts] for name, pts in series.items()},
+        title="Figure 6 - bandwidth vs message size",
+        xlabel="message size (bytes)",
+        ylabel="Mb/s",
+    ))
+
+    for label, paper, config, size in PAPER_TARGETS:
+        assert lookup[config][size] == pytest.approx(paper, rel=0.08), label
+    # ATM beats FE at large sizes (155/140 vs 100 Mb/s links)
+    assert lookup["atm"][1498] > lookup["hub"][1498] + 10
+    # cell quantization: ATM per-message goodput is non-monotone ("jagged")
+    fine_sizes = list(range(1024, 1204, 12))
+    factory = FIGURE6_CONFIGS["atm"]
+    fine = [measure_bandwidth(factory(), s, messages=40) for s in fine_sizes]
+    dips = sum(1 for a, b in zip(fine, fine[1:]) if b < a)
+    assert dips >= 2  # the sawtooth really shows
+    # both curves rise with message size up to saturation
+    for name in ("hub", "atm"):
+        assert lookup[name][1498] > lookup[name][64] > lookup[name][16]

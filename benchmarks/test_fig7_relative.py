@@ -1,0 +1,49 @@
+"""Figure 7: relative execution times, split into cpu and net portions.
+
+Bars for ATM and FE clusters of 2, 4 and 8 nodes, normalized to the
+2-node ATM cluster per benchmark, each split into computation (cpu) and
+communication (net) time, as in the paper's stacked-bar figure.
+"""
+
+import pytest
+
+from repro.analysis import BENCHMARKS, figure7, format_table, table1
+
+
+def _bar(fraction_cpu: float, total: float, width: int = 30) -> str:
+    total_chars = max(1, int(round(total * width)))
+    cpu_chars = int(round(fraction_cpu * total_chars))
+    return "C" * cpu_chars + "n" * (total_chars - cpu_chars)
+
+
+def test_fig7_relative(benchmark, emit):
+    entries = table1()
+    bars = benchmark.pedantic(figure7, args=(entries,), rounds=1, iterations=1)
+    lines = ["Figure 7 - relative execution times (normalized to 2-node ATM; C=cpu, n=net)"]
+    for name in BENCHMARKS:
+        lines.append(f"\n{name}:")
+        for bar in bars:
+            if bar["benchmark"] != name:
+                continue
+            frac_cpu = bar["relative_cpu"] / bar["relative_total"] if bar["relative_total"] else 0
+            lines.append(
+                f"  {bar['substrate']:>3} {bar['nodes']}n |{_bar(frac_cpu, min(2.5, bar['relative_total']))}"
+                f"  {bar['relative_total']:.2f}"
+            )
+    emit("\n".join(lines))
+
+    index = {(b["benchmark"], b["substrate"], b["nodes"]): b for b in bars}
+    # normalization anchor
+    for name in BENCHMARKS:
+        assert index[(name, "ATM", 2)]["relative_total"] == pytest.approx(1.0)
+    # mm: fixed problem size -> relative time drops with nodes
+    for sub in ("ATM", "FE"):
+        assert index[("mm 128x128", sub, 8)]["relative_total"] < index[("mm 128x128", sub, 2)]["relative_total"]
+    # sorts: keys/processor constant -> total work grows; the paper notes
+    # the increased execution time from 2 to 8 nodes
+    assert index[("rsortsm512K", "FE", 8)]["relative_total"] > index[("rsortsm512K", "FE", 2)]["relative_total"] * 0.9
+    # the small-message sorts' bars are mostly net; mm bars mostly cpu
+    small = index[("rsortsm512K", "FE", 8)]
+    assert small["relative_net"] > small["relative_cpu"]
+    mm = index[("mm 128x128", "ATM", 8)]
+    assert mm["relative_cpu"] > mm["relative_net"]

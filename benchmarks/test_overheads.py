@@ -1,0 +1,59 @@
+"""Section 4.4 overhead decomposition: the architectural trade-off.
+
+Paper: "while the total send overhead for U-Net/FE is 5.4 us, the total
+send overhead for U-Net/ATM is approximately 11.5 us, almost double.
+However, the processor overheads are dramatically different in the two
+cases: the U-Net/FE architecture shows an overhead of 4.2 us while that
+for U-Net/ATM is 1.5 us" — the FE path trades host CPU for latency, the
+ATM path offloads to a slow co-processor.
+"""
+
+import pytest
+
+from repro.analysis import format_comparison
+from repro.core.api import DESCRIPTOR_PUSH_US
+from repro.hw import PENTIUM_120
+from repro.perfmodel import atm_stage_costs, fe_stage_costs
+
+PAPER = {
+    "FE processor overhead (trap path)": 4.2,
+    "ATM processor overhead": 1.5,
+    "FE total send overhead": 5.4,
+    "ATM total send overhead": 11.5,
+    "ATM i960 send overhead": 10.0,
+}
+
+#: a 40-byte application message = 14 bytes beyond the AM header
+MESSAGE = 14
+
+
+def _measure():
+    fe = fe_stage_costs(PENTIUM_120)
+    atm = atm_stage_costs(PENTIUM_120)
+    compose_and_push = PENTIUM_120.copy_time(MESSAGE + 26) + DESCRIPTOR_PUSH_US
+    fe_total = fe.host_send(MESSAGE)
+    atm_host = atm.host_send(MESSAGE)
+    atm_nic = atm.nic_tx(MESSAGE)
+    return {
+        "FE processor overhead (trap path)": fe_total - compose_and_push,
+        "ATM processor overhead": atm_host,
+        "FE total send overhead": fe_total,
+        "ATM total send overhead": atm_host + atm_nic,
+        "ATM i960 send overhead": atm_nic,
+    }
+
+
+def test_send_overhead_decomposition(benchmark, emit):
+    measured = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = [(name, PAPER[name], measured[name]) for name in PAPER]
+    emit(format_comparison(rows, title="Section 4.4 - send overhead decomposition (us)"))
+    for name in PAPER:
+        assert measured[name] == pytest.approx(PAPER[name], rel=0.12), name
+    # "almost double": ATM total vs FE total
+    ratio = measured["ATM total send overhead"] / measured["FE total send overhead"]
+    assert ratio == pytest.approx(11.5 / 5.4, rel=0.15)
+    # but the FE path burns ~3x more *host* CPU per send
+    assert (
+        measured["FE processor overhead (trap path)"]
+        > 2.5 * measured["ATM processor overhead"]
+    )

@@ -1,0 +1,62 @@
+"""Table 1: Split-C benchmark execution times.
+
+Six benchmarks x {2, 4, 8} nodes x {Fast Ethernet / Pentium cluster,
+ATM / SPARCstation cluster}, at the paper's full scale (512K keys per
+node; 1024x1024 and 256x256 matrices).  Full-scale times come from the
+analytic projection calibrated against the simulator (see DESIGN.md);
+`test_ablation_analytic.py` validates that projection against full-DES
+runs at reduced scale.
+
+The source text of the paper has corrupted numeric columns for Table 1,
+so the assertions here encode Section 5.2's qualitative claims instead
+of absolute values: FE wins the small-message sorts, ATM wins the
+matrix multiplies and the large-message radix sort, small-message sorts
+are network-dominated, and everything scales 2 -> 8 nodes.
+"""
+
+import pytest
+
+from repro.analysis import BENCHMARKS, format_table, table1
+
+
+def test_table1_splitc(benchmark, emit):
+    entries = benchmark.pedantic(table1, rounds=1, iterations=1)
+    index = {(e.benchmark, e.nodes, e.substrate): e for e in entries}
+
+    rows = []
+    for name in BENCHMARKS:
+        row = [name]
+        for n in (2, 4, 8):
+            row.append(index[(name, n, "FE")].seconds)
+            row.append(index[(name, n, "ATM")].seconds)
+        rows.append(row)
+    emit(format_table(
+        ("Benchmark", "2n FE", "2n ATM", "4n FE", "4n ATM", "8n FE", "8n ATM"),
+        rows,
+        title="Table 1 - Split-C execution times (seconds), 512K keys/node "
+              "(paper's numeric columns are corrupted in the source text; "
+              "shape asserted per Section 5.2)",
+    ))
+
+    for n in (2, 4, 8):
+        # matrix multiply: ATM/SPARC wins (bandwidth + floating point)
+        for mm in ("mm 128x128", "mm 16x16"):
+            assert index[(mm, n, "ATM")].seconds < index[(mm, n, "FE")].seconds
+        # small-message sorts: FE wins (lower overhead + integer ops)
+        for sm in ("ssortsm512K", "rsortsm512K"):
+            assert index[(sm, n, "FE")].seconds < index[(sm, n, "ATM")].seconds
+    # large-message radix sort: ATM wins at scale (network bandwidth)
+    for n in (4, 8):
+        assert index[("rsortlg512K", n, "ATM")].seconds < index[("rsortlg512K", n, "FE")].seconds
+        # ... and its bandwidth advantage shows in the net component of
+        # both large-message sorts
+        for lg in ("rsortlg512K", "ssortlg512K"):
+            assert index[(lg, n, "ATM")].net_seconds < index[(lg, n, "FE")].net_seconds
+    # small-message sorts are dominated by network time (Section 5.2)
+    for n in (4, 8):
+        for sub in ("FE", "ATM"):
+            e = index[("rsortsm512K", n, sub)]
+            assert e.net_seconds > 2 * e.cpu_seconds
+    # matrix multiply stays compute-dominated
+    e = index[("mm 128x128", 8, "ATM")]
+    assert e.cpu_seconds > 5 * e.net_seconds

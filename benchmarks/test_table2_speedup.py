@@ -1,0 +1,33 @@
+"""Table 2: speedup from 2 to 8 nodes for the ATM and FE clusters.
+
+The matrix multiplies keep total problem size fixed (time shrinks with
+nodes); the sorts keep keys per processor fixed (scaled speedup).  The
+paper's claim: "performance on both U-Net implementations scales well
+when the number of processors is increased".
+"""
+
+import pytest
+
+from repro.analysis import format_table, table1, table2
+
+
+def test_table2_speedup(benchmark, emit):
+    entries = table1()
+    rows = benchmark.pedantic(table2, args=(entries,), rounds=1, iterations=1)
+    emit(format_table(
+        ("Benchmark", "ATM speedup", "FE speedup"),
+        rows,
+        title="Table 2 - speedup from 2 to 8 nodes (mm: fixed problem; "
+              "sorts: fixed keys/processor, scaled by 4)",
+    ))
+    for name, atm_speedup, fe_speedup in rows:
+        # everything scales meaningfully on both clusters
+        assert atm_speedup > 1.5, name
+        assert fe_speedup > 1.5, name
+    by_name = {name: (a, f) for name, a, f in rows}
+    # compute-bound matrix multiply scales nearly linearly (4x ideal 2->8)
+    assert by_name["mm 128x128"][0] > 3.5
+    assert by_name["mm 128x128"][1] > 3.5
+    # the communication-bound small-message sorts scale worst
+    assert by_name["rsortsm512K"][0] < by_name["mm 128x128"][0]
+    assert by_name["rsortsm512K"][1] < by_name["mm 128x128"][1]

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Protocol specialization at user level — U-Net's whole point.
+
+"U-Net circumvents the traditional UNIX networking architecture ...
+This shifts most of the protocol processing to user-level where it can
+often be specialized and better integrated into the application thus
+yielding higher performance" (Section 1).
+
+This example builds two file-transfer protocols *in the application*,
+directly on raw U-Net endpoints (no Active Messages layer):
+
+* a naive stop-and-wait protocol, the kind a generic in-kernel stack
+  might give you; and
+* a specialized pipelined protocol that knows its traffic pattern —
+  fixed-size records, one receiver — and keeps a window of frames in
+  flight with a single cumulative ack per burst.
+
+Same hardware, same U-Net; the specialized protocol more than doubles
+the throughput.  That is the experiment the U-Net design argues for.
+
+Run:  python examples/custom_protocol.py
+"""
+
+import struct
+
+from repro.ethernet import SwitchedNetwork
+from repro.core import EndpointConfig
+from repro.hw import PENTIUM_120
+from repro.sim import Simulator
+
+RECORD = 1400          # payload bytes per frame
+RECORDS = 64           # file size: 64 records
+WINDOW = 8             # specialized protocol's pipeline depth
+
+CONFIG = EndpointConfig(num_buffers=256, buffer_size=2048,
+                        send_queue_depth=128, recv_queue_depth=256)
+
+
+def _build():
+    sim = Simulator()
+    net = SwitchedNetwork(sim)
+    src = net.add_host("src", PENTIUM_120)
+    dst = net.add_host("dst", PENTIUM_120)
+    ep_src = src.create_endpoint(config=CONFIG, rx_buffers=64)
+    ep_dst = dst.create_endpoint(config=CONFIG, rx_buffers=64)
+    ch_src, ch_dst = net.connect(ep_src, ep_dst)
+    return sim, ep_src, ep_dst, ch_src, ch_dst
+
+
+def _record(index: int) -> bytes:
+    return struct.pack("!I", index) + bytes([(index * 37) % 256]) * (RECORD - 4)
+
+
+def stop_and_wait() -> float:
+    """One record in flight; every record individually acknowledged."""
+    sim, ep_src, ep_dst, ch_src, ch_dst = _build()
+    received = []
+
+    def receiver():
+        while len(received) < RECORDS:
+            message = yield from ep_dst.recv()
+            received.append(message.data)
+            yield from ep_dst.send(ch_dst, b"ack")  # per-record ack
+
+    def sender():
+        for i in range(RECORDS):
+            yield from ep_src.send(ch_src, _record(i))
+            yield from ep_src.recv()  # wait for the ack
+        return sim.now
+
+    sim.process(receiver())
+    end = sim.run_until_complete(sim.process(sender()))
+    assert [struct.unpack("!I", r[:4])[0] for r in received] == list(range(RECORDS))
+    return RECORDS * RECORD * 8 / end
+
+
+def pipelined() -> float:
+    """Specialized: WINDOW records in flight, one cumulative ack per burst.
+
+    The application knows its records are fixed-size and ordered (the
+    simulated switch does not reorder), so it skips per-record acks and
+    sequence bookkeeping entirely — protocol processing tailored to the
+    traffic, exactly what user-level networking enables.
+    """
+    sim, ep_src, ep_dst, ch_src, ch_dst = _build()
+    received = []
+
+    def receiver():
+        since_ack = 0
+        while len(received) < RECORDS:
+            message = yield from ep_dst.recv()
+            received.append(message.data)
+            since_ack += 1
+            if since_ack == WINDOW or len(received) == RECORDS:
+                yield from ep_dst.send(ch_dst, struct.pack("!I", len(received)))
+                since_ack = 0
+
+    def sender():
+        sent = 0
+        acked = 0
+        while acked < RECORDS:
+            while sent < RECORDS and sent - acked < WINDOW:
+                yield from ep_src.send(ch_src, _record(sent))
+                sent += 1
+            message = yield from ep_src.recv()
+            acked = struct.unpack("!I", message.data)[0]
+        return sim.now
+
+    sim.process(receiver())
+    end = sim.run_until_complete(sim.process(sender()))
+    assert [struct.unpack("!I", r[:4])[0] for r in received] == list(range(RECORDS))
+    return RECORDS * RECORD * 8 / end
+
+
+def main() -> None:
+    naive = stop_and_wait()
+    fast = pipelined()
+    print(f"transferring {RECORDS} x {RECORD}-byte records over U-Net/FE:\n")
+    print(f"  generic stop-and-wait:        {naive:6.1f} Mb/s")
+    print(f"  specialized pipelined (w={WINDOW}):  {fast:6.1f} Mb/s   ({fast / naive:.1f}x)")
+    print()
+    print("Both protocols live entirely in user space on the same U-Net")
+    print("endpoint API — specializing the protocol to the application is")
+    print("a code change in the application, not in the kernel (Section 1).")
+
+
+if __name__ == "__main__":
+    main()

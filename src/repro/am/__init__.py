@@ -1,0 +1,38 @@
+"""Active Messages: reliable, flow-controlled RPC over U-Net."""
+
+from .am import AmConfig, AmEndpoint, AmError, RequestContext
+from .bulk import BULK_FRAGMENT_HANDLER, BulkReceiver, BulkSender
+from .protocol import (
+    HEADER_SIZE,
+    SEQ_MOD,
+    TYPE_ACK,
+    TYPE_REPLY,
+    TYPE_REQUEST,
+    Packet,
+    decode,
+    encode,
+    seq_add,
+    seq_leq,
+    seq_lt,
+)
+
+__all__ = [
+    "AmConfig",
+    "AmEndpoint",
+    "AmError",
+    "RequestContext",
+    "BulkSender",
+    "BulkReceiver",
+    "BULK_FRAGMENT_HANDLER",
+    "Packet",
+    "encode",
+    "decode",
+    "HEADER_SIZE",
+    "SEQ_MOD",
+    "TYPE_REQUEST",
+    "TYPE_REPLY",
+    "TYPE_ACK",
+    "seq_lt",
+    "seq_leq",
+    "seq_add",
+]

@@ -1,0 +1,369 @@
+"""Active Messages over U-Net.
+
+"Split-C is implemented over Active Messages, a low-cost RPC mechanism,
+providing flow control and reliable transfer, which has been implemented
+over U-Net" (Section 5).  This module provides exactly that layer:
+
+* **handlers** — a received request invokes a registered handler with
+  four word arguments and a data block; the handler may send a reply.
+* **reliability** — go-back-N retransmission over per-peer sequence
+  numbers with cumulative (piggybacked or delayed-explicit) acks.
+  U-Net itself drops messages when receive resources are exhausted.
+* **flow control** — a bounded per-peer window of unacknowledged
+  requests; senders block on a full window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from ..core.api import UserEndpoint
+from ..sim import Event, Resource, Simulator
+from .protocol import (
+    HEADER_SIZE,
+    SEQ_MOD,
+    TYPE_ACK,
+    TYPE_REPLY,
+    TYPE_REQUEST,
+    Packet,
+    decode,
+    encode,
+    seq_add,
+    seq_lt,
+)
+
+__all__ = ["AmConfig", "AmEndpoint", "RequestContext", "AmError"]
+
+
+class AmError(Exception):
+    """Active Messages protocol/usage error."""
+
+
+@dataclass
+class AmConfig:
+    """Tunables of the reliability/flow-control machinery."""
+
+    #: maximum unacknowledged packets per peer (must be < SEQ_MOD/2)
+    window: int = 16
+    #: retransmit the window after this long without an acknowledgement
+    retransmit_timeout_us: float = 4000.0
+    #: send an explicit ACK if no reverse traffic carried one by then
+    ack_delay_us: float = 60.0
+    #: ... or after this many unacknowledged deliveries
+    ack_every: int = 8
+    #: per-message handler-dispatch CPU cost at the receiver
+    dispatch_overhead_us: float = 1.0
+    #: buffer out-of-order arrivals (up to one window) instead of
+    #: dropping them: turns go-back-N into selective-repeat-style
+    #: recovery.  Off by default (classic AM); essential for striped
+    #: paths that reorder, e.g. Beowulf dual-NIC bonding.
+    ooo_buffering: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 < self.window < SEQ_MOD // 2:
+            raise ValueError("window must be positive and below half the sequence space")
+
+
+class _PeerState:
+    """Per-connection reliability state."""
+
+    __slots__ = (
+        "node",
+        "channel",
+        "next_seq",
+        "unacked",
+        "window_waiters",
+        "expected_seq",
+        "pending_ack",
+        "deliveries_since_ack",
+        "last_progress",
+        "timer_running",
+        "retransmissions",
+        "duplicates",
+        "tx_lock",
+        "ooo_held",
+    )
+
+    def __init__(self, node: int, channel: int, sim: Simulator) -> None:
+        self.node = node
+        self.channel = channel
+        #: serializes seq assignment + hand-off to U-Net so that packets
+        #: from concurrent senders cannot overtake each other (compose
+        #: times differ with size; reordering would trip go-back-N)
+        self.tx_lock = Resource(sim, capacity=1, name=f"am.peer{node}.tx")
+        self.next_seq = 0
+        #: seq -> (Packet, bytes) awaiting acknowledgement, in order
+        self.unacked: Dict[int, Packet] = {}
+        self.window_waiters: List[Event] = []
+        self.expected_seq = 0
+        self.pending_ack = False
+        self.deliveries_since_ack = 0
+        self.last_progress = 0.0
+        self.timer_running = False
+        self.retransmissions = 0
+        self.duplicates = 0
+        #: out-of-order packets held for in-order delivery (seq -> Packet)
+        self.ooo_held: Dict[int, Packet] = {}
+
+
+class RequestContext:
+    """Handed to request handlers; lets them reply to the requester."""
+
+    __slots__ = ("am", "src_node", "args", "data", "_req_seq", "replied")
+
+    def __init__(self, am: "AmEndpoint", src_node: int, args, data: bytes, req_seq: int) -> None:
+        self.am = am
+        self.src_node = src_node
+        self.args = args
+        self.data = data
+        self._req_seq = req_seq
+        self.replied = False
+
+    def reply(self, args=(), data: bytes = b"") -> Generator:
+        """Process: send the reply for this request."""
+        self.replied = True
+        yield from self.am._send_reply(self.src_node, self._req_seq, args, data)
+
+
+#: request-handler signature: fn(ctx) -> None or a generator to run
+Handler = Callable[[RequestContext], Optional[Generator]]
+
+
+class AmEndpoint:
+    """An Active Messages endpoint bound to one U-Net endpoint.
+
+    One AM endpoint serves one node; peers are added with
+    :meth:`connect_peer` after U-Net channels have been created by the
+    substrate's signaling/channel service.
+    """
+
+    def __init__(self, node_id: int, user_endpoint: UserEndpoint, config: Optional[AmConfig] = None) -> None:
+        self.node = node_id
+        self.user = user_endpoint
+        self.sim: Simulator = user_endpoint.sim
+        self.config = config or AmConfig()
+        self._peers_by_node: Dict[int, _PeerState] = {}
+        self._peers_by_channel: Dict[int, _PeerState] = {}
+        self._handlers: Dict[int, Handler] = {}
+        #: rpc completion events keyed by (peer node, request seq)
+        self._rpc_waiters: Dict[Tuple[int, int], Event] = {}
+        self.requests_sent = 0
+        self.replies_sent = 0
+        self.acks_sent = 0
+        self.requests_delivered = 0
+        self._running = True
+        self.sim.process(self._dispatch_loop(), name=f"am{node_id}.dispatch")
+
+    # ------------------------------------------------------------- set-up
+    @property
+    def max_data(self) -> int:
+        """Largest data block one packet can carry on this substrate."""
+        return self.user.host.backend.max_pdu - HEADER_SIZE
+
+    def connect_peer(self, node_id: int, channel_id: int) -> None:
+        if node_id in self._peers_by_node:
+            raise AmError(f"peer {node_id} already connected")
+        peer = _PeerState(node_id, channel_id, self.sim)
+        self._peers_by_node[node_id] = peer
+        self._peers_by_channel[channel_id] = peer
+
+    def register_handler(self, handler_id: int, fn: Handler) -> None:
+        if not 0 <= handler_id <= 0xFF:
+            raise AmError("handler id must fit one byte")
+        self._handlers[handler_id] = fn
+
+    def shutdown(self) -> None:
+        """Stop background activity so the simulation can drain."""
+        self._running = False
+
+    # ------------------------------------------------------------- sending
+    def request(self, dest: int, handler: int, args=(), data: bytes = b"") -> Generator:
+        """Process: send a request (reliable, flow controlled)."""
+        peer = self._peer(dest)
+        if len(data) > self.max_data:
+            raise AmError(f"data block of {len(data)} bytes exceeds packet maximum {self.max_data}")
+        yield from self._acquire_window(peer)
+        yield peer.tx_lock.acquire()
+        try:
+            packet = Packet(type=TYPE_REQUEST, handler=handler, seq=peer.next_seq,
+                            args=tuple(args), data=data)
+            peer.next_seq = seq_add(peer.next_seq, 1)
+            self.requests_sent += 1
+            yield from self._transmit(peer, packet, track=True)
+        finally:
+            peer.tx_lock.release()
+        return packet.seq
+
+    def rpc(self, dest: int, handler: int, args=(), data: bytes = b"") -> Generator:
+        """Process: request + wait for the matching reply.
+
+        Returns ``(args, data)`` from the reply.  Must not be called from
+        inside a handler (the dispatch loop would deadlock).
+        """
+        peer = self._peer(dest)
+        done = self.sim.event(name=f"am{self.node}.rpc")
+        yield from self._acquire_window(peer)
+        yield peer.tx_lock.acquire()
+        try:
+            packet = Packet(type=TYPE_REQUEST, handler=handler, seq=peer.next_seq,
+                            args=tuple(args), data=data)
+            peer.next_seq = seq_add(peer.next_seq, 1)
+            # register the waiter before transmitting: the reply can race us
+            self._rpc_waiters[(dest, packet.seq)] = done
+            self.requests_sent += 1
+            yield from self._transmit(peer, packet, track=True)
+        finally:
+            peer.tx_lock.release()
+        reply = yield done
+        return reply
+
+    def _send_reply(self, dest: int, req_seq: int, args, data: bytes) -> Generator:
+        peer = self._peer(dest)
+        # replies bypass the request window (deadlock avoidance) but are
+        # still sequenced and retransmitted, so they take the tx lock
+        yield peer.tx_lock.acquire()
+        try:
+            packet = Packet(type=TYPE_REPLY, seq=peer.next_seq, req_seq=req_seq,
+                            args=tuple(args), data=data)
+            peer.next_seq = seq_add(peer.next_seq, 1)
+            self.replies_sent += 1
+            yield from self._transmit(peer, packet, track=True)
+        finally:
+            peer.tx_lock.release()
+
+    def _send_ack(self, peer: _PeerState) -> Generator:
+        packet = Packet(type=TYPE_ACK)
+        self.acks_sent += 1
+        yield from self._transmit(peer, packet, track=False)
+
+    def _transmit(self, peer: _PeerState, packet: Packet, track: bool) -> Generator:
+        packet.ack = peer.expected_seq
+        peer.pending_ack = False
+        peer.deliveries_since_ack = 0
+        if track:
+            peer.unacked[packet.seq] = packet
+            peer.last_progress = self.sim.now
+            self._ensure_timer(peer)
+        yield from self.user.send(peer.channel, encode(packet))
+
+    def _acquire_window(self, peer: _PeerState) -> Generator:
+        while len(peer.unacked) >= self.config.window:
+            event = self.sim.event(name=f"am{self.node}.window")
+            peer.window_waiters.append(event)
+            yield event
+
+    def _peer(self, node: int) -> _PeerState:
+        try:
+            return self._peers_by_node[node]
+        except KeyError:
+            raise AmError(f"node {node} is not a connected peer of node {self.node}") from None
+
+    # ------------------------------------------------------------ receiving
+    def _dispatch_loop(self) -> Generator:
+        while self._running:
+            message = yield from self.user.recv()
+            yield self.sim.timeout(self.config.dispatch_overhead_us)
+            try:
+                packet = decode(message.data)
+            except ValueError:
+                continue  # malformed: reliability will retransmit
+            peer = self._peers_by_channel.get(message.channel_id)
+            if peer is None:
+                continue
+            self._process_ack(peer, packet.ack)
+            if packet.type == TYPE_ACK:
+                continue
+            if packet.seq != peer.expected_seq:
+                in_window = seq_lt(peer.expected_seq, packet.seq) and (
+                    (packet.seq - peer.expected_seq) % SEQ_MOD <= self.config.window * 2
+                )
+                if self.config.ooo_buffering and in_window:
+                    # hold the future packet; deliver once the hole fills
+                    peer.ooo_held.setdefault(packet.seq, packet)
+                else:
+                    # go-back-N: duplicates and holes both trigger a re-ack
+                    peer.duplicates += 1
+                self._note_delivery(peer)
+                continue
+            yield from self._deliver_in_order(peer, packet)
+            # drain any buffered successors the packet unblocked
+            while peer.ooo_held:
+                held = peer.ooo_held.pop(peer.expected_seq, None)
+                if held is None:
+                    break
+                yield from self._deliver_in_order(peer, held)
+            self._note_delivery(peer)
+
+    def _deliver_in_order(self, peer: _PeerState, packet: Packet) -> Generator:
+        peer.expected_seq = seq_add(peer.expected_seq, 1)
+        if packet.type == TYPE_REQUEST:
+            self.requests_delivered += 1
+            yield from self._run_handler(peer, packet)
+        elif packet.type == TYPE_REPLY:
+            waiter = self._rpc_waiters.pop((peer.node, packet.req_seq), None)
+            if waiter is not None:
+                waiter.succeed((packet.args, packet.data))
+
+    def _run_handler(self, peer: _PeerState, packet: Packet) -> Generator:
+        fn = self._handlers.get(packet.handler)
+        if fn is None:
+            return
+        ctx = RequestContext(self, peer.node, packet.args, packet.data, packet.seq)
+        result = fn(ctx)
+        if result is not None:
+            yield from result
+
+    def _process_ack(self, peer: _PeerState, ack: int) -> None:
+        acked = [seq for seq in peer.unacked if seq_lt(seq, ack)]
+        if not acked:
+            return
+        for seq in acked:
+            del peer.unacked[seq]
+        peer.last_progress = self.sim.now
+        while peer.window_waiters and len(peer.unacked) < self.config.window:
+            peer.window_waiters.pop(0).succeed()
+
+    def _note_delivery(self, peer: _PeerState) -> None:
+        peer.deliveries_since_ack += 1
+        if peer.deliveries_since_ack >= self.config.ack_every:
+            self.sim.process(self._send_ack(peer), name=f"am{self.node}.ack")
+            return
+        if not peer.pending_ack:
+            peer.pending_ack = True
+            self.sim.process(self._delayed_ack(peer), name=f"am{self.node}.dack")
+
+    def _delayed_ack(self, peer: _PeerState) -> Generator:
+        yield self.sim.timeout(self.config.ack_delay_us)
+        if peer.pending_ack and self._running:
+            yield from self._send_ack(peer)
+
+    # ---------------------------------------------------------- retransmit
+    def _ensure_timer(self, peer: _PeerState) -> None:
+        if not peer.timer_running:
+            peer.timer_running = True
+            self.sim.process(self._retransmit_timer(peer), name=f"am{self.node}.rto")
+
+    def _retransmit_timer(self, peer: _PeerState) -> Generator:
+        timeout = self.config.retransmit_timeout_us
+        while peer.unacked and self._running:
+            yield self.sim.timeout(timeout / 2)
+            if not peer.unacked or not self._running:
+                break
+            if self.sim.now - peer.last_progress >= timeout:
+                # retransmit only the head of the window (as TCP does):
+                # resending the whole window both floods a congested
+                # medium and can phase-lock with periodic loss patterns;
+                # once the head is acked the rest follow
+                yield peer.tx_lock.acquire()
+                try:
+                    head = next(iter(peer.unacked.values()), None)
+                    if head is None:
+                        break
+                    peer.retransmissions += 1
+                    peer.last_progress = self.sim.now
+                    head.ack = peer.expected_seq
+                    yield from self.user.send(peer.channel, encode(head))
+                finally:
+                    peer.tx_lock.release()
+        peer.timer_running = False

@@ -1,0 +1,108 @@
+"""Active Messages wire protocol.
+
+Messages are classic Active Messages (von Eicken et al., ISCA '92):
+a handler identifier, four word-size arguments, and an optional data
+block.  On top of U-Net — which itself offers no retransmission or flow
+control (Section 3.1) — every data packet carries a sequence number and
+a cumulative acknowledgement; the sender keeps a go-back-N window.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = [
+    "Packet",
+    "encode",
+    "decode",
+    "HEADER_SIZE",
+    "TYPE_REQUEST",
+    "TYPE_REPLY",
+    "TYPE_ACK",
+    "SEQ_MOD",
+    "seq_lt",
+    "seq_leq",
+    "seq_add",
+]
+
+#: type, handler, seq, ack, req_seq, 4 word args, data length
+_HEADER_FMT = "!BBHHH4IH"
+HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+TYPE_REQUEST = 1
+TYPE_REPLY = 2
+TYPE_ACK = 3
+
+#: 16-bit sequence space; windows must stay below half of it
+SEQ_MOD = 1 << 16
+_HALF = SEQ_MOD // 2
+
+
+def seq_add(seq: int, n: int) -> int:
+    return (seq + n) % SEQ_MOD
+
+
+def seq_lt(a: int, b: int) -> bool:
+    """True if ``a`` precedes ``b`` in the circular sequence space."""
+    return (b - a) % SEQ_MOD < _HALF and a != b
+
+
+def seq_leq(a: int, b: int) -> bool:
+    return a == b or seq_lt(a, b)
+
+
+@dataclass
+class Packet:
+    """One Active Messages packet."""
+
+    type: int
+    handler: int = 0
+    seq: int = 0
+    #: cumulative acknowledgement: the next sequence number expected
+    ack: int = 0
+    #: for replies: the sequence number of the request being answered
+    req_seq: int = 0
+    args: Tuple[int, int, int, int] = (0, 0, 0, 0)
+    data: bytes = b""
+
+    def __post_init__(self) -> None:
+        if len(self.args) != 4:
+            args = tuple(self.args) + (0,) * (4 - len(self.args))
+            self.args = args[:4]
+
+
+def encode(packet: Packet) -> bytes:
+    """Serialize ``packet`` for the wire.
+
+    >>> p = Packet(type=TYPE_REQUEST, handler=7, seq=3, args=(1, 2), data=b"hi")
+    >>> q = decode(encode(p))
+    >>> (q.handler, q.seq, q.args, q.data)
+    (7, 3, (1, 2, 0, 0), b'hi')
+    """
+    header = struct.pack(
+        _HEADER_FMT,
+        packet.type,
+        packet.handler,
+        packet.seq,
+        packet.ack,
+        packet.req_seq,
+        *(a & 0xFFFFFFFF for a in packet.args),
+        len(packet.data),
+    )
+    return header + packet.data
+
+
+def decode(raw: bytes) -> Packet:
+    """Parse a wire message back into a :class:`Packet`."""
+    if len(raw) < HEADER_SIZE:
+        raise ValueError(f"short AM packet: {len(raw)} bytes")
+    ptype, handler, seq, ack, req_seq, a0, a1, a2, a3, dlen = struct.unpack(
+        _HEADER_FMT, raw[:HEADER_SIZE]
+    )
+    data = raw[HEADER_SIZE : HEADER_SIZE + dlen]
+    if len(data) != dlen:
+        raise ValueError("AM packet data truncated")
+    return Packet(type=ptype, handler=handler, seq=seq, ack=ack, req_seq=req_seq,
+                  args=(a0, a1, a2, a3), data=data)

@@ -1,0 +1,175 @@
+"""Microbenchmarks: round-trip latency and bandwidth (Figures 5 and 6).
+
+These drive the two U-Net implementations exactly as the paper's
+application-level benchmarks did: a user process composes each message
+into its endpoint buffer area, pushes a descriptor, kicks the NI, and
+polls/blocks on its receive queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..atm.network import AtmNetwork
+from ..atm.phy import OC3_SONET, TAXI_140, AtmPhy
+from ..core.api import UserEndpoint
+from ..core.endpoint import EndpointConfig
+from ..ethernet.network import HubNetwork, SwitchedNetwork
+from ..ethernet.switch import BAY_28115, FN100, SwitchModel
+from ..hw.cpu import PENTIUM_120, CpuModel
+from ..sim import Simulator
+
+__all__ = [
+    "MicrobenchSetup",
+    "setup_fe_hub",
+    "setup_fe_switch",
+    "setup_atm",
+    "measure_rtt",
+    "measure_bandwidth",
+    "measure_send_overhead",
+    "rtt_series",
+    "bandwidth_series",
+    "FIGURE5_CONFIGS",
+    "FIGURE6_CONFIGS",
+]
+
+_ENDPOINT = EndpointConfig(num_buffers=256, buffer_size=2048, send_queue_depth=128, recv_queue_depth=256)
+
+
+@dataclass
+class MicrobenchSetup:
+    """A fresh two-host network plus connected endpoints."""
+
+    label: str
+    sim: Simulator
+    ep1: UserEndpoint
+    ep2: UserEndpoint
+    ch1: int
+    ch2: int
+
+
+def setup_fe_hub(cpu: CpuModel = PENTIUM_120) -> MicrobenchSetup:
+    sim = Simulator()
+    net = HubNetwork(sim)
+    return _finish("FE hub", sim, net, cpu)
+
+
+def setup_fe_switch(model: SwitchModel = BAY_28115, cpu: CpuModel = PENTIUM_120) -> MicrobenchSetup:
+    sim = Simulator()
+    net = SwitchedNetwork(sim, model=model)
+    return _finish(f"FE {model.name}", sim, net, cpu)
+
+
+def setup_atm(phy: AtmPhy = OC3_SONET, cpu: CpuModel = PENTIUM_120) -> MicrobenchSetup:
+    sim = Simulator()
+    net = AtmNetwork(sim)
+    h1 = net.add_host("h1", cpu, phy=phy)
+    h2 = net.add_host("h2", cpu, phy=phy)
+    ep1 = h1.create_endpoint(config=_ENDPOINT, rx_buffers=64)
+    ep2 = h2.create_endpoint(config=_ENDPOINT, rx_buffers=64)
+    ch1, ch2 = net.connect(ep1, ep2)
+    return MicrobenchSetup(f"ATM {phy.name}", sim, ep1, ep2, ch1, ch2)
+
+
+def _finish(label: str, sim: Simulator, net, cpu: CpuModel) -> MicrobenchSetup:
+    h1 = net.add_host("h1", cpu)
+    h2 = net.add_host("h2", cpu)
+    ep1 = h1.create_endpoint(config=_ENDPOINT, rx_buffers=64)
+    ep2 = h2.create_endpoint(config=_ENDPOINT, rx_buffers=64)
+    ch1, ch2 = net.connect(ep1, ep2)
+    return MicrobenchSetup(label, sim, ep1, ep2, ch1, ch2)
+
+
+def measure_rtt(setup: MicrobenchSetup, size: int, rounds: int = 5) -> float:
+    """Application-level round-trip time for ``size``-byte messages."""
+    sim = setup.sim
+    payload = bytes(size)
+
+    def ponger():
+        while True:
+            message = yield from setup.ep2.recv()
+            yield from setup.ep2.send(setup.ch2, message.data)
+
+    def pinger():
+        rtts = []
+        for _ in range(rounds):
+            t0 = sim.now
+            yield from setup.ep1.send(setup.ch1, payload)
+            yield from setup.ep1.recv()
+            rtts.append(sim.now - t0)
+        # drop the cold-start round
+        return sum(rtts[1:]) / (len(rtts) - 1)
+
+    sim.process(ponger(), name="ponger")
+    return sim.run_until_complete(sim.process(pinger(), name="pinger"))
+
+
+def measure_send_overhead(setup: MicrobenchSetup, size: int = 40, sends: int = 20) -> float:
+    """Host-processor time consumed per send, measured in the simulator.
+
+    The sending process's elapsed time per ``send()`` call *is* the host
+    overhead (compose copy + descriptor push + doorbell/trap): the NIC
+    and wire work happens in other processes.  Reproduces the Section
+    4.4 comparison (FE ~4.2 us trap + user costs vs ATM ~1.5 us).
+    """
+    sim = setup.sim
+    payload = bytes(size)
+
+    def sender():
+        t0 = sim.now
+        for _ in range(sends):
+            yield from setup.ep1.send(setup.ch1, payload)
+        return (sim.now - t0) / sends
+
+    return sim.run_until_complete(sim.process(sender(), name="overhead"))
+
+
+def measure_bandwidth(setup: MicrobenchSetup, size: int, messages: int = 60) -> float:
+    """One-way application-level goodput in Mb/s for ``size``-byte messages."""
+    sim = setup.sim
+    payload = bytes(max(1, size))
+
+    def sender():
+        for _ in range(messages):
+            yield from setup.ep1.send(setup.ch1, payload)
+
+    def receiver():
+        for _ in range(messages):
+            yield from setup.ep2.recv()
+        return sim.now
+
+    sim.process(sender(), name="sender")
+    end = sim.run_until_complete(sim.process(receiver(), name="receiver"))
+    return messages * size * 8 / end if end > 0 else 0.0
+
+
+#: the four Figure-5 configurations (paper: hub, Bay 28115, FN100, ATM),
+#: plus the 140 Mb/s TAXI PHY of the paper's reference [16] (U-Net/ATM
+#: without SONET framing measured 65 us there)
+FIGURE5_CONFIGS: Dict[str, Callable[[], MicrobenchSetup]] = {
+    "hub": setup_fe_hub,
+    "bay28115": lambda: setup_fe_switch(BAY_28115),
+    "fn100": lambda: setup_fe_switch(FN100),
+    "atm": lambda: setup_atm(OC3_SONET),
+    "atm-taxi": lambda: setup_atm(TAXI_140),
+}
+
+#: the Figure-6 configurations (bandwidth; ATM receives on 140 Mb/s TAXI)
+FIGURE6_CONFIGS: Dict[str, Callable[[], MicrobenchSetup]] = {
+    "hub": setup_fe_hub,
+    "bay28115": lambda: setup_fe_switch(BAY_28115),
+    "atm": lambda: setup_atm(TAXI_140),
+}
+
+
+def rtt_series(config: str, sizes: List[int], rounds: int = 5) -> List[Tuple[int, float]]:
+    """(size, RTT us) points for one Figure-5 series."""
+    factory = FIGURE5_CONFIGS[config]
+    return [(size, measure_rtt(factory(), size, rounds)) for size in sizes]
+
+
+def bandwidth_series(config: str, sizes: List[int], messages: int = 60) -> List[Tuple[int, float]]:
+    """(size, Mb/s) points for one Figure-6 series."""
+    factory = FIGURE6_CONFIGS[config]
+    return [(size, measure_bandwidth(factory(), size, messages)) for size in sizes]

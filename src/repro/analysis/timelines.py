@@ -1,0 +1,92 @@
+"""Step timelines of the U-Net/FE kernel paths (Figures 3 and 4).
+
+Runs one instrumented message transfer and extracts the traced step
+sequence of the transmit trap and the receive interrupt handler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.endpoint import EndpointConfig
+from ..ethernet.network import HubNetwork
+from ..ethernet.unet_fe import RX_TRACE, TX_TRACE
+from ..hw.cpu import PENTIUM_120, CpuModel
+from ..sim import Simulator, Timeline, TraceRecorder
+
+__all__ = ["trace_transfer", "figure3_timeline", "figure4_timeline", "atm_trace_transfer"]
+
+
+def trace_transfer(size: int, cpu: CpuModel = PENTIUM_120) -> Tuple[Timeline, Timeline]:
+    """Send one ``size``-byte message; returns (tx trap, rx handler) timelines."""
+    sim = Simulator()
+    trace = TraceRecorder()
+    net = HubNetwork(sim)
+    h1 = net.add_host("h1", cpu, trace=trace)
+    h2 = net.add_host("h2", cpu, trace=trace)
+    config = EndpointConfig(num_buffers=64, buffer_size=2048)
+    ep1 = h1.create_endpoint(config=config, rx_buffers=16)
+    ep2 = h2.create_endpoint(config=config, rx_buffers=16)
+    ch1, ch2 = net.connect(ep1, ep2)
+
+    def tx():
+        yield from ep1.send(ch1, bytes(size))
+
+    def rx():
+        return (yield from ep2.recv())
+
+    sim.process(tx())
+    sim.run_until_complete(sim.process(rx()))
+    tx_span = trace.last_span(TX_TRACE)
+    rx_span = trace.last_span(RX_TRACE)
+    if tx_span is None or rx_span is None:
+        raise RuntimeError("transfer produced no trace")
+    return tx_span, rx_span
+
+
+def atm_trace_transfer(size: int, cpu: CpuModel = PENTIUM_120) -> Tuple[Timeline, Timeline]:
+    """One traced U-Net/ATM transfer; returns (i960 TX, i960 RX) timelines.
+
+    There is no ATM timeline figure in the paper (Section 4.2 describes
+    the firmware in prose), but the same instrumentation that produces
+    Figures 3 and 4 applies; useful for inspecting the single-cell fast
+    path versus the reassembly slow path.
+    """
+    from ..atm.network import AtmNetwork
+    from ..atm.unet_atm import ATM_RX_TRACE, ATM_TX_TRACE
+
+    sim = Simulator()
+    trace = TraceRecorder()
+    net = AtmNetwork(sim)
+    h1 = net.add_host("h1", cpu, trace=trace)
+    h2 = net.add_host("h2", cpu, trace=trace)
+    config = EndpointConfig(num_buffers=64, buffer_size=2048)
+    ep1 = h1.create_endpoint(config=config, rx_buffers=16)
+    ep2 = h2.create_endpoint(config=config, rx_buffers=16)
+    ch1, ch2 = net.connect(ep1, ep2)
+
+    def tx():
+        yield from ep1.send(ch1, bytes(size))
+
+    def rx():
+        return (yield from ep2.recv())
+
+    sim.process(tx())
+    sim.run_until_complete(sim.process(rx()))
+    tx_span = trace.last_span(ATM_TX_TRACE)
+    rx_span = trace.last_span(ATM_RX_TRACE)
+    if tx_span is None or rx_span is None:
+        raise RuntimeError("transfer produced no trace")
+    return tx_span, rx_span
+
+
+def figure3_timeline(size: int = 40) -> Timeline:
+    """The Figure-3 transmit timeline (40-byte message, 4.2 us)."""
+    tx_span, _rx = trace_transfer(size)
+    return tx_span
+
+
+def figure4_timeline(size: int) -> Timeline:
+    """A Figure-4 receive timeline (40 bytes -> 4.1 us, 100 -> 5.6 us)."""
+    _tx, rx_span = trace_transfer(size)
+    return rx_span

@@ -1,0 +1,32 @@
+"""The Split-C benchmark suite (Section 5.1 of the paper)."""
+
+from .matmul import (
+    PAPER_MM_16,
+    PAPER_MM_128,
+    MatmulConfig,
+    MatmulResult,
+    matmul_program,
+    run_matmul,
+    verify_matmul,
+)
+from .radix_sort import RadixConfig, SortResult, radix_program, run_radix_sort, verify_sorted
+from .sample_sort import SampleConfig, run_sample_sort, sample_program, verify_sample_sorted
+
+__all__ = [
+    "MatmulConfig",
+    "MatmulResult",
+    "PAPER_MM_128",
+    "PAPER_MM_16",
+    "run_matmul",
+    "verify_matmul",
+    "matmul_program",
+    "RadixConfig",
+    "SortResult",
+    "run_radix_sort",
+    "verify_sorted",
+    "radix_program",
+    "SampleConfig",
+    "run_sample_sort",
+    "verify_sample_sorted",
+    "sample_program",
+]

@@ -1,0 +1,138 @@
+"""ATM cells and AAL5 segmentation/reassembly.
+
+ATM carries everything in 53-byte cells: a 5-byte header (we model the
+VCI and the AAL5 end-of-PDU indication from the PTI field) plus 48 bytes
+of payload.  AAL5 packs a PDU by appending a pad and an 8-byte trailer
+(length + CRC-32) so the total is a multiple of 48 bytes; the last cell
+of a PDU is flagged, and the receiver checks length and CRC (the PCA-200
+accumulates the CRC in hardware).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List
+
+__all__ = [
+    "Cell",
+    "Aal5Error",
+    "Aal5CrcError",
+    "Aal5LengthError",
+    "CELL_SIZE",
+    "CELL_HEADER_SIZE",
+    "CELL_PAYLOAD_SIZE",
+    "AAL5_TRAILER_SIZE",
+    "AAL5_MAX_PDU",
+    "SINGLE_CELL_MAX_PAYLOAD",
+    "cells_for_pdu",
+    "aal5_segment",
+    "aal5_reassemble",
+]
+
+CELL_SIZE = 53
+CELL_HEADER_SIZE = 5
+CELL_PAYLOAD_SIZE = 48
+AAL5_TRAILER_SIZE = 8
+#: AAL5 length field is 16 bits -> 65535-byte maximum PDU ("the maximum
+#: packet size is 65KBytes", Section 4).
+AAL5_MAX_PDU = 65535
+#: the largest user payload that fits a single cell with its trailer —
+#: this bound drives the single-cell fast path and the latency
+#: discontinuity above 40 bytes in Figure 5.
+SINGLE_CELL_MAX_PAYLOAD = CELL_PAYLOAD_SIZE - AAL5_TRAILER_SIZE
+
+
+class Aal5Error(Exception):
+    """AAL5 reassembly failure."""
+
+
+class Aal5CrcError(Aal5Error):
+    """CRC-32 mismatch over the reassembled PDU."""
+
+
+class Aal5LengthError(Aal5Error):
+    """Trailer length field inconsistent with the received cells."""
+
+
+@dataclass
+class Cell:
+    """One ATM cell on the wire."""
+
+    vci: int
+    payload: bytes
+    #: AAL5 end-of-PDU flag (PTI bit)
+    last: bool = False
+    #: set by fault injection to model wire corruption; the payload bytes
+    #: are already corrupted when this is set (the flag only aids tests)
+    corrupted: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.payload) != CELL_PAYLOAD_SIZE:
+            raise ValueError(f"cell payload must be {CELL_PAYLOAD_SIZE} bytes, got {len(self.payload)}")
+
+    @property
+    def wire_bytes(self) -> int:
+        return CELL_SIZE
+
+
+def cells_for_pdu(payload_len: int) -> int:
+    """Number of cells AAL5 uses for a ``payload_len``-byte PDU."""
+    if payload_len < 0:
+        raise ValueError("negative payload length")
+    total = payload_len + AAL5_TRAILER_SIZE
+    return max(1, -(-total // CELL_PAYLOAD_SIZE))
+
+
+def aal5_segment(payload: bytes, vci: int) -> List[Cell]:
+    """Segment ``payload`` into AAL5 cells for ``vci``.
+
+    >>> cells = aal5_segment(b"hello", vci=42)
+    >>> len(cells), cells[0].last, len(cells[0].payload)
+    (1, True, 48)
+    >>> aal5_reassemble(cells)
+    b'hello'
+    >>> [c.last for c in aal5_segment(b"x" * 100, vci=42)]
+    [False, False, True]
+    """
+    if len(payload) > AAL5_MAX_PDU:
+        raise ValueError(f"PDU of {len(payload)} bytes exceeds AAL5 maximum {AAL5_MAX_PDU}")
+    pad = (-(len(payload) + AAL5_TRAILER_SIZE)) % CELL_PAYLOAD_SIZE
+    # the pad sits between payload and trailer so the trailer occupies the
+    # final 8 bytes of the last cell; the CRC-32 covers payload + pad +
+    # the first four trailer bytes (UU, CPI, length), as in real AAL5.
+    head = payload + bytes(pad) + b"\x00\x00" + len(payload).to_bytes(2, "big")
+    crc = zlib.crc32(head) & 0xFFFFFFFF
+    body = head + crc.to_bytes(4, "big")
+    cells = []
+    n_cells = len(body) // CELL_PAYLOAD_SIZE
+    for i in range(n_cells):
+        chunk = body[i * CELL_PAYLOAD_SIZE : (i + 1) * CELL_PAYLOAD_SIZE]
+        cells.append(Cell(vci=vci, payload=chunk, last=(i == n_cells - 1)))
+    return cells
+
+
+def aal5_reassemble(cells: List[Cell]) -> bytes:
+    """Reassemble and validate an AAL5 PDU from its cells.
+
+    Raises :class:`Aal5LengthError` or :class:`Aal5CrcError` on damage —
+    the same checks the PCA-200's hardware CRC unit performs.
+    """
+    if not cells:
+        raise Aal5Error("no cells to reassemble")
+    if not cells[-1].last or any(c.last for c in cells[:-1]):
+        raise Aal5Error("end-of-PDU flag misplaced")
+    vci = cells[0].vci
+    if any(c.vci != vci for c in cells):
+        raise Aal5Error("cells from different VCIs interleaved into one PDU")
+    body = b"".join(c.payload for c in cells)
+    trailer = body[-AAL5_TRAILER_SIZE:]
+    length = int.from_bytes(trailer[2:4], "big")
+    crc = int.from_bytes(trailer[4:8], "big")
+    if length > len(body) - AAL5_TRAILER_SIZE:
+        raise Aal5LengthError(f"trailer length {length} exceeds received {len(body)} bytes")
+    if len(cells) != cells_for_pdu(length):
+        raise Aal5LengthError(f"{len(cells)} cells received for a {length}-byte PDU")
+    if (zlib.crc32(body[:-4]) & 0xFFFFFFFF) != crc:
+        raise Aal5CrcError("AAL5 CRC-32 mismatch")
+    return body[:length]

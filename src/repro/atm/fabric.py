@@ -1,0 +1,143 @@
+"""Multi-switch ATM fabrics.
+
+Section 4.4.3 notes that, unlike MAC-addressed U-Net/FE, "U-Net/ATM
+does not suffer this problem as virtual circuits are established
+network-wide."  This module provides that: a chain of ASX-200 switches
+joined by trunk links, with signaling that programs the VCI route on
+every switch along the path, so endpoints communicate across the fabric
+with no encapsulation and only the per-switch forwarding latency added.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.api import Host, UserEndpoint
+from ..core.channels import AtmTag, register_channel
+from ..core.errors import ChannelError
+from ..hw.bus import PCI_BUS, BusModel
+from ..hw.cpu import CpuModel
+from ..sim import Simulator
+from .phy import OC3_SONET, AtmPhy, CellLink
+from .switch import AtmSwitch
+from .unet_atm import AtmTimings, UNetAtmBackend
+
+__all__ = ["AtmFabric"]
+
+
+class AtmFabric:
+    """A linear chain of ATM switches with network-wide VCs.
+
+    Hosts attach to any switch; :meth:`connect` sets up a duplex virtual
+    circuit whose VCI is programmed hop by hop along the chain.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switches: int = 2,
+        trunk_phy: AtmPhy = OC3_SONET,
+        trunk_propagation_us: float = 2.0,
+    ) -> None:
+        if switches < 1:
+            raise ValueError("need at least one switch")
+        self.sim = sim
+        self.switches: List[AtmSwitch] = [AtmSwitch(sim, name=f"asx200-{i}") for i in range(switches)]
+        self._next_port: List[int] = [0] * switches
+        #: per switch: trunk port numbers toward the previous / next switch
+        self._trunk_up: Dict[int, int] = {}
+        self._trunk_down: Dict[int, int] = {}
+        self._host_port: Dict[UNetAtmBackend, Tuple[int, int]] = {}
+        self._next_vci = 32
+        self.hosts: List[Host] = []
+        for i in range(switches - 1):
+            self._join(i, i + 1, trunk_phy, trunk_propagation_us)
+
+    def _allocate_port(self, switch_index: int) -> int:
+        port = self._next_port[switch_index]
+        self._next_port[switch_index] += 1
+        return port
+
+    def _join(self, a: int, b: int, phy: AtmPhy, propagation_us: float) -> None:
+        """Duplex trunk between adjacent switches ``a`` and ``b``."""
+        toward_b = CellLink(self.sim, phy, propagation_us, name=f"trunk{a}->{b}")
+        toward_b.deliver = self.switches[b].on_cell
+        port_a = self._allocate_port(a)
+        self.switches[a].attach_port(port_a, toward_b)
+        self._trunk_up[a] = port_a
+
+        toward_a = CellLink(self.sim, phy, propagation_us, name=f"trunk{b}->{a}")
+        toward_a.deliver = self.switches[a].on_cell
+        port_b = self._allocate_port(b)
+        self.switches[b].attach_port(port_b, toward_a)
+        self._trunk_down[b] = port_b
+
+    def add_host(
+        self,
+        name: str,
+        cpu: CpuModel,
+        switch: int = 0,
+        phy: AtmPhy = OC3_SONET,
+        timings: Optional[AtmTimings] = None,
+        bus: BusModel = PCI_BUS,
+        propagation_us: float = 0.5,
+    ) -> Host:
+        if not 0 <= switch < len(self.switches):
+            raise ValueError(f"no such switch {switch}")
+        backend = UNetAtmBackend(self.sim, name=f"{name}.pca200", timings=timings, bus=bus)
+        uplink = CellLink(self.sim, phy, propagation_us, name=f"{name}->sw{switch}")
+        uplink.deliver = self.switches[switch].on_cell
+        backend.tx_link = uplink
+        downlink = CellLink(self.sim, phy, propagation_us, name=f"sw{switch}->{name}")
+        # late-bound so fault injectors can interpose on on_cell
+        downlink.deliver = lambda cell: backend.on_cell(cell)
+        port = self._allocate_port(switch)
+        self.switches[switch].attach_port(port, downlink)
+        self._host_port[backend] = (switch, port)
+        host = Host(self.sim, name, cpu, backend)
+        self.hosts.append(host)
+        return host
+
+    # ----------------------------------------------------------- signaling
+    def _allocate_vci(self) -> int:
+        vci = self._next_vci
+        self._next_vci += 1
+        return vci
+
+    def _program_path(self, vci: int, src_switch: int, dst_switch: int, dst_port: int) -> None:
+        """Program ``vci`` hop by hop from src toward the destination."""
+        current = src_switch
+        while current != dst_switch:
+            if current < dst_switch:
+                self.switches[current].program_route(vci, self._trunk_up[current])
+                current += 1
+            else:
+                self.switches[current].program_route(vci, self._trunk_down[current])
+                current -= 1
+        self.switches[dst_switch].program_route(vci, dst_port)
+
+    def connect(self, a: UserEndpoint, b: UserEndpoint) -> Tuple[int, int]:
+        """Network-wide duplex VC between two endpoints."""
+        backend_a: UNetAtmBackend = a.host.backend
+        backend_b: UNetAtmBackend = b.host.backend
+        if backend_a not in self._host_port or backend_b not in self._host_port:
+            raise ChannelError("both hosts must be attached to the fabric")
+        switch_a, port_a = self._host_port[backend_a]
+        switch_b, port_b = self._host_port[backend_b]
+        vci_ab = self._allocate_vci()
+        vci_ba = self._allocate_vci()
+        self._program_path(vci_ab, switch_a, switch_b, port_b)
+        self._program_path(vci_ba, switch_b, switch_a, port_a)
+        channel_a = len(a.endpoint.channels)
+        channel_b = len(b.endpoint.channels)
+        register_channel(a.endpoint, channel_a, AtmTag(tx_vci=vci_ab, rx_vci=vci_ba), peer=b.host.name)
+        register_channel(b.endpoint, channel_b, AtmTag(tx_vci=vci_ba, rx_vci=vci_ab), peer=a.host.name)
+        backend_a.demux.register(vci_ba, a.endpoint, channel_a)
+        backend_b.demux.register(vci_ab, b.endpoint, channel_b)
+        return channel_a, channel_b
+
+    def hops_between(self, a: UserEndpoint, b: UserEndpoint) -> int:
+        """Number of switches a message between a and b traverses."""
+        switch_a, _ = self._host_port[a.host.backend]
+        switch_b, _ = self._host_port[b.host.backend]
+        return abs(switch_a - switch_b) + 1

@@ -1,0 +1,62 @@
+"""ATM signaling: connection setup and VCI management.
+
+The operating-system service of Section 3.1 footnote 1: it performs
+route discovery and switch-path setup, runs the authentication checks,
+registers the resulting tags with U-Net, and returns channel identifiers
+to the applications.  Connection setup is off the critical path, so it
+is modelled functionally (no simulated time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.api import UserEndpoint
+from ..core.channels import AtmTag, register_channel
+from ..core.errors import ChannelError
+from .switch import AtmSwitch
+from .unet_atm import UNetAtmBackend
+
+__all__ = ["AtmSignaling"]
+
+#: VCIs 0-31 are reserved for signaling/OAM in real ATM deployments
+FIRST_USER_VCI = 32
+
+
+class AtmSignaling:
+    """Allocates VCIs and programs switch + NIC demux tables."""
+
+    def __init__(self, switch: AtmSwitch) -> None:
+        self.switch = switch
+        self._next_vci = FIRST_USER_VCI
+        #: backend -> switch port carrying traffic toward that backend
+        self._ports: Dict[UNetAtmBackend, int] = {}
+
+    def register_host(self, backend: UNetAtmBackend, port: int) -> None:
+        self._ports[backend] = port
+
+    def _allocate_vci(self) -> int:
+        vci = self._next_vci
+        self._next_vci += 1
+        return vci
+
+    def connect(self, a: UserEndpoint, b: UserEndpoint) -> Tuple[int, int]:
+        """Create a duplex communication channel between two endpoints.
+
+        Returns the channel identifiers assigned on (a, b) respectively.
+        """
+        backend_a = a.host.backend
+        backend_b = b.host.backend
+        if backend_a not in self._ports or backend_b not in self._ports:
+            raise ChannelError("both hosts must be attached to the switch before connecting")
+        vci_ab = self._allocate_vci()  # traffic a -> b
+        vci_ba = self._allocate_vci()  # traffic b -> a
+        self.switch.program_route(vci_ab, self._ports[backend_b])
+        self.switch.program_route(vci_ba, self._ports[backend_a])
+        channel_a = len(a.endpoint.channels)
+        channel_b = len(b.endpoint.channels)
+        register_channel(a.endpoint, channel_a, AtmTag(tx_vci=vci_ab, rx_vci=vci_ba), peer=b.host.name)
+        register_channel(b.endpoint, channel_b, AtmTag(tx_vci=vci_ba, rx_vci=vci_ab), peer=a.host.name)
+        backend_a.demux.register(vci_ba, a.endpoint, channel_a)
+        backend_b.demux.register(vci_ab, b.endpoint, channel_b)
+        return channel_a, channel_b

@@ -1,0 +1,361 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro list                # what can be regenerated
+    python -m repro fig3                # U-Net/FE TX timeline
+    python -m repro fig4                # U-Net/FE RX timelines
+    python -m repro fig5 [--sizes ...]  # RTT vs size, all configs
+    python -m repro fig6                # bandwidth vs size
+    python -m repro table1 [--keys N]   # Split-C execution times
+    python -m repro table2              # speedups 2 -> 8 nodes
+    python -m repro fig7                # relative times, cpu/net split
+    python -m repro rtt --config atm --size 40
+    python -m repro bandwidth --config hub --size 1498
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+_EXPERIMENTS = {
+    "fig3": "U-Net/FE transmit timeline (Figure 3)",
+    "fig4": "U-Net/FE receive timelines (Figure 4)",
+    "fig5": "round-trip latency vs message size (Figure 5)",
+    "fig6": "bandwidth vs message size (Figure 6)",
+    "table1": "Split-C execution times (Table 1)",
+    "table2": "speedups 2 to 8 nodes (Table 2)",
+    "fig7": "relative execution times, cpu/net split (Figure 7)",
+    "rtt": "single round-trip measurement",
+    "bandwidth": "single bandwidth measurement",
+    "splitc": "run one Split-C benchmark in the event-level simulator",
+    "report": "regenerate the full evaluation (all figures and tables)",
+    "validate": "self-check every headline number against the paper",
+    "list": "list available experiments",
+}
+
+_SPLITC_BENCHMARKS = ("rsortsm", "rsortlg", "ssortsm", "ssortlg", "mm")
+
+_DEFAULT_FIG5_SIZES = [0, 8, 16, 32, 40, 44, 64, 128, 256, 512, 1024, 1498]
+_DEFAULT_FIG6_SIZES = [16, 64, 128, 256, 512, 1024, 1498]
+
+
+def _cmd_list(_args) -> int:
+    print("experiments:")
+    for name, description in _EXPERIMENTS.items():
+        print(f"  {name:10s} {description}")
+    return 0
+
+
+def _cmd_fig3(_args) -> int:
+    from .analysis import figure3_timeline
+
+    print(figure3_timeline().render(
+        title="Figure 3 - U-Net/FE TX timeline, 40-byte message (paper: 4.2 us)"))
+    return 0
+
+
+def _cmd_fig4(_args) -> int:
+    from .analysis import figure4_timeline
+
+    print(figure4_timeline(40).render(
+        title="Figure 4a - RX timeline, 40 bytes (paper: 4.1 us)"))
+    print()
+    print(figure4_timeline(100).render(
+        title="Figure 4b - RX timeline, 100 bytes (paper: 5.6 us)"))
+    return 0
+
+
+def _cmd_journey(args) -> int:
+    from .analysis import render_journey
+
+    print(render_journey(args.substrate, args.size))
+    return 0
+
+
+def _cmd_atm_timeline(args) -> int:
+    from .analysis import atm_trace_transfer
+
+    tx, rx = atm_trace_transfer(args.size)
+    print(tx.render(title=f"U-Net/ATM i960 TX path, {args.size}-byte message"))
+    print()
+    print(rx.render(title=f"U-Net/ATM i960 RX path, {args.size}-byte message"))
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from .analysis import FIGURE5_CONFIGS, ascii_plot, format_table, measure_rtt
+
+    if getattr(args, "svg", None):
+        from .analysis import save_figure5_svg
+
+        print(f"wrote {save_figure5_svg(args.svg, sizes=args.sizes)}")
+        return 0
+    sizes = args.sizes or _DEFAULT_FIG5_SIZES
+    series = {}
+    for name, factory in FIGURE5_CONFIGS.items():
+        series[name] = [(size, measure_rtt(factory(), size)) for size in sizes]
+    rows = [[size] + [series[name][i][1] for name in FIGURE5_CONFIGS]
+            for i, size in enumerate(sizes)]
+    print(format_table(["bytes"] + list(FIGURE5_CONFIGS), rows,
+                       title="Figure 5 - round-trip latency (us)"))
+    print()
+    print(ascii_plot({n: [(float(s), r) for s, r in pts] for n, pts in series.items()},
+                     xlabel="bytes", ylabel="us"))
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from .analysis import FIGURE6_CONFIGS, ascii_plot, format_table, measure_bandwidth
+
+    if getattr(args, "svg", None):
+        from .analysis import save_figure6_svg
+
+        print(f"wrote {save_figure6_svg(args.svg, sizes=args.sizes)}")
+        return 0
+    sizes = args.sizes or _DEFAULT_FIG6_SIZES
+    series = {}
+    for name, factory in FIGURE6_CONFIGS.items():
+        series[name] = [(size, measure_bandwidth(factory(), size)) for size in sizes]
+    rows = [[size] + [series[name][i][1] for name in FIGURE6_CONFIGS]
+            for i, size in enumerate(sizes)]
+    print(format_table(["bytes"] + list(FIGURE6_CONFIGS), rows,
+                       title="Figure 6 - bandwidth (Mb/s)"))
+    print()
+    print(ascii_plot({n: [(float(s), b) for s, b in pts] for n, pts in series.items()},
+                     xlabel="bytes", ylabel="Mb/s"))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .analysis import BENCHMARKS, format_table, table1, table1_des
+
+    if getattr(args, "des", False):
+        keys = args.keys if args.keys != 512 * 1024 else 2048  # scaled default
+        entries = table1_des(keys_per_node=keys)
+        names = list(dict.fromkeys(e.benchmark for e in entries))
+        node_counts = sorted({e.nodes for e in entries})
+        index = {(e.benchmark, e.nodes, e.substrate): e for e in entries}
+        headers = ["Benchmark"] + [f"{n}n {s}" for n in node_counts for s in ("FE", "ATM")]
+        rows = [
+            [name] + [index[(name, n, s)].seconds * 1000 for n in node_counts for s in ("FE", "ATM")]
+            for name in names
+        ]
+        print(format_table(
+            headers, rows,
+            title=f"Table 1 (event-level DES, scaled: {keys} keys/node) - milliseconds",
+        ))
+        return 0
+    entries = table1(keys_per_node=args.keys)
+    index = {(e.benchmark, e.nodes, e.substrate): e for e in entries}
+    rows = []
+    for name in BENCHMARKS:
+        rows.append([name] + [index[(name, n, s)].seconds for n in (2, 4, 8) for s in ("FE", "ATM")])
+    print(format_table(
+        ("Benchmark", "2n FE", "2n ATM", "4n FE", "4n ATM", "8n FE", "8n ATM"),
+        rows,
+        title=f"Table 1 - Split-C execution times (s), {args.keys} keys/node",
+    ))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .analysis import format_table, table1, table2
+
+    rows = table2(table1(keys_per_node=args.keys))
+    print(format_table(("Benchmark", "ATM", "FE"), rows,
+                       title="Table 2 - speedup from 2 to 8 nodes"))
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    from .analysis import BENCHMARKS, figure7, table1
+
+    bars = figure7(table1(keys_per_node=args.keys))
+    print("Figure 7 - relative execution times (normalized to 2-node ATM; C=cpu, n=net)")
+    for name in BENCHMARKS:
+        print(f"\n{name}:")
+        for bar in bars:
+            if bar["benchmark"] != name:
+                continue
+            total = bar["relative_total"]
+            frac = bar["relative_cpu"] / total if total else 0.0
+            chars = max(1, int(round(min(total, 2.5) * 30)))
+            cpu_chars = int(round(frac * chars))
+            print(f"  {bar['substrate']:>3} {bar['nodes']}n |"
+                  f"{'C' * cpu_chars}{'n' * (chars - cpu_chars)}  {total:.2f}")
+    return 0
+
+
+def _cmd_rtt(args) -> int:
+    from .analysis import FIGURE5_CONFIGS, measure_rtt
+
+    if args.config not in FIGURE5_CONFIGS:
+        print(f"unknown config {args.config!r}; choose from {sorted(FIGURE5_CONFIGS)}", file=sys.stderr)
+        return 2
+    rtt = measure_rtt(FIGURE5_CONFIGS[args.config](), args.size)
+    print(f"{args.config} {args.size}B round-trip: {rtt:.1f} us")
+    return 0
+
+
+def _cmd_bandwidth(args) -> int:
+    from .analysis import FIGURE6_CONFIGS, measure_bandwidth
+
+    if args.config not in FIGURE6_CONFIGS:
+        print(f"unknown config {args.config!r}; choose from {sorted(FIGURE6_CONFIGS)}", file=sys.stderr)
+        return 2
+    bw = measure_bandwidth(FIGURE6_CONFIGS[args.config](), args.size)
+    print(f"{args.config} {args.size}B bandwidth: {bw:.1f} Mb/s")
+    return 0
+
+
+def _cmd_splitc(args) -> int:
+    import numpy as np
+
+    from .apps import (
+        MatmulConfig,
+        RadixConfig,
+        SampleConfig,
+        run_matmul,
+        run_radix_sort,
+        run_sample_sort,
+        verify_matmul,
+        verify_sample_sorted,
+        verify_sorted,
+    )
+    from .apps.radix_sort import initial_keys
+    from .splitc import Cluster
+
+    if args.benchmark not in _SPLITC_BENCHMARKS:
+        print(f"unknown benchmark {args.benchmark!r}; choose from {_SPLITC_BENCHMARKS}",
+              file=sys.stderr)
+        return 2
+    cluster = Cluster(args.nodes, substrate=args.substrate)
+    if args.benchmark == "mm":
+        cfg = MatmulConfig(blocks=args.blocks, block_size=args.block_size,
+                           prefetch=args.prefetch)
+        result = run_matmul(cluster, cfg)
+        ok = verify_matmul(cluster, cfg)
+    elif args.benchmark.startswith("rsort"):
+        cfg = RadixConfig(keys_per_node=args.keys, small_messages=args.benchmark.endswith("sm"))
+        result = run_radix_sort(cluster, cfg)
+        original = np.concatenate([initial_keys(cfg, i) for i in range(args.nodes)])
+        ok = verify_sorted(cluster, expected_multiset=original)
+    else:
+        cfg = SampleConfig(keys_per_node=args.keys, small_messages=args.benchmark.endswith("sm"))
+        result = run_sample_sort(cluster, cfg)
+        ok = verify_sample_sorted(cluster, cfg)
+    cpu = sum(b["cpu_us"] for b in cluster.time_breakdown()) / args.nodes
+    net = sum(b["net_us"] for b in cluster.time_breakdown()) / args.nodes
+    busy = (cpu + net) or 1.0
+    print(f"{args.benchmark} on {args.nodes}-node {args.substrate}: "
+          f"{result.elapsed_us / 1000:.2f} ms "
+          f"(cpu {cpu / busy * 100:.0f}% / net {net / busy * 100:.0f}%), "
+          f"verified: {ok}")
+    if args.stats:
+        from .analysis import cluster_stats, render_stats
+
+        print(render_stats(cluster_stats(cluster)))
+    return 0 if ok else 1
+
+
+def _cmd_validate(_args) -> int:
+    from .analysis import render_validation, validate_reproduction
+
+    claims = validate_reproduction()
+    print(render_validation(claims))
+    return 0 if all(c.passed for c in claims) else 1
+
+
+def _cmd_report(args) -> int:
+    """Everything, in paper order."""
+    banner = "=" * 72
+    sections = [
+        ("Figure 3 - U-Net/FE transmit timeline", _cmd_fig3),
+        ("Figure 4 - U-Net/FE receive timelines", _cmd_fig4),
+        ("Figure 5 - round-trip latency", _cmd_fig5),
+        ("Figure 6 - bandwidth", _cmd_fig6),
+        ("Table 1 - Split-C execution times", _cmd_table1),
+        ("Table 2 - speedups", _cmd_table2),
+        ("Figure 7 - relative times, cpu/net split", _cmd_fig7),
+    ]
+
+    class _Defaults:
+        sizes = None
+        keys = args.keys
+
+    for title, fn in sections:
+        print(banner)
+        print(title)
+        print(banner)
+        fn(_Defaults)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from 'ATM and Fast Ethernet Network "
+                    "Interfaces for User-level Communication' (HPCA 1997).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help=_EXPERIMENTS["list"]).set_defaults(func=_cmd_list)
+    sub.add_parser("fig3", help=_EXPERIMENTS["fig3"]).set_defaults(func=_cmd_fig3)
+    sub.add_parser("fig4", help=_EXPERIMENTS["fig4"]).set_defaults(func=_cmd_fig4)
+    pat = sub.add_parser("atm-timeline", help="i960 firmware path timelines (no paper figure)")
+    pat.add_argument("--size", type=int, default=40)
+    pat.set_defaults(func=_cmd_atm_timeline)
+    pj = sub.add_parser("journey", help="end-to-end timeline of one message, every stage")
+    pj.add_argument("--substrate", default="fe", choices=("fe", "atm"))
+    pj.add_argument("--size", type=int, default=40)
+    pj.set_defaults(func=_cmd_journey)
+    p5 = sub.add_parser("fig5", help=_EXPERIMENTS["fig5"])
+    p5.add_argument("--sizes", type=int, nargs="+")
+    p5.add_argument("--svg", metavar="FILE", help="write an SVG chart instead of text")
+    p5.set_defaults(func=_cmd_fig5)
+    p6 = sub.add_parser("fig6", help=_EXPERIMENTS["fig6"])
+    p6.add_argument("--sizes", type=int, nargs="+")
+    p6.add_argument("--svg", metavar="FILE", help="write an SVG chart instead of text")
+    p6.set_defaults(func=_cmd_fig6)
+    for name, fn in (("table1", _cmd_table1), ("table2", _cmd_table2), ("fig7", _cmd_fig7)):
+        p = sub.add_parser(name, help=_EXPERIMENTS[name])
+        p.add_argument("--keys", type=int, default=512 * 1024,
+                       help="keys per node for the sort benchmarks")
+        if name == "table1":
+            p.add_argument("--des", action="store_true",
+                           help="measure in the event-level simulator at reduced scale")
+        p.set_defaults(func=fn)
+    pr = sub.add_parser("rtt", help=_EXPERIMENTS["rtt"])
+    pr.add_argument("--config", default="hub")
+    pr.add_argument("--size", type=int, default=40)
+    pr.set_defaults(func=_cmd_rtt)
+    pb = sub.add_parser("bandwidth", help=_EXPERIMENTS["bandwidth"])
+    pb.add_argument("--config", default="hub")
+    pb.add_argument("--size", type=int, default=1498)
+    pb.set_defaults(func=_cmd_bandwidth)
+    ps = sub.add_parser("splitc", help=_EXPERIMENTS["splitc"])
+    ps.add_argument("benchmark", help=f"one of {', '.join(_SPLITC_BENCHMARKS)}")
+    ps.add_argument("--nodes", type=int, default=4)
+    ps.add_argument("--substrate", default="fe-switch",
+                    choices=("fe-hub", "fe-switch", "fe-beowulf", "atm"))
+    ps.add_argument("--keys", type=int, default=2048, help="keys per node (sorts)")
+    ps.add_argument("--blocks", type=int, default=4, help="blocks per side (mm)")
+    ps.add_argument("--block-size", type=int, default=16, help="block side (mm)")
+    ps.add_argument("--prefetch", action="store_true", help="split-phase fetches (mm)")
+    ps.add_argument("--stats", action="store_true", help="dump simulation counters")
+    ps.set_defaults(func=_cmd_splitc)
+    pr2 = sub.add_parser("report", help=_EXPERIMENTS["report"])
+    pr2.add_argument("--keys", type=int, default=512 * 1024)
+    pr2.set_defaults(func=_cmd_report)
+    sub.add_parser("validate", help=_EXPERIMENTS["validate"]).set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,36 @@
+"""The U-Net communication architecture (substrate-independent core).
+
+Substrate bindings live with their hardware models:
+``repro.atm.unet_atm`` and ``repro.ethernet.unet_fe``.
+"""
+
+from .api import Host, ReceivedMessage, UserEndpoint
+from .base import UNetBackend
+from .channels import AtmTag, ChannelBinding, EthernetTag, lookup_channel, register_channel
+from .descriptors import SMALL_MESSAGE_MAX, RecvDescriptor, SendDescriptor
+from .endpoint import Endpoint, EndpointConfig
+from .errors import ChannelError, EndpointError, MessageTooLarge, ProtectionError, UNetError
+from .mux import DemuxTable
+
+__all__ = [
+    "Host",
+    "UserEndpoint",
+    "ReceivedMessage",
+    "UNetBackend",
+    "Endpoint",
+    "EndpointConfig",
+    "SendDescriptor",
+    "RecvDescriptor",
+    "SMALL_MESSAGE_MAX",
+    "AtmTag",
+    "EthernetTag",
+    "ChannelBinding",
+    "register_channel",
+    "lookup_channel",
+    "DemuxTable",
+    "UNetError",
+    "EndpointError",
+    "ChannelError",
+    "ProtectionError",
+    "MessageTooLarge",
+]

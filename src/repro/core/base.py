@@ -1,0 +1,79 @@
+"""Backend interface between the U-Net API and a network substrate.
+
+A backend is the combination of NI hardware and whatever firmware or
+kernel code implements U-Net on it.  Two live in this repository:
+:class:`repro.atm.unet_atm.UNetAtmBackend` (custom i960 firmware on the
+PCA-200) and :class:`repro.ethernet.unet_fe.UNetFeBackend` (in-kernel
+service routines driving the DC21140).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generator, List, Optional
+
+from ..sim import Simulator
+from .endpoint import Endpoint, EndpointConfig
+
+__all__ = ["UNetBackend"]
+
+
+class UNetBackend(abc.ABC):
+    """What a substrate must provide to host U-Net endpoints."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.endpoints: List[Endpoint] = []
+        self._next_endpoint_id = 0
+
+    # -- endpoint lifecycle (OS-mediated system calls) ---------------------
+    def create_endpoint(self, config: Optional[EndpointConfig] = None, owner: str = "") -> Endpoint:
+        """System call: validate and create an endpoint."""
+        endpoint = Endpoint(self.sim, self._next_endpoint_id, config or EndpointConfig(), owner=owner)
+        self._next_endpoint_id += 1
+        self.endpoints.append(endpoint)
+        self._endpoint_created(endpoint)
+        return endpoint
+
+    def _endpoint_created(self, endpoint: Endpoint) -> None:
+        """Hook for backend-side per-endpoint state (demux rows, queues)."""
+
+    def destroy_endpoint(self, endpoint: Endpoint) -> None:
+        """System call: tear an endpoint down.
+
+        The kernel/firmware stops demultiplexing to it (its demux rows
+        vanish) and forgets its queues; in-flight messages addressed to
+        it are dropped with the protection counters, exactly as traffic
+        to a dead process should be.
+        """
+        if endpoint not in self.endpoints:
+            raise ValueError(f"endpoint {endpoint.id} does not belong to {self.name}")
+        self.endpoints.remove(endpoint)
+        if hasattr(self, "demux"):
+            self.demux.unregister_endpoint(endpoint)
+        self._endpoint_destroyed(endpoint)
+
+    def _endpoint_destroyed(self, endpoint: Endpoint) -> None:
+        """Hook for backend-specific teardown."""
+
+    # -- data path ---------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def max_pdu(self) -> int:
+        """Largest message the substrate carries without fragmentation."""
+
+    @abc.abstractmethod
+    def kick(self, endpoint: Endpoint) -> Generator:
+        """Process run by the application after pushing send descriptors.
+
+        On U-Net/ATM this is the cheap doorbell store into NI memory
+        (~host overhead only); on U-Net/FE it is the fast trap into the
+        kernel, which synchronously services the send queue.
+        """
+
+    # -- instrumentation -----------------------------------------------------
+    @property
+    def host_send_overhead_us(self) -> float:
+        """Host-processor time consumed per small-message send (Section 4.4)."""
+        raise NotImplementedError

@@ -1,0 +1,82 @@
+"""Communication channels and message tags.
+
+A *communication channel* associates a pair of endpoints with a small
+channel identifier; *message tags* (substrate-specific: VCIs for ATM,
+MAC-address + one-byte U-Net port for Fast Ethernet) route outgoing
+messages and demultiplex incoming ones (Section 3.1).  Channel creation
+is an operating-system service: it validates the request, allocates the
+tags, and registers them with the NI — applications never install tags
+directly (protection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from .errors import ChannelError
+
+__all__ = ["ChannelBinding", "AtmTag", "EthernetTag", "ChannelAllocator"]
+
+
+@dataclass(frozen=True)
+class AtmTag:
+    """ATM message tag: the VCI pair of a connection (Section 4.2.1)."""
+
+    tx_vci: int
+    rx_vci: int
+
+
+@dataclass(frozen=True)
+class EthernetTag:
+    """U-Net/FE message tag: 48-bit MAC + one-byte port ID (Section 4.3.1)."""
+
+    dst_mac: int
+    dst_port: int
+    src_mac: int
+    src_port: int
+
+    def __post_init__(self) -> None:
+        for port in (self.dst_port, self.src_port):
+            if not 0 <= port <= 0xFF:
+                raise ChannelError(f"U-Net port ID {port} outside one byte")
+
+
+@dataclass
+class ChannelBinding:
+    """Per-endpoint record of one registered channel."""
+
+    channel_id: int
+    tag: Any
+    #: opaque peer description kept for diagnostics
+    peer: Optional[str] = None
+    messages_sent: int = 0
+    messages_received: int = 0
+
+
+class ChannelAllocator:
+    """Allocates channel identifiers within one endpoint's namespace."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def allocate(self) -> int:
+        cid = self._next
+        self._next += 1
+        return cid
+
+
+def register_channel(endpoint, channel_id: int, tag: Any, peer: Optional[str] = None) -> ChannelBinding:
+    """Install a channel binding on ``endpoint`` (OS-service side)."""
+    if channel_id in endpoint.channels:
+        raise ChannelError(f"channel {channel_id} already registered on endpoint {endpoint.id}")
+    binding = ChannelBinding(channel_id=channel_id, tag=tag, peer=peer)
+    endpoint.channels[channel_id] = binding
+    return binding
+
+
+def lookup_channel(endpoint, channel_id: int) -> ChannelBinding:
+    try:
+        return endpoint.channels[channel_id]
+    except KeyError:
+        raise ChannelError(f"channel {channel_id} not registered on endpoint {endpoint.id}") from None

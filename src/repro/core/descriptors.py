@@ -1,0 +1,85 @@
+"""U-Net message descriptors.
+
+Applications communicate with the network interface through descriptors
+pushed onto the endpoint's send/receive/free queues (Section 3.1):
+
+* a :class:`SendDescriptor` names the channel and the buffer(s) holding
+  the composed message;
+* a :class:`RecvDescriptor` names the channel and the buffer(s) the
+  message landed in — or, for small messages, carries the entire payload
+  inline in the descriptor itself (the small-message optimization that
+  "avoids buffer management overheads and can improve the round-trip
+  latency substantially");
+* free-queue entries are bare buffer indices the application donates for
+  incoming data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["SendDescriptor", "RecvDescriptor", "SMALL_MESSAGE_MAX"]
+
+#: Threshold for the small-message receive optimization on U-Net/FE
+#: ("small messages (under 64 bytes) are copied directly into the U-Net
+#: receive descriptor itself", Section 4.3.3).  U-Net/ATM special-cases
+#: single-cell messages instead (<= 40 bytes of payload); the ATM backend
+#: applies its own cell-derived threshold.
+SMALL_MESSAGE_MAX = 64
+
+
+@dataclass
+class SendDescriptor:
+    """An entry on an endpoint's send queue.
+
+    ``segments`` lists ``(buffer_index, length)`` pairs; multi-segment
+    descriptors model the DC21140's chained-buffer PDUs.
+    """
+
+    channel_id: int
+    segments: List[Tuple[int, int]]
+    #: set by the NIC/kernel when transmission has been handed to the wire,
+    #: letting the application reclaim the buffers.
+    completed: bool = False
+
+    @property
+    def length(self) -> int:
+        return sum(length for _idx, length in self.segments)
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("send descriptor needs at least one segment")
+        for _idx, length in self.segments:
+            if length < 0:
+                raise ValueError("negative segment length")
+
+
+@dataclass
+class RecvDescriptor:
+    """An entry on an endpoint's receive queue.
+
+    Exactly one of ``inline`` (small-message optimization) or ``segments``
+    is populated.
+    """
+
+    channel_id: int
+    length: int
+    #: payload carried directly in the descriptor (small messages)
+    inline: Optional[bytes] = None
+    #: (buffer_index, length) pairs for buffer-borne messages
+    segments: List[Tuple[int, int]] = field(default_factory=list)
+    #: simulation time at which the descriptor was enqueued
+    timestamp: float = 0.0
+
+    @property
+    def is_inline(self) -> bool:
+        return self.inline is not None
+
+    def __post_init__(self) -> None:
+        if self.inline is not None and self.segments:
+            raise ValueError("descriptor cannot be both inline and buffer-borne")
+        if self.inline is None and not self.segments and self.length > 0:
+            raise ValueError("non-empty message needs inline payload or buffers")
+        if self.inline is not None and len(self.inline) != self.length:
+            raise ValueError("inline payload length mismatch")

@@ -1,0 +1,32 @@
+"""U-Net error types."""
+
+from __future__ import annotations
+
+__all__ = [
+    "UNetError",
+    "ChannelError",
+    "EndpointError",
+    "ProtectionError",
+    "MessageTooLarge",
+]
+
+
+class UNetError(Exception):
+    """Base class for U-Net architecture errors."""
+
+
+class EndpointError(UNetError):
+    """Invalid endpoint operation (bad queue state, bad buffer)."""
+
+
+class ChannelError(UNetError):
+    """Unknown or mis-registered communication channel."""
+
+
+class ProtectionError(EndpointError):
+    """An operation violated the protection boundaries U-Net enforces
+    (e.g. sending on a channel not registered to the endpoint)."""
+
+
+class MessageTooLarge(UNetError):
+    """Message exceeds the substrate's maximum PDU."""

@@ -1,0 +1,50 @@
+"""Incoming-message demultiplexing.
+
+The NI (or the in-kernel service routine) maps each incoming message tag
+to the destination endpoint and the channel identifier the application
+registered — U-Net's core multiplexing function.  Unknown tags are
+counted and dropped, never delivered across protection boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from .endpoint import Endpoint
+
+__all__ = ["DemuxTable"]
+
+
+class DemuxTable:
+    """Tag -> (endpoint, channel_id) table maintained by the OS service."""
+
+    def __init__(self, name: str = "demux") -> None:
+        self.name = name
+        self._table: Dict[Any, Tuple[Endpoint, int]] = {}
+        self.unknown_tag_drops = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def register(self, rx_tag: Any, endpoint: Endpoint, channel_id: int) -> None:
+        if rx_tag in self._table:
+            raise KeyError(f"{self.name}: tag {rx_tag!r} already registered")
+        self._table[rx_tag] = (endpoint, channel_id)
+
+    def unregister(self, rx_tag: Any) -> None:
+        self._table.pop(rx_tag, None)
+
+    def unregister_endpoint(self, endpoint: Endpoint) -> int:
+        """Remove every row routing to ``endpoint`` (teardown); returns
+        how many were removed."""
+        dead = [tag for tag, (ep, _ch) in self._table.items() if ep is endpoint]
+        for tag in dead:
+            del self._table[tag]
+        return len(dead)
+
+    def lookup(self, rx_tag: Any) -> Optional[Tuple[Endpoint, int]]:
+        """Destination for ``rx_tag``; None (and a drop count) if unknown."""
+        entry = self._table.get(rx_tag)
+        if entry is None:
+            self.unknown_tag_drops += 1
+        return entry

@@ -1,0 +1,264 @@
+"""Ethernet media: the shared CSMA/CD bus (hub) and full-duplex links.
+
+The paper contrasts Ethernet's traditionally shared medium — "all
+stations compete for use of the wire, using exponential backoff
+algorithms for retransmission in case of collision" — with switched
+full-duplex links.  Both are modelled here behind one tiny attachment
+interface so the DC21140 does not care what it is plugged into.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..sim import Event, Simulator, Store
+from ..sim.rng import RngRegistry
+from .frames import EthernetFrame, wire_time_us
+
+__all__ = [
+    "Attachment",
+    "SharedMedium",
+    "HubAttachment",
+    "SimplexChannel",
+    "DuplexLink",
+    "ExcessiveCollisions",
+    "SLOT_TIME_US",
+    "IFG_US",
+    "JAM_US",
+    "MAX_ATTEMPTS",
+]
+
+#: 512-bit slot time at 100 Mb/s
+SLOT_TIME_US = 5.12
+#: 96-bit inter-frame gap at 100 Mb/s
+IFG_US = 0.96
+#: 32-bit jam sequence plus abort overhead
+JAM_US = 3.2
+#: transmit attempts before the controller gives up (16, per 802.3)
+MAX_ATTEMPTS = 16
+#: carrier-sense blind window: a station cannot sense a transmission that
+#: began less than one propagation time ago, so it starts anyway and
+#: collides (64 bit times at 100 Mb/s)
+COLLISION_WINDOW_US = 0.512
+
+
+class ExcessiveCollisions(Exception):
+    """A frame was dropped after 16 failed transmission attempts."""
+
+
+class Attachment:
+    """What a NIC plugs into.
+
+    ``transmit`` is a simulation process that completes when the frame
+    has been put on the wire; ``receive`` is a callback the NIC installs
+    to learn about inbound frames.
+    """
+
+    def transmit(self, frame: EthernetFrame):
+        raise NotImplementedError
+
+    def set_receiver(self, receive: Callable[[EthernetFrame], None]) -> None:
+        raise NotImplementedError
+
+
+class _ActiveTx:
+    __slots__ = ("station", "collision", "start")
+
+    def __init__(self, station: "HubAttachment", collision: Event, start: float) -> None:
+        self.station = station
+        self.collision = collision
+        self.start = start
+
+
+class SharedMedium:
+    """Half-duplex CSMA/CD broadcast bus (a 100BaseTX hub).
+
+    Stations that find the medium idle after the same inter-frame gap
+    start in the same simulation instant and collide; each jams, backs
+    off by a random number of slot times (binary exponential backoff),
+    and retries, exactly the classic algorithm.
+    """
+
+    def __init__(self, sim: Simulator, rate_mbps: float = 100.0, rng: Optional[RngRegistry] = None) -> None:
+        self.sim = sim
+        self.rate_mbps = rate_mbps
+        self.rng = (rng or RngRegistry()).stream("ethernet.backoff")
+        self.stations: List["HubAttachment"] = []
+        self._active: List[_ActiveTx] = []
+        self._idle_waiters: List[Event] = []
+        self.collisions = 0
+        self.frames_carried = 0
+        self.drops_excessive_collisions = 0
+
+    def attach(self) -> "HubAttachment":
+        station = HubAttachment(self)
+        self.stations.append(station)
+        return station
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._active)
+
+    def _wait_idle(self) -> Event:
+        event = self.sim.event(name="medium.idle")
+        if not self.busy:
+            event.succeed()
+        else:
+            self._idle_waiters.append(event)
+        return event
+
+    def _gone_idle(self) -> None:
+        if not self._active:
+            waiters, self._idle_waiters = self._idle_waiters, []
+            for event in waiters:
+                event.succeed()
+
+    def _in_blind_window(self) -> bool:
+        """True when an active transmission is too young to be sensed."""
+        return any(self.sim.now - tx.start < COLLISION_WINDOW_US for tx in self._active)
+
+    def _transmit(self, station: "HubAttachment", frame: EthernetFrame):
+        attempts = 0
+        while True:
+            # carrier sense, then wait the inter-frame gap
+            while self.busy and not self._in_blind_window():
+                yield self._wait_idle()
+            yield self.sim.timeout(IFG_US)
+            if self.busy and not self._in_blind_window():
+                continue
+            tx = _ActiveTx(station, self.sim.event(name="collision"), self.sim.now)
+            self._active.append(tx)
+            if len(self._active) > 1:
+                # starts within the blind window: everyone active collides
+                self.collisions += 1
+                for active in list(self._active):
+                    if not active.collision.triggered:
+                        active.collision.succeed()
+            finish = self.sim.timeout(wire_time_us(frame, self.rate_mbps))
+            yield self.sim.any_of([finish, tx.collision])
+            if tx.collision.triggered:
+                self._active.remove(tx)
+                self._gone_idle()
+                yield self.sim.timeout(JAM_US)
+                attempts += 1
+                if attempts >= MAX_ATTEMPTS:
+                    self.drops_excessive_collisions += 1
+                    raise ExcessiveCollisions(f"frame dropped after {attempts} attempts")
+                backoff_slots = self.rng.randrange(0, 2 ** min(attempts, 10))
+                yield self.sim.timeout(backoff_slots * SLOT_TIME_US)
+                continue
+            # success: broadcast to every other station
+            self._active.remove(tx)
+            self._gone_idle()
+            self.frames_carried += 1
+            for other in self.stations:
+                if other is not station and other.receive is not None:
+                    other.receive(frame)
+            return
+
+
+class HubAttachment(Attachment):
+    """One station's tap on a :class:`SharedMedium`."""
+
+    def __init__(self, medium: SharedMedium) -> None:
+        self.medium = medium
+        self.receive: Optional[Callable[[EthernetFrame], None]] = None
+
+    def transmit(self, frame: EthernetFrame):
+        yield from self.medium._transmit(self, frame)
+
+    def set_receiver(self, receive: Callable[[EthernetFrame], None]) -> None:
+        self.receive = receive
+
+
+class SimplexChannel:
+    """One direction of a full-duplex link: serialize, propagate, deliver."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_mbps: float = 100.0,
+        propagation_us: float = 0.5,
+        name: str = "chan",
+        deliver_at_header: bool = False,
+        buffer_frames: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.rate_mbps = rate_mbps
+        self.propagation_us = propagation_us
+        self.name = name
+        #: deliver as soon as the header has arrived (feeds a cut-through
+        #: switch, which starts forwarding before end-of-frame); the
+        #: channel still stays busy for the full serialization time.
+        self.deliver_at_header = deliver_at_header
+        #: finite output buffering: frames beyond this depth are dropped
+        self._outbox: Store = Store(sim, capacity=buffer_frames, name=f"{name}.outbox")
+        self.deliver: Optional[Callable[[EthernetFrame], None]] = None
+        self.frames_carried = 0
+        self.frames_dropped = 0
+        sim.process(self._pump(), name=f"{name}.pump")
+
+    def submit(self, frame: EthernetFrame) -> Event:
+        """Queue ``frame``; the returned event fires when it has fully
+        serialized onto the wire (immediately, if the buffer drops it)."""
+        done = self.sim.event(name=f"{self.name}.serialized")
+        if not self._outbox.try_put((frame, done)):
+            self.frames_dropped += 1
+            done.succeed()  # dropped: the sender's wire time is over
+        return done
+
+    @property
+    def queued(self) -> int:
+        return len(self._outbox)
+
+    def _pump(self):
+        from .frames import ETH_HEADER_SIZE, ETH_PREAMBLE_BYTES
+
+        header_time = (ETH_PREAMBLE_BYTES + ETH_HEADER_SIZE) * 8 / self.rate_mbps
+        while True:
+            frame, done = yield self._outbox.get()
+            total = wire_time_us(frame, self.rate_mbps)
+            if self.deliver_at_header:
+                yield self.sim.timeout(min(header_time, total))
+                self.sim.process(self._deliver_later(frame), name=f"{self.name}.deliver")
+                yield self.sim.timeout(max(0.0, total - header_time))
+            else:
+                yield self.sim.timeout(total)
+                self.sim.process(self._deliver_later(frame), name=f"{self.name}.deliver")
+            self.frames_carried += 1
+            done.succeed()
+
+    def _deliver_later(self, frame: EthernetFrame):
+        yield self.sim.timeout(self.propagation_us)
+        if self.deliver is not None:
+            self.deliver(frame)
+
+
+class DuplexLink(Attachment):
+    """The NIC side of a full-duplex point-to-point link (to a switch).
+
+    ``uplink`` carries frames away from the NIC; the switch pushes
+    frames for the NIC into ``downlink``, whose deliver callback feeds
+    the NIC's receiver.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_mbps: float = 100.0,
+        propagation_us: float = 0.5,
+        name: str = "link",
+        uplink_delivers_at_header: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.uplink = SimplexChannel(
+            sim, rate_mbps, propagation_us, name=f"{name}.up", deliver_at_header=uplink_delivers_at_header
+        )
+        self.downlink = SimplexChannel(sim, rate_mbps, propagation_us, name=f"{name}.down")
+
+    def transmit(self, frame: EthernetFrame):
+        # full duplex: the only wait is our own uplink serialization
+        yield self.uplink.submit(frame)
+
+    def set_receiver(self, receive: Callable[[EthernetFrame], None]) -> None:
+        self.downlink.deliver = receive

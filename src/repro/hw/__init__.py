@@ -1,0 +1,30 @@
+"""Host hardware models: CPUs, buses/DMA, buffer memory, interrupts."""
+
+from .bus import PCI_BUS, SBUS, BusModel, DmaEngine
+from .cpu import (
+    I960_25,
+    PENTIUM_90,
+    PENTIUM_120,
+    SPARCSTATION_10,
+    SPARCSTATION_20,
+    CpuModel,
+)
+from .interrupts import InterruptController
+from .memory import Buffer, BufferArea, BufferAreaError
+
+__all__ = [
+    "CpuModel",
+    "PENTIUM_90",
+    "PENTIUM_120",
+    "SPARCSTATION_10",
+    "SPARCSTATION_20",
+    "I960_25",
+    "BusModel",
+    "PCI_BUS",
+    "SBUS",
+    "DmaEngine",
+    "Buffer",
+    "BufferArea",
+    "BufferAreaError",
+    "InterruptController",
+]

@@ -1,0 +1,34 @@
+"""Analytic performance model for full-scale benchmark projection."""
+
+from .analytic import Projection, project_matmul, project_radix, project_sample
+from .sensitivity import int_ratio_flip_point, projection_gap, scaled_int_cpus
+from .loggp import StageCosts, atm_stage_costs, fe_stage_costs
+from .phases import (
+    PhaseTimes,
+    all_to_all_time,
+    barrier_time,
+    broadcast_time,
+    fragment_messages,
+    gather_time,
+    sequential_fetch_time,
+)
+
+__all__ = [
+    "StageCosts",
+    "fe_stage_costs",
+    "atm_stage_costs",
+    "PhaseTimes",
+    "all_to_all_time",
+    "gather_time",
+    "broadcast_time",
+    "barrier_time",
+    "sequential_fetch_time",
+    "fragment_messages",
+    "Projection",
+    "project_radix",
+    "project_sample",
+    "project_matmul",
+    "int_ratio_flip_point",
+    "projection_gap",
+    "scaled_int_cpus",
+]

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel (time unit: microseconds)."""
+
+from .engine import EmptySchedule, Simulator
+from .events import AllOf, AnyOf, Condition, Event, Interrupt, Process, StopProcess, Timeout
+from .queues import BoundedRing, Resource, RingEmptyError, RingFullError, Store
+from .rng import RngRegistry
+from .trace import Timeline, TimelineStep, TraceRecord, TraceRecorder
+
+__all__ = [
+    "Simulator",
+    "EmptySchedule",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "StopProcess",
+    "Store",
+    "BoundedRing",
+    "Resource",
+    "RingFullError",
+    "RingEmptyError",
+    "RngRegistry",
+    "TraceRecorder",
+    "TraceRecord",
+    "Timeline",
+    "TimelineStep",
+]

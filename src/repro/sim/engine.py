@@ -1,0 +1,135 @@
+"""The discrete-event simulation engine.
+
+Time is a ``float`` measured in **microseconds** throughout this project,
+matching the units the paper reports (trap costs, round-trip latencies).
+Events scheduled for the same instant fire in FIFO order of scheduling,
+with an urgency tier for internal process bookkeeping, which keeps every
+run fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, Process, Timeout
+
+__all__ = ["Simulator", "EmptySchedule"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class Simulator:
+    """Owns the event queue and the simulation clock.
+
+    >>> sim = Simulator()
+    >>> def pinger():
+    ...     yield sim.timeout(5.0)
+    ...     return "done"
+    >>> proc = sim.process(pinger())
+    >>> sim.run()
+    >>> proc.value
+    'done'
+    >>> sim.now
+    5.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._event_count = 0
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events dispatched so far (for diagnostics)."""
+        return self._event_count
+
+    # -- event factories -----------------------------------------------------
+    def event(self, name: Optional[str] = None) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` microseconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Register ``generator`` as a simulation process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling (internal) ----------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    # -- execution ------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise EmptySchedule()
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - defensive; cannot happen
+            raise RuntimeError("time ran backwards")
+        self._now = when
+        self._event_count += 1
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if not event.ok and not callbacks and not getattr(event, "_defused", False):
+            # An unhandled failure (e.g. a crashed process nobody waits on)
+            # must not pass silently.
+            raise event._value
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or the budget ends.
+
+        ``until`` is an absolute simulation time; the clock is advanced to it
+        even if the last event fires earlier.
+        """
+        processed = 0
+        while self._queue:
+            if until is not None and self.peek() > until:
+                break
+            if max_events is not None and processed >= max_events:
+                raise RuntimeError(f"exceeded max_events={max_events} (runaway simulation?)")
+            self.step()
+            processed += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_complete(self, process: Process, limit: float = 1e12) -> Any:
+        """Run until ``process`` finishes and return its value.
+
+        Raises the process's exception if it failed, and ``RuntimeError`` if
+        the schedule drained or the time ``limit`` passed without completion.
+        """
+        while not process.triggered:
+            if not self._queue:
+                raise RuntimeError(f"schedule drained before process {process.name!r} completed")
+            if self.peek() > limit:
+                raise RuntimeError(f"process {process.name!r} did not complete before t={limit}")
+            self.step()
+        if not process.ok:
+            raise process._value
+        return process.value

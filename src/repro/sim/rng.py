@@ -1,0 +1,33 @@
+"""Deterministic named random streams.
+
+Every stochastic component (Ethernet backoff, loss injection, workload
+generators) draws from its own named stream so that adding randomness to
+one component never perturbs another — runs stay reproducible bit-for-bit
+for a given master seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RngRegistry"]
+
+
+class RngRegistry:
+    """Factory of independent, deterministically seeded RNG streams."""
+
+    def __init__(self, master_seed: int = 0xC0FFEE) -> None:
+        self.master_seed = master_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """The RNG for ``name``, created on first use."""
+        if name not in self._streams:
+            digest = hashlib.sha256(f"{self.master_seed}:{name}".encode()).digest()
+            self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
+        return self._streams[name]
+
+    def reset(self) -> None:
+        self._streams.clear()

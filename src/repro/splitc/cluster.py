@@ -1,0 +1,146 @@
+"""Cluster builder: N Split-C nodes over a chosen substrate.
+
+Reproduces the paper's two experimental platforms (Section 5):
+
+* the Fast Ethernet cluster — "one 90 MHz and seven 120-MHz Pentium
+  workstations ... connected by a Bay Networks 28115 switch";
+* the ATM cluster — "4 SPARCStation 20s and 4 SPARCStation 10s ...
+  connected by a Fore ASX-200 switch to a 140 Mb/s ATM network".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Sequence
+
+from ..am.am import AmConfig, AmEndpoint
+from ..atm.network import AtmNetwork
+from ..atm.phy import TAXI_140, AtmPhy
+from ..core.api import Host, UserEndpoint
+from ..core.endpoint import EndpointConfig
+from ..ethernet.network import HubNetwork, SwitchedNetwork
+from ..ethernet.switch import BAY_28115, SwitchModel
+from ..hw.cpu import (
+    PENTIUM_90,
+    PENTIUM_120,
+    SPARCSTATION_10,
+    SPARCSTATION_20,
+    CpuModel,
+)
+from ..sim import Simulator
+from .costs import DEFAULT_COSTS, KernelCosts
+from .runtime import SplitCRuntime
+
+__all__ = ["Cluster", "fe_cluster_cpus", "atm_cluster_cpus", "ENDPOINT_CONFIG"]
+
+#: generous endpoint sizing for the AM traffic of parallel programs
+ENDPOINT_CONFIG = EndpointConfig(
+    num_buffers=512, buffer_size=2048, send_queue_depth=256, recv_queue_depth=512
+)
+RX_BUFFERS = 128
+
+
+def fe_cluster_cpus(n: int) -> List[CpuModel]:
+    """The paper's FE cluster: one Pentium-90, the rest Pentium-120s."""
+    return [PENTIUM_90] + [PENTIUM_120] * (n - 1)
+
+
+def atm_cluster_cpus(n: int) -> List[CpuModel]:
+    """The paper's ATM cluster: half SPARCstation-20s, half -10s."""
+    half = (n + 1) // 2
+    return ([SPARCSTATION_20] * half + [SPARCSTATION_10] * (n - half))[:n]
+
+
+class Cluster:
+    """N workstations, fully channel-connected, running Split-C."""
+
+    def __init__(
+        self,
+        n: int,
+        substrate: str = "fe-switch",
+        cpus: Optional[Sequence[CpuModel]] = None,
+        am_config: Optional[AmConfig] = None,
+        costs: KernelCosts = DEFAULT_COSTS,
+        switch_model: SwitchModel = BAY_28115,
+        atm_phy: AtmPhy = TAXI_140,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        if n < 1:
+            raise ValueError("cluster needs at least one node")
+        self.n = n
+        self.substrate = substrate
+        self.sim = sim or Simulator()
+        if cpus is None:
+            cpus = fe_cluster_cpus(n) if substrate.startswith("fe") else atm_cluster_cpus(n)
+        if len(cpus) != n:
+            raise ValueError("need one CpuModel per node")
+        self.cpus = list(cpus)
+        self.network = self._build_network(substrate, switch_model, atm_phy)
+        self.hosts: List[Host] = [
+            self.network.add_host(f"node{i}", self.cpus[i]) for i in range(n)
+        ]
+        self.endpoints: List[UserEndpoint] = [
+            host.create_endpoint(config=ENDPOINT_CONFIG, rx_buffers=RX_BUFFERS) for host in self.hosts
+        ]
+        self.ams: List[AmEndpoint] = [
+            AmEndpoint(i, self.endpoints[i], config=am_config) for i in range(n)
+        ]
+        # full mesh of channels
+        for i in range(n):
+            for j in range(i + 1, n):
+                ch_i, ch_j = self.network.connect(self.endpoints[i], self.endpoints[j])
+                self.ams[i].connect_peer(j, ch_i)
+                self.ams[j].connect_peer(i, ch_j)
+        self.runtimes: List[SplitCRuntime] = [
+            SplitCRuntime(i, n, self.ams[i], self.cpus[i], costs=costs) for i in range(n)
+        ]
+
+    def _build_network(self, substrate: str, switch_model: SwitchModel, atm_phy: AtmPhy):
+        if substrate == "fe-hub":
+            return HubNetwork(self.sim)
+        if substrate == "fe-switch":
+            return SwitchedNetwork(self.sim, model=switch_model)
+        if substrate == "fe-beowulf":
+            from ..ethernet.bonding import BeowulfNetwork
+
+            return BeowulfNetwork(self.sim)
+        if substrate == "atm":
+            network = AtmNetwork(self.sim)
+            original_add = network.add_host
+            network.add_host = lambda name, cpu: original_add(name, cpu, phy=atm_phy)
+            return network
+        raise ValueError(
+            f"unknown substrate {substrate!r} (fe-hub, fe-switch, fe-beowulf, atm)"
+        )
+
+    # ---------------------------------------------------------------- run
+    def run(self, program: Callable[[SplitCRuntime], Generator], limit: float = 5e9) -> List[Any]:
+        """Run one SPMD ``program`` on every node; returns per-node results.
+
+        The program is a generator function taking the node's runtime.
+        """
+        processes = [
+            self.sim.process(program(runtime), name=f"splitc.node{runtime.node}")
+            for runtime in self.runtimes
+        ]
+        results = []
+        for process in processes:
+            results.append(self.sim.run_until_complete(process, limit=limit))
+        for am in self.ams:
+            am.shutdown()
+        return results
+
+    @property
+    def elapsed(self) -> float:
+        """Simulation time so far (microseconds)."""
+        return self.sim.now
+
+    def time_breakdown(self) -> List[dict]:
+        """Per-node cpu/net split (drives the paper's Figure 7)."""
+        return [
+            {
+                "node": rt.node,
+                "cpu_us": rt.compute_time,
+                "net_us": rt.comm_time,
+            }
+            for rt in self.runtimes
+        ]

@@ -1,0 +1,71 @@
+"""Computation cost models for the Split-C benchmark kernels.
+
+The paper's Section 5.2 analysis hinges on two machine facts — Pentium
+integer ops beat the SPARC's, SPARC floating point beats the Pentium's —
+and on each kernel's operation counts.  The constants below express each
+local phase of the benchmarks as integer-op / flop counts per element,
+which the runtime converts to time through the node's
+:class:`~repro.hw.cpu.CpuModel`.
+
+Operation counts are the textbook values for the kernels (Culler et al.,
+"Fast Parallel Sorting: from LogP to Split-C"): a radix-sort pass reads
+each key, extracts a digit and bumps a counter (~histogram), then moves
+the key (~permute); sample sort partitions by binary-searching splitters
+and ends with a local comparison sort.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["KernelCosts", "DEFAULT_COSTS"]
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Integer-op / flop counts per element for each benchmark phase."""
+
+    # radix sort, per key per pass
+    radix_histogram_ops: float = 6.0
+    radix_rank_ops: float = 8.0
+    # global-histogram arithmetic, per bucket
+    radix_scan_ops: float = 4.0
+    # sample sort
+    sample_select_ops: float = 3.0
+    partition_ops_per_probe: float = 4.0  # per key per log2(splitters) probe
+    #: the Split-C suite's local sort is itself a radix sort (Culler et
+    #: al.): a fixed number of passes, not an n log n comparison sort
+    local_sort_passes: int = 3
+    #: per-pair cost of the receiver-side indexed scatter in radix sort
+    scatter_ops_per_pair: float = 3.0
+    # matrix multiply: multiply-add = 2 flops
+    matmul_flops_per_madd: float = 2.0
+    # generic marshalling (per byte costs live in the CpuModel memcpy)
+
+    def radix_pass_ops(self, keys: int, buckets: int) -> float:
+        """Integer ops for one local radix pass over ``keys`` keys."""
+        return keys * (self.radix_histogram_ops + self.radix_rank_ops) + buckets * self.radix_scan_ops
+
+    def partition_ops(self, keys: int, splitters: int) -> float:
+        probes = max(1.0, math.log2(max(2, splitters)))
+        return keys * self.partition_ops_per_probe * probes
+
+    def local_sort_ops(self, keys: int) -> float:
+        if keys <= 1:
+            return float(keys)
+        per_pass = self.radix_histogram_ops + self.radix_rank_ops
+        return keys * self.local_sort_passes * per_pass
+
+    def matmul_flops(self, n: int, m: int, k: int) -> float:
+        """Flops for an (n x k) @ (k x m) block multiply-accumulate.
+
+        >>> DEFAULT_COSTS.matmul_flops(16, 16, 16)
+        8192.0
+        >>> DEFAULT_COSTS.local_sort_ops(1000) == 1000 * 3 * (6 + 8)
+        True
+        """
+        return self.matmul_flops_per_madd * n * m * k
+
+
+DEFAULT_COSTS = KernelCosts()

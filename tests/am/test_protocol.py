@@ -1,0 +1,91 @@
+"""Tests for the AM wire protocol and sequence arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.am import (
+    HEADER_SIZE,
+    SEQ_MOD,
+    TYPE_ACK,
+    TYPE_REPLY,
+    TYPE_REQUEST,
+    Packet,
+    decode,
+    encode,
+    seq_add,
+    seq_leq,
+    seq_lt,
+)
+
+
+def test_encode_decode_roundtrip():
+    p = Packet(type=TYPE_REQUEST, handler=7, seq=100, ack=50, req_seq=0,
+               args=(1, 2, 3, 4), data=b"payload")
+    q = decode(encode(p))
+    assert (q.type, q.handler, q.seq, q.ack, q.req_seq, q.args, q.data) == (
+        TYPE_REQUEST, 7, 100, 50, 0, (1, 2, 3, 4), b"payload")
+
+
+def test_header_size_fits_single_atm_cell_for_small_messages():
+    # a 2-integer radix-sort message must fit the ATM single-cell fast
+    # path (40 bytes) and the FE inline threshold (64 bytes)
+    assert HEADER_SIZE + 8 <= 40
+
+
+def test_args_padded_to_four():
+    p = Packet(type=TYPE_REPLY, args=(9,))
+    assert p.args == (9, 0, 0, 0)
+
+
+def test_decode_short_packet_rejected():
+    with pytest.raises(ValueError):
+        decode(b"\x01\x02")
+
+
+def test_decode_truncated_data_rejected():
+    p = Packet(type=TYPE_REQUEST, data=b"abcdef")
+    raw = encode(p)
+    with pytest.raises(ValueError):
+        decode(raw[:-2])
+
+
+def test_ack_packet_roundtrip():
+    p = Packet(type=TYPE_ACK, ack=999)
+    assert decode(encode(p)).ack == 999
+
+
+def test_seq_comparisons_without_wrap():
+    assert seq_lt(1, 2)
+    assert not seq_lt(2, 1)
+    assert not seq_lt(5, 5)
+    assert seq_leq(5, 5)
+
+
+def test_seq_comparisons_with_wrap():
+    near_top = SEQ_MOD - 2
+    assert seq_lt(near_top, 1)  # wrapped
+    assert not seq_lt(1, near_top)
+    assert seq_add(near_top, 5) == 3
+
+
+@given(
+    handler=st.integers(0, 255),
+    seq=st.integers(0, SEQ_MOD - 1),
+    ack=st.integers(0, SEQ_MOD - 1),
+    args=st.tuples(*[st.integers(0, 2**32 - 1)] * 4),
+    data=st.binary(max_size=1000),
+)
+@settings(max_examples=60)
+def test_property_roundtrip(handler, seq, ack, args, data):
+    p = Packet(type=TYPE_REQUEST, handler=handler, seq=seq, ack=ack, args=args, data=data)
+    q = decode(encode(p))
+    assert (q.handler, q.seq, q.ack, q.args, q.data) == (handler, seq, ack, args, data)
+
+
+@given(base=st.integers(0, SEQ_MOD - 1), delta=st.integers(1, SEQ_MOD // 2 - 1))
+@settings(max_examples=60)
+def test_property_seq_order_is_antisymmetric(base, delta):
+    later = seq_add(base, delta)
+    assert seq_lt(base, later)
+    assert not seq_lt(later, base)

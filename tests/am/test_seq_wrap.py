@@ -1,0 +1,81 @@
+"""Sequence-space wrap-around in live Active Messages traffic."""
+
+import pytest
+
+from repro.am import SEQ_MOD, AmEndpoint
+from repro.core import EndpointConfig
+from repro.ethernet import SwitchedNetwork
+from repro.hw import PENTIUM_120
+from repro.sim import Simulator
+
+CONFIG = EndpointConfig(num_buffers=128, buffer_size=2048,
+                        send_queue_depth=64, recv_queue_depth=128)
+
+
+def _pair(start_seq):
+    sim = Simulator()
+    net = SwitchedNetwork(sim)
+    h0 = net.add_host("n0", PENTIUM_120)
+    h1 = net.add_host("n1", PENTIUM_120)
+    ep0 = h0.create_endpoint(config=CONFIG, rx_buffers=48)
+    ep1 = h1.create_endpoint(config=CONFIG, rx_buffers=48)
+    ch0, ch1 = net.connect(ep0, ep1)
+    am0, am1 = AmEndpoint(0, ep0), AmEndpoint(1, ep1)
+    am0.connect_peer(1, ch0)
+    am1.connect_peer(0, ch1)
+    # place both sides of the a->b stream just below the wrap point
+    am0._peers_by_node[1].next_seq = start_seq
+    am1._peers_by_node[0].expected_seq = start_seq
+    return sim, am0, am1
+
+
+def test_stream_across_wrap_point():
+    sim, am0, am1 = _pair(SEQ_MOD - 5)
+    seen = []
+    am1.register_handler(1, lambda ctx: seen.append(ctx.args[0]))
+
+    def tx():
+        for i in range(20):  # crosses 65535 -> 0
+            yield from am0.request(1, 1, args=(i,))
+
+    sim.process(tx())
+    sim.run()
+    assert seen == list(range(20))
+    assert am0._peers_by_node[1].next_seq == (SEQ_MOD - 5 + 20) % SEQ_MOD
+    assert not am0._peers_by_node[1].unacked  # acks crossed the wrap too
+
+
+def test_rpc_across_wrap_point():
+    sim, am0, am1 = _pair(SEQ_MOD - 2)
+    am1.register_handler(2, lambda ctx: ctx.reply(args=(ctx.args[0] * 2,)))
+
+    def caller():
+        results = []
+        for i in range(6):
+            args, _data = yield from am0.rpc(1, 2, args=(i,))
+            results.append(args[0])
+        return results
+
+    assert sim.run_until_complete(sim.process(caller())) == [0, 2, 4, 6, 8, 10]
+
+
+def test_retransmission_across_wrap_point():
+    from repro.am import AmConfig
+    from repro.analysis import FrameFaultInjector
+    from repro.sim import RngRegistry
+
+    sim, am0, am1 = _pair(SEQ_MOD - 3)
+    am0.config = AmConfig(retransmit_timeout_us=300.0)
+    seen = []
+    am1.register_handler(1, lambda ctx: seen.append(ctx.args[0]))
+    injector = FrameFaultInjector(am1.user.host.backend, drop_rate=0.3,
+                                  rng=RngRegistry(21))
+
+    def tx():
+        for i in range(12):
+            yield from am0.request(1, 1, args=(i,))
+
+    sim.process(tx())
+    sim.run(until=5_000_000.0)
+    assert injector.dropped > 0
+    assert seen == list(range(12))

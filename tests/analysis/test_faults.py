@@ -1,0 +1,160 @@
+"""Tests for the fault-injection wrappers."""
+
+import pytest
+
+from repro.am import AmConfig, AmEndpoint
+from repro.analysis import CellFaultInjector, FrameFaultInjector
+from repro.atm import AtmNetwork
+from repro.core import EndpointConfig
+from repro.ethernet import HubNetwork
+from repro.hw import PENTIUM_120
+from repro.sim import RngRegistry, Simulator
+
+CONFIG = EndpointConfig(num_buffers=128, buffer_size=2048,
+                        send_queue_depth=64, recv_queue_depth=128)
+
+
+def _fe_am_pair(sim):
+    net = HubNetwork(sim)
+    h0 = net.add_host("n0", PENTIUM_120)
+    h1 = net.add_host("n1", PENTIUM_120)
+    ep0 = h0.create_endpoint(config=CONFIG, rx_buffers=48)
+    ep1 = h1.create_endpoint(config=CONFIG, rx_buffers=48)
+    ch0, ch1 = net.connect(ep0, ep1)
+    cfg = AmConfig(retransmit_timeout_us=300.0)
+    am0, am1 = AmEndpoint(0, ep0, config=cfg), AmEndpoint(1, ep1, config=cfg)
+    am0.connect_peer(1, ch0)
+    am1.connect_peer(0, ch1)
+    return am0, am1
+
+
+def test_frame_drops_are_deterministic_per_seed():
+    def run(seed):
+        sim = Simulator()
+        am0, am1 = _fe_am_pair(sim)
+        injector = FrameFaultInjector(am1.user.host.backend, drop_rate=0.3,
+                                      rng=RngRegistry(seed))
+        seen = []
+        am1.register_handler(1, lambda ctx: seen.append(ctx.args[0]))
+
+        def tx():
+            for i in range(20):
+                yield from am0.request(1, 1, args=(i,))
+
+        sim.process(tx())
+        sim.run(until=5_000_000.0)
+        return injector.dropped, seen
+
+    dropped_a, seen_a = run(42)
+    dropped_b, seen_b = run(42)
+    assert dropped_a == dropped_b > 0
+    assert seen_a == seen_b == list(range(20))  # reliability recovered
+
+
+def test_frame_injector_remove_restores_path():
+    sim = Simulator()
+    am0, am1 = _fe_am_pair(sim)
+    injector = FrameFaultInjector(am1.user.host.backend, drop_rate=1.0)
+    injector.remove()
+    seen = []
+    am1.register_handler(1, lambda ctx: seen.append(True))
+
+    def tx():
+        yield from am0.request(1, 1)
+
+    sim.process(tx())
+    sim.run(until=100_000.0)
+    assert seen == [True]
+    assert injector.dropped == 0
+
+
+def test_invalid_rates_rejected():
+    sim = Simulator()
+    am0, am1 = _fe_am_pair(sim)
+    with pytest.raises(ValueError):
+        FrameFaultInjector(am1.user.host.backend, drop_rate=1.5)
+
+
+def test_cell_corruption_detected_by_aal5_crc():
+    sim = Simulator()
+    net = AtmNetwork(sim)
+    h0 = net.add_host("n0", PENTIUM_120)
+    h1 = net.add_host("n1", PENTIUM_120)
+    ep0 = h0.create_endpoint(config=CONFIG, rx_buffers=48)
+    ep1 = h1.create_endpoint(config=CONFIG, rx_buffers=48)
+    ch0, ch1 = net.connect(ep0, ep1)
+    backend1 = ep1.host.backend
+    injector = CellFaultInjector(backend1, corrupt_rate=1.0)
+
+    def tx():
+        yield from ep0.send(ch0, b"m" * 300)
+
+    sim.process(tx())
+    sim.run()
+    assert injector.corrupted > 0
+    assert backend1.crc_errors >= 1  # the CRC caught every corrupted PDU
+    assert ep1.endpoint.recv_queue.is_empty
+
+
+def test_cell_loss_recovered_by_am():
+    sim = Simulator()
+    net = AtmNetwork(sim)
+    h0 = net.add_host("n0", PENTIUM_120)
+    h1 = net.add_host("n1", PENTIUM_120)
+    ep0 = h0.create_endpoint(config=CONFIG, rx_buffers=48)
+    ep1 = h1.create_endpoint(config=CONFIG, rx_buffers=48)
+    ch0, ch1 = net.connect(ep0, ep1)
+    cfg = AmConfig(retransmit_timeout_us=400.0)
+    am0, am1 = AmEndpoint(0, ep0, config=cfg), AmEndpoint(1, ep1, config=cfg)
+    am0.connect_peer(1, ch0)
+    am1.connect_peer(0, ch1)
+    injector = CellFaultInjector(am1.user.host.backend, drop_rate=0.15, rng=RngRegistry(9))
+    seen = []
+    am1.register_handler(1, lambda ctx: seen.append(ctx.args[0]))
+
+    def tx():
+        for i in range(15):
+            yield from am0.request(1, 1, args=(i,), data=b"d" * 200)
+
+    sim.process(tx())
+    sim.run(until=20_000_000.0)
+    assert injector.dropped > 0
+    assert seen == list(range(15))
+
+
+def test_chrome_trace_export():
+    from repro.analysis import trace_transfer
+
+    tx_span, rx_span = trace_transfer(40)
+    events = tx_span.to_chrome_events(pid=7, tid=3)
+    assert len(events) == len(tx_span.records)
+    first = events[0]
+    assert first["ph"] == "X"
+    assert first["pid"] == 7 and first["tid"] == 3
+    assert first["name"].startswith("trap entry")
+    import json
+
+    json.dumps(events)  # must be serializable
+
+
+def test_corrupted_frames_dropped_by_nic_crc_and_recovered():
+    from repro.am import AmConfig
+
+    sim = Simulator()
+    am0, am1 = _fe_am_pair(sim)
+    am0.config = AmConfig(retransmit_timeout_us=300.0)
+    injector = FrameFaultInjector(am1.user.host.backend, corrupt_rate=0.3,
+                                  rng=RngRegistry(5))
+    seen = []
+    am1.register_handler(1, lambda ctx: seen.append(ctx.args[0]))
+
+    def tx():
+        for i in range(15):
+            yield from am0.request(1, 1, args=(i,), data=b"c" * 100)
+
+    sim.process(tx())
+    sim.run(until=10_000_000.0)
+    nic = am1.user.host.backend.nic
+    assert injector.corrupted > 0
+    assert nic.rx_crc_drops == injector.corrupted  # hardware CRC caught all
+    assert seen == list(range(15))  # retransmission repaired the stream

@@ -1,0 +1,29 @@
+"""Tests for the reproduction self-check."""
+
+import pytest
+
+from repro.analysis import Claim, render_validation, validate_reproduction
+
+
+def test_all_headline_claims_pass():
+    claims = validate_reproduction()
+    failing = [c.name for c in claims if not c.passed]
+    assert not failing, f"claims out of tolerance: {failing}"
+    assert len(claims) >= 12
+
+
+def test_claim_pass_logic():
+    assert Claim("x", 100.0, 105.0, 0.10).passed
+    assert not Claim("x", 100.0, 120.0, 0.10).passed
+    assert Claim("zero", 0.0, 0.0, 0.1).passed
+
+
+def test_claim_deviation():
+    assert Claim("x", 100.0, 110.0, 0.2).deviation == pytest.approx(0.10)
+
+
+def test_render_marks_failures():
+    claims = [Claim("good", 10.0, 10.0, 0.1), Claim("bad", 10.0, 99.0, 0.1)]
+    text = render_validation(claims)
+    assert "1/2 claims" in text
+    assert "FAIL" in text

@@ -1,0 +1,72 @@
+"""Property tests of the counting-sort rank computation (pure function)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.radix_sort import compute_global_positions
+
+
+def _positions_for(all_digits, buckets):
+    """Run the rank computation for every node; return per-node arrays."""
+    nprocs = len(all_digits)
+    hist = np.zeros((nprocs, buckets), dtype=np.uint64)
+    for node, digits in enumerate(all_digits):
+        hist[node] = np.bincount(digits, minlength=buckets)
+    return [
+        compute_global_positions(np.asarray(digits, dtype=np.int64), hist, node)
+        for node, digits in enumerate(all_digits)
+    ]
+
+
+@given(
+    data=st.lists(
+        st.lists(st.integers(0, 7), min_size=1, max_size=40),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=60)
+def test_positions_form_a_permutation(data):
+    buckets = 8
+    per_node = _positions_for(data, buckets)
+    merged = np.concatenate(per_node)
+    total = sum(len(d) for d in data)
+    assert sorted(merged.tolist()) == list(range(total))
+
+
+@given(
+    data=st.lists(
+        st.lists(st.integers(0, 7), min_size=1, max_size=40),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=60)
+def test_positions_sort_by_bucket(data):
+    buckets = 8
+    per_node = _positions_for(data, buckets)
+    # placing digit d at its position yields a bucket-sorted array
+    total = sum(len(d) for d in data)
+    out = np.full(total, -1, dtype=np.int64)
+    for digits, positions in zip(data, per_node):
+        out[positions] = digits
+    assert np.all(np.diff(out) >= 0)
+
+
+def test_stability_within_bucket():
+    # two nodes, all keys in one bucket: node 0's keys come first,
+    # each node's keys keep local order
+    digits = [np.zeros(5, dtype=np.int64), np.zeros(3, dtype=np.int64)]
+    p0, p1 = _positions_for(digits, 4)
+    assert p0.tolist() == [0, 1, 2, 3, 4]
+    assert p1.tolist() == [5, 6, 7]
+
+
+def test_single_node_is_plain_counting_sort():
+    digits = np.array([3, 1, 3, 0, 2, 1], dtype=np.int64)
+    (positions,) = _positions_for([digits], 4)
+    out = np.empty(6, dtype=np.int64)
+    out[positions] = digits
+    assert out.tolist() == [0, 1, 1, 2, 3, 3]

@@ -1,0 +1,128 @@
+"""Tests for ATM cells and AAL5 segmentation/reassembly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atm import (
+    AAL5_MAX_PDU,
+    CELL_PAYLOAD_SIZE,
+    SINGLE_CELL_MAX_PAYLOAD,
+    Aal5CrcError,
+    Aal5Error,
+    Aal5LengthError,
+    Cell,
+    aal5_reassemble,
+    aal5_segment,
+    cells_for_pdu,
+)
+
+
+def test_cell_payload_must_be_48_bytes():
+    Cell(vci=32, payload=bytes(48))
+    with pytest.raises(ValueError):
+        Cell(vci=32, payload=bytes(47))
+    with pytest.raises(ValueError):
+        Cell(vci=32, payload=bytes(53))
+
+
+def test_cells_for_pdu_boundaries():
+    # up to 40 bytes (48 - 8 trailer) fits one cell
+    assert cells_for_pdu(0) == 1
+    assert cells_for_pdu(SINGLE_CELL_MAX_PAYLOAD) == 1
+    assert cells_for_pdu(SINGLE_CELL_MAX_PAYLOAD + 1) == 2
+    # 88 bytes + 8 trailer = 96 = 2 cells; 89 needs 3
+    assert cells_for_pdu(88) == 2
+    assert cells_for_pdu(89) == 3
+
+
+def test_cells_for_pdu_negative_rejected():
+    with pytest.raises(ValueError):
+        cells_for_pdu(-1)
+
+
+def test_segment_single_cell_message():
+    cells = aal5_segment(b"x" * 40, vci=33)
+    assert len(cells) == 1
+    assert cells[0].last
+    assert cells[0].vci == 33
+
+
+def test_segment_multi_cell_flags_only_last():
+    cells = aal5_segment(b"y" * 100, vci=40)
+    assert len(cells) == cells_for_pdu(100)
+    assert [c.last for c in cells] == [False] * (len(cells) - 1) + [True]
+
+
+def test_roundtrip_various_sizes():
+    for size in (0, 1, 39, 40, 41, 48, 96, 100, 1500, 4096):
+        payload = bytes((i * 7) % 256 for i in range(size))
+        assert aal5_reassemble(aal5_segment(payload, vci=50)) == payload
+
+
+def test_oversized_pdu_rejected():
+    with pytest.raises(ValueError):
+        aal5_segment(bytes(AAL5_MAX_PDU + 1), vci=32)
+
+
+def test_max_pdu_roundtrip():
+    payload = bytes(AAL5_MAX_PDU)
+    assert aal5_reassemble(aal5_segment(payload, vci=32)) == payload
+
+
+def test_crc_detects_payload_corruption():
+    cells = aal5_segment(b"z" * 100, vci=60)
+    corrupted = bytearray(cells[0].payload)
+    corrupted[10] ^= 0xFF
+    cells[0] = Cell(vci=60, payload=bytes(corrupted), last=cells[0].last, corrupted=True)
+    with pytest.raises(Aal5CrcError):
+        aal5_reassemble(cells)
+
+
+def test_lost_cell_detected_by_length():
+    cells = aal5_segment(b"w" * 200, vci=61)
+    with pytest.raises(Aal5LengthError):
+        aal5_reassemble(cells[:1] + cells[2:])  # drop a middle cell
+
+
+def test_misplaced_eop_detected():
+    cells = aal5_segment(b"v" * 100, vci=62)
+    cells[-1].last = False
+    with pytest.raises(Aal5Error):
+        aal5_reassemble(cells)
+
+
+def test_interleaved_vcis_detected():
+    a = aal5_segment(b"a" * 100, vci=70)
+    b = aal5_segment(b"b" * 100, vci=71)
+    with pytest.raises(Aal5Error):
+        aal5_reassemble([a[0], b[1], a[2]] if len(a) > 2 else [a[0], b[-1]])
+
+
+def test_empty_cell_list_rejected():
+    with pytest.raises(Aal5Error):
+        aal5_reassemble([])
+
+
+@given(payload=st.binary(min_size=0, max_size=5000), vci=st.integers(32, 1023))
+@settings(max_examples=80)
+def test_property_roundtrip(payload, vci):
+    cells = aal5_segment(payload, vci)
+    assert len(cells) == cells_for_pdu(len(payload))
+    assert all(len(c.payload) == CELL_PAYLOAD_SIZE for c in cells)
+    assert aal5_reassemble(cells) == payload
+
+
+@given(payload=st.binary(min_size=1, max_size=500), flip_byte=st.integers(0, 10_000))
+@settings(max_examples=50)
+def test_property_single_bit_corruption_always_detected(payload, flip_byte):
+    cells = aal5_segment(payload, vci=99)
+    total = len(cells) * CELL_PAYLOAD_SIZE
+    pos = flip_byte % total
+    target = pos // CELL_PAYLOAD_SIZE
+    offset = pos % CELL_PAYLOAD_SIZE
+    body = bytearray(cells[target].payload)
+    body[offset] ^= 0x01
+    cells[target] = Cell(vci=99, payload=bytes(body), last=cells[target].last, corrupted=True)
+    with pytest.raises(Aal5Error):
+        aal5_reassemble(cells)

@@ -1,0 +1,142 @@
+"""Tests for ATM PHY link models and the ASX-200 switch."""
+
+import pytest
+
+from repro.atm import (
+    ASX200_FORWARD_US,
+    OC3_SONET,
+    TAXI_140,
+    AtmSwitch,
+    Cell,
+    CellLink,
+    aal5_segment,
+)
+from repro.sim import Simulator
+
+
+def _cell(vci=32, last=True):
+    return Cell(vci=vci, payload=bytes(48), last=last)
+
+
+# ---------------------------------------------------------------- phy
+
+
+def test_oc3_effective_rates():
+    # SONET leaves 149.76 Mb/s for cells; payload ceiling ~135.6 Mb/s
+    assert OC3_SONET.cell_rate_mbps == pytest.approx(149.76)
+    assert OC3_SONET.max_payload_mbps == pytest.approx(135.6, rel=0.01)
+    assert OC3_SONET.cell_time_us == pytest.approx(53 * 8 / 149.76)
+
+
+def test_taxi_effective_rates():
+    assert TAXI_140.cell_rate_mbps == pytest.approx(140.0)
+    assert TAXI_140.max_payload_mbps == pytest.approx(126.8, rel=0.01)
+
+
+def test_link_serializes_cells_back_to_back():
+    sim = Simulator()
+    link = CellLink(sim, TAXI_140, propagation_us=0.0)
+    arrivals = []
+    link.deliver = lambda cell: arrivals.append(sim.now)
+    link.submit(_cell())
+    link.submit(_cell())
+    sim.run()
+    assert arrivals[0] == pytest.approx(TAXI_140.cell_time_us)
+    assert arrivals[1] - arrivals[0] == pytest.approx(TAXI_140.cell_time_us)
+
+
+def test_link_propagation_and_framer_latency():
+    sim = Simulator()
+    link = CellLink(sim, OC3_SONET, propagation_us=1.0)
+    arrivals = []
+    link.deliver = lambda cell: arrivals.append(sim.now)
+    link.submit(_cell())
+    sim.run()
+    expected = OC3_SONET.cell_time_us + 1.0 + OC3_SONET.framer_latency_us
+    assert arrivals == [pytest.approx(expected)]
+
+
+def test_link_counts_cells():
+    sim = Simulator()
+    link = CellLink(sim, TAXI_140)
+    link.deliver = lambda cell: None
+    for _ in range(5):
+        link.submit(_cell())
+    sim.run()
+    assert link.cells_carried == 5
+
+
+# ---------------------------------------------------------------- switch
+
+
+def _switch_with_two_ports(sim):
+    switch = AtmSwitch(sim)
+    out0 = CellLink(sim, TAXI_140, propagation_us=0.0, name="out0")
+    out1 = CellLink(sim, TAXI_140, propagation_us=0.0, name="out1")
+    switch.attach_port(0, out0)
+    switch.attach_port(1, out1)
+    return switch, out0, out1
+
+
+def test_switch_routes_by_vci():
+    sim = Simulator()
+    switch, out0, out1 = _switch_with_two_ports(sim)
+    switch.program_route(100, 0)
+    switch.program_route(101, 1)
+    got0, got1 = [], []
+    out0.deliver = lambda c: got0.append(c.vci)
+    out1.deliver = lambda c: got1.append(c.vci)
+    switch.on_cell(_cell(vci=100))
+    switch.on_cell(_cell(vci=101))
+    sim.run()
+    assert got0 == [100]
+    assert got1 == [101]
+    assert switch.cells_forwarded == 2
+
+
+def test_switch_forwarding_latency_is_7us():
+    sim = Simulator()
+    switch, out0, _ = _switch_with_two_ports(sim)
+    switch.program_route(100, 0)
+    arrivals = []
+    out0.deliver = lambda c: arrivals.append(sim.now)
+    switch.on_cell(_cell(vci=100))
+    sim.run()
+    assert arrivals == [pytest.approx(ASX200_FORWARD_US + TAXI_140.cell_time_us)]
+
+
+def test_switch_drops_unknown_vci():
+    sim = Simulator()
+    switch, out0, _ = _switch_with_two_ports(sim)
+    out0.deliver = lambda c: pytest.fail("cell must not be delivered")
+    switch.on_cell(_cell(vci=999))
+    sim.run()
+    assert switch.unknown_vci_drops == 1
+    assert switch.cells_forwarded == 0
+
+
+def test_switch_route_to_missing_port_rejected():
+    sim = Simulator()
+    switch, _, _ = _switch_with_two_ports(sim)
+    with pytest.raises(ValueError):
+        switch.program_route(100, 7)
+
+
+def test_switch_duplicate_port_rejected():
+    sim = Simulator()
+    switch, out0, _ = _switch_with_two_ports(sim)
+    with pytest.raises(ValueError):
+        switch.attach_port(0, out0)
+
+
+def test_switch_preserves_cell_order_per_vci():
+    sim = Simulator()
+    switch, out0, _ = _switch_with_two_ports(sim)
+    switch.program_route(100, 0)
+    seen = []
+    out0.deliver = lambda c: seen.append(c.last)
+    for cell in aal5_segment(b"q" * 200, vci=100):
+        switch.on_cell(cell)
+    sim.run()
+    assert seen[-1] is True
+    assert all(flag is False for flag in seen[:-1])

@@ -1,0 +1,76 @@
+"""The SBus-based SBA-200 variant (the paper's Split-C ATM hardware)."""
+
+import pytest
+
+from repro.atm import SBA200_TIMINGS, AtmNetwork
+from repro.hw import SBUS, SPARCSTATION_20
+from repro.sim import Simulator
+
+
+def _pair(bus=None, timings=None):
+    sim = Simulator()
+    net = AtmNetwork(sim)
+    kwargs = {}
+    if bus is not None:
+        kwargs["bus"] = bus
+    if timings is not None:
+        kwargs["timings"] = timings
+    h1 = net.add_host("h1", SPARCSTATION_20, **kwargs)
+    h2 = net.add_host("h2", SPARCSTATION_20, **kwargs)
+    ep1 = h1.create_endpoint(rx_buffers=32)
+    ep2 = h2.create_endpoint(rx_buffers=32)
+    ch1, ch2 = net.connect(ep1, ep2)
+    return sim, ep1, ep2, ch1, ch2
+
+
+def _rtt(sim, ep1, ep2, ch1, ch2, size):
+    def ponger():
+        while True:
+            msg = yield from ep2.recv()
+            yield from ep2.send(ch2, msg.data)
+
+    def pinger():
+        last = 0.0
+        for _ in range(3):
+            t0 = sim.now
+            yield from ep1.send(ch1, b"x" * size)
+            yield from ep1.recv()
+            last = sim.now - t0
+        return last
+
+    sim.process(ponger())
+    return sim.run_until_complete(sim.process(pinger()))
+
+
+def test_sba200_delivers_correctly():
+    sim, ep1, ep2, ch1, ch2 = _pair(bus=SBUS, timings=SBA200_TIMINGS)
+
+    def tx():
+        yield from ep1.send(ch1, b"sbus adapter" * 50)
+
+    sim.process(tx())
+
+    def rx():
+        return (yield from ep2.recv())
+
+    msg = sim.run_until_complete(sim.process(rx()))
+    assert msg.data == b"sbus adapter" * 50
+
+
+def test_sba200_slower_than_pca200_for_bulk():
+    """SBus's 32-byte bursts and lower bandwidth show on large messages."""
+    sim, ep1, ep2, ch1, ch2 = _pair()  # PCA-200 defaults (PCI)
+    pci_rtt = _rtt(sim, ep1, ep2, ch1, ch2, 1400)
+    sim, ep1, ep2, ch1, ch2 = _pair(bus=SBUS, timings=SBA200_TIMINGS)
+    sbus_rtt = _rtt(sim, ep1, ep2, ch1, ch2, 1400)
+    assert sbus_rtt > pci_rtt + 20.0
+
+
+def test_sba200_small_message_gap_is_modest():
+    """'largely identical' (Section 5): the single-cell path differs
+    little between the adapters."""
+    sim, ep1, ep2, ch1, ch2 = _pair()
+    pci_rtt = _rtt(sim, ep1, ep2, ch1, ch2, 40)
+    sim, ep1, ep2, ch1, ch2 = _pair(bus=SBUS, timings=SBA200_TIMINGS)
+    sbus_rtt = _rtt(sim, ep1, ep2, ch1, ch2, 40)
+    assert sbus_rtt == pytest.approx(pci_rtt, rel=0.10)

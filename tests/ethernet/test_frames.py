@@ -1,0 +1,73 @@
+"""Tests for Ethernet framing and wire-time accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ethernet import (
+    ETH_MIN_PAYLOAD,
+    UNET_FE_HEADER_SIZE,
+    UNET_FE_MAX_PDU,
+    EthernetFrame,
+    wire_time_us,
+)
+
+
+def _frame(payload, dst_port=1, src_port=2):
+    return EthernetFrame(dst_mac=1, src_mac=2, dst_port=dst_port, src_port=src_port, payload=payload)
+
+
+def test_40_byte_message_is_60_byte_frame():
+    # Paper Fig. 3: "a 40 byte message (60 bytes with the Ethernet and
+    # U-Net headers)" — 14-byte header + padded 46-byte minimum payload.
+    frame = _frame(b"x" * 40)
+    assert frame.frame_bytes == 60
+
+
+def test_100_byte_message_is_116_byte_frame():
+    # Paper Fig. 4: 100-byte message = 116-byte frame
+    frame = _frame(b"x" * 100)
+    assert frame.frame_bytes == 116
+
+
+def test_max_pdu_is_1498():
+    # Paper Section 4.4.2: "1498 bytes, the maximum PDU supported by U-Net/FE"
+    assert UNET_FE_MAX_PDU == 1498
+    _frame(b"x" * 1498)  # accepted
+    with pytest.raises(ValueError):
+        _frame(b"x" * 1499)
+
+
+def test_minimum_frame_padding():
+    assert _frame(b"").frame_payload_bytes == ETH_MIN_PAYLOAD
+    assert _frame(b"x" * 44).frame_payload_bytes == ETH_MIN_PAYLOAD
+    assert _frame(b"x" * 45).frame_payload_bytes == 45 + UNET_FE_HEADER_SIZE
+
+
+def test_wire_time_includes_preamble_and_ifg():
+    frame = _frame(b"x" * 40)
+    # 8 preamble + 60 frame + 4 CRC + 12 IFG = 84 bytes at 100 Mb/s
+    assert frame.wire_bytes == 84
+    assert wire_time_us(frame) == pytest.approx(84 * 8 / 100.0)
+
+
+def test_full_size_frame_wire_time():
+    frame = _frame(b"x" * 1498)
+    assert frame.wire_bytes == 8 + 14 + 1500 + 4 + 12
+    assert wire_time_us(frame) == pytest.approx(123.04)
+
+
+def test_port_range_enforced():
+    with pytest.raises(ValueError):
+        _frame(b"x", dst_port=256)
+    with pytest.raises(ValueError):
+        _frame(b"x", src_port=-1)
+
+
+@given(size=st.integers(0, UNET_FE_MAX_PDU))
+@settings(max_examples=60)
+def test_property_wire_bytes_bounds(size):
+    frame = _frame(b"a" * size)
+    assert 84 <= frame.wire_bytes <= 1538
+    # wire time is monotone in payload size past the minimum frame
+    assert wire_time_us(frame) >= wire_time_us(_frame(b""))

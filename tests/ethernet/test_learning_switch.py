@@ -1,0 +1,81 @@
+"""Transparent-bridge (learning) mode of the Ethernet switch."""
+
+import pytest
+
+from repro.ethernet import BAY_28115, Dc21140, EthernetFrame, EthernetSwitch, TxRingDescriptor
+from repro.sim import Simulator
+
+
+def _setup(n=3):
+    sim = Simulator()
+    switch = EthernetSwitch(sim, BAY_28115, learning=True)
+    nics = []
+    for i in range(n):
+        nic = Dc21140(sim, mac=100 + i, name=f"nic{i}")
+        nic.attach(switch.attach(mac=100 + i))
+        nics.append(nic)
+    return sim, switch, nics
+
+
+def _send(nic, dst, payload=b"x" * 40):
+    nic.tx_ring.push(TxRingDescriptor(frame=EthernetFrame(
+        dst_mac=dst, src_mac=nic.mac, dst_port=1, src_port=1, payload=payload)))
+    nic.poll_demand()
+
+
+def test_unknown_destination_floods_all_ports():
+    sim, switch, nics = _setup()
+    _send(nics[0], dst=102)
+    sim.run()
+    assert switch.frames_flooded == 1
+    # only the addressed NIC accepted it (hardware MAC filter)
+    assert nics[2].frames_received == 1
+    assert nics[1].frames_received == 0
+
+
+def test_source_learned_from_first_frame():
+    sim, switch, nics = _setup()
+    assert not switch.knows(100)
+    _send(nics[0], dst=102)
+    sim.run()
+    assert switch.knows(100)  # learned the sender's port
+    # the reply travels unicast, no flood
+    _send(nics[2], dst=100)
+    sim.run()
+    assert switch.frames_flooded == 1  # unchanged
+    assert switch.frames_forwarded == 1
+    assert nics[0].frames_received == 1
+
+
+def test_learned_topology_converges():
+    sim, switch, nics = _setup()
+    # everyone talks once: afterwards every MAC is known
+    _send(nics[0], dst=101)
+    sim.run()
+    _send(nics[1], dst=100)
+    sim.run()
+    _send(nics[2], dst=100)
+    sim.run()
+    assert all(switch.knows(100 + i) for i in range(3))
+    before = switch.frames_flooded
+    _send(nics[0], dst=102)
+    sim.run()
+    assert switch.frames_flooded == before  # pure unicast from here on
+
+
+def test_frame_back_to_ingress_port_dropped():
+    sim, switch, nics = _setup()
+    _send(nics[0], dst=101)
+    sim.run()
+    # a stale/self-addressed frame toward its own port is filtered
+    _send(nics[0], dst=100)
+    sim.run()
+    assert switch.unknown_mac_drops == 1
+
+
+def test_static_mode_unchanged_by_default():
+    sim = Simulator()
+    switch = EthernetSwitch(sim, BAY_28115)
+    assert not switch.learning
+    link = switch.attach(mac=7)
+    assert switch.knows(7)  # statically programmed at attach

@@ -1,0 +1,67 @@
+"""Tests for CPU cost models and their paper-calibrated constants."""
+
+import pytest
+
+from repro.hw import I960_25, PENTIUM_90, PENTIUM_120, SPARCSTATION_10, SPARCSTATION_20
+
+
+def test_pentium_copy_slope_matches_paper():
+    # Paper: "the copy time increases by 1.42us for every additional 100 bytes"
+    p = PENTIUM_120
+    slope = p.copy_time(200) - p.copy_time(100)
+    assert slope == pytest.approx(1.42, rel=0.02)
+
+
+def test_pentium_null_trap_under_1us():
+    # Paper: "requiring under 1us for a null trap on a 120 Mhz Pentium"
+    p = PENTIUM_120
+    assert p.trap_entry_us + p.trap_return_us < 1.0
+
+
+def test_copy_time_zero_bytes_is_free():
+    assert PENTIUM_120.copy_time(0) == 0.0
+    assert PENTIUM_120.copy_time(-5) == 0.0
+
+
+def test_copy_time_monotone_in_size():
+    p = PENTIUM_120
+    times = [p.copy_time(n) for n in (1, 40, 100, 500, 1500)]
+    assert times == sorted(times)
+    assert times[0] > 0
+
+
+def test_cycles_scaling():
+    assert PENTIUM_120.cycles(120) == pytest.approx(1.0)
+    assert I960_25.cycles(25) == pytest.approx(1.0)
+
+
+def test_pentium_integer_beats_sparc():
+    # Paper Section 5.2: "Pentium integer operations outperform those of the SPARC"
+    assert PENTIUM_120.int_op_time(1000) < SPARCSTATION_20.int_op_time(1000)
+    assert PENTIUM_90.int_op_time(1000) < SPARCSTATION_10.int_op_time(1000)
+
+
+def test_sparc_float_beats_pentium():
+    # Paper Section 5.2: "SPARC floating-point operations outperform those of the Pentium"
+    assert SPARCSTATION_20.flop_time(1000) < PENTIUM_120.flop_time(1000)
+    assert SPARCSTATION_10.flop_time(1000) < PENTIUM_90.flop_time(1000)
+
+
+def test_i960_much_slower_than_host():
+    # Paper: "The i960 co-processor ... is significantly slower than the Pentium host"
+    assert I960_25.int_ops_per_us < PENTIUM_120.int_ops_per_us / 3
+    assert I960_25.memcpy_mbytes_per_s < PENTIUM_120.memcpy_mbytes_per_s
+
+
+def test_scaled_variant():
+    fast = PENTIUM_120.scaled(2.0)
+    assert fast.clock_mhz == pytest.approx(240.0)
+    assert fast.trap_entry_us == pytest.approx(PENTIUM_120.trap_entry_us / 2)
+    assert fast.copy_time(1000) < PENTIUM_120.copy_time(1000)
+    # original is unchanged (frozen dataclass)
+    assert PENTIUM_120.clock_mhz == 120.0
+
+
+def test_pentium_90_slower_than_120():
+    assert PENTIUM_90.copy_time(1000) > PENTIUM_120.copy_time(1000)
+    assert PENTIUM_90.int_op_time(100) > PENTIUM_120.int_op_time(100)

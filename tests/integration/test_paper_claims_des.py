@@ -1,0 +1,56 @@
+"""Section 5.2's qualitative claims checked in the event-level simulator.
+
+Table 1's full-scale numbers come from the analytic model; these tests
+confirm the *same qualitative structure* emerges from the pure DES at
+reduced scale, independent of the analytic formulas.
+"""
+
+import pytest
+
+from repro.apps import MatmulConfig, RadixConfig, run_matmul, run_radix_sort
+from repro.splitc import Cluster
+
+KEYS = 1536
+NODES = 4
+
+
+def _radix(substrate, small):
+    cluster = Cluster(NODES, substrate=substrate)
+    result = run_radix_sort(cluster, RadixConfig(keys_per_node=KEYS, small_messages=small))
+    cpu = sum(result.per_node_cpu_us)
+    net = sum(result.per_node_net_us)
+    return result.elapsed_us, cpu, net
+
+
+def test_small_message_radix_is_network_dominated_in_des():
+    for substrate in ("fe-switch", "atm"):
+        _elapsed, cpu, net = _radix(substrate, small=True)
+        assert net > 4 * cpu  # "dominated by network time"
+
+
+def test_small_messages_cost_more_than_bulk_in_des():
+    for substrate in ("fe-switch", "atm"):
+        small, _c, _n = _radix(substrate, True)
+        large, _c, _n = _radix(substrate, False)
+        assert small > 1.5 * large
+
+
+def test_fe_beats_atm_for_small_message_radix_in_des():
+    fe, _c, _n = _radix("fe-switch", True)
+    atm, _c, _n = _radix("atm", True)
+    assert fe < atm  # Section 5.2: FE wins the small-message sorts
+
+
+def test_matmul_is_compute_dominated_in_des():
+    cluster = Cluster(NODES, substrate="atm")
+    result = run_matmul(cluster, MatmulConfig(blocks=4, block_size=32))
+    cpu = sum(result.per_node_cpu_us)
+    net = sum(result.per_node_net_us)
+    assert cpu > net
+
+
+def test_benchmarks_scale_with_nodes_in_des():
+    cfg = MatmulConfig(blocks=4, block_size=16)
+    t2 = run_matmul(Cluster(2, substrate="fe-switch"), cfg).elapsed_us
+    t4 = run_matmul(Cluster(4, substrate="fe-switch"), cfg).elapsed_us
+    assert t4 < t2  # fixed problem size: more nodes, less time

@@ -1,0 +1,44 @@
+"""Tests for the Table-1 sensitivity analysis."""
+
+import pytest
+
+from repro.apps import PAPER_MM_128, RadixConfig, SampleConfig
+from repro.hw import SPARCSTATION_10, SPARCSTATION_20
+from repro.perfmodel import (
+    int_ratio_flip_point,
+    project_matmul,
+    project_radix,
+    project_sample,
+    projection_gap,
+    scaled_int_cpus,
+)
+
+K = 512 * 1024
+
+
+def test_scaled_int_cpus_only_touch_integer_rate():
+    scaled = scaled_int_cpus([SPARCSTATION_20, SPARCSTATION_10], 2.0)
+    assert scaled[0].int_ops_per_us == SPARCSTATION_20.int_ops_per_us * 2
+    assert scaled[0].flops_per_us == SPARCSTATION_20.flops_per_us
+    assert scaled[0].memcpy_mbytes_per_s == SPARCSTATION_20.memcpy_mbytes_per_s
+    # originals untouched (frozen dataclasses)
+    assert SPARCSTATION_20.int_ops_per_us == 58.0
+
+
+def test_projection_gap_monotone_in_factor():
+    cfg = SampleConfig(K, False)
+    gaps = [projection_gap(project_sample, cfg, 8, f) for f in (0.8, 1.0, 1.2)]
+    assert gaps[0] < gaps[1] < gaps[2]  # faster SPARC -> ATM gains
+
+
+def test_flip_point_brackets_the_tie():
+    cfg = SampleConfig(K, False)
+    flip = int_ratio_flip_point(project_sample, cfg, 8)
+    assert 0.5 < flip < 2.0
+    assert projection_gap(project_sample, cfg, 8, flip) == pytest.approx(0.0, abs=0.01)
+
+
+def test_flip_point_infinite_when_no_crossing():
+    assert int_ratio_flip_point(project_matmul, PAPER_MM_128, 8) == float("-inf")
+    flip = int_ratio_flip_point(project_radix, RadixConfig(K, True), 8)
+    assert flip == float("inf") or flip > 1.5

@@ -1,0 +1,147 @@
+"""Property-based tests of the simulation kernel's data structures."""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.sim import BoundedRing, RingEmptyError, RingFullError, Simulator, Store
+
+
+class RingMachine(RuleBasedStateMachine):
+    """BoundedRing behaves like a bounded deque."""
+
+    def __init__(self):
+        super().__init__()
+        self.capacity = 8
+        self.ring = BoundedRing(self.capacity)
+        self.model = deque()
+        self.counter = 0
+
+    @rule()
+    def push(self):
+        self.counter += 1
+        if len(self.model) >= self.capacity:
+            try:
+                self.ring.push(self.counter)
+                raise AssertionError("push on full ring must fail")
+            except RingFullError:
+                pass
+        else:
+            self.ring.push(self.counter)
+            self.model.append(self.counter)
+
+    @rule()
+    def try_push(self):
+        self.counter += 1
+        ok = self.ring.try_push(self.counter)
+        assert ok == (len(self.model) < self.capacity)
+        if ok:
+            self.model.append(self.counter)
+
+    @rule()
+    def pop(self):
+        if self.model:
+            assert self.ring.pop() == self.model.popleft()
+        else:
+            try:
+                self.ring.pop()
+                raise AssertionError("pop on empty ring must fail")
+            except RingEmptyError:
+                pass
+
+    @rule()
+    def try_pop(self):
+        got = self.ring.try_pop()
+        expected = self.model.popleft() if self.model else None
+        assert got == expected
+
+    @rule()
+    def peek(self):
+        expected = self.model[0] if self.model else None
+        assert self.ring.peek() == expected
+
+    @rule()
+    def drain(self):
+        assert self.ring.drain() == list(self.model)
+        self.model.clear()
+
+    @invariant()
+    def lengths_agree(self):
+        assert len(self.ring) == len(self.model)
+        assert self.ring.is_empty == (not self.model)
+        assert self.ring.is_full == (len(self.model) == self.capacity)
+        assert self.ring.free_slots == self.capacity - len(self.model)
+
+
+TestRingMachine = RingMachine.TestCase
+
+
+@given(items=st.lists(st.integers(), max_size=40), capacity=st.integers(1, 10))
+@settings(max_examples=50)
+def test_store_preserves_fifo_order(items, capacity):
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == items
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_engine_fires_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+
+    def waiter(delay):
+        yield sim.timeout(delay)
+        fired.append(sim.now)
+
+    for delay in delays:
+        sim.process(waiter(delay))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(
+    rounds=st.integers(1, 5),
+    hold=st.floats(min_value=0.1, max_value=10.0),
+    users=st.integers(2, 6),
+)
+@settings(max_examples=30)
+def test_resource_mutual_exclusion(rounds, hold, users):
+    from repro.sim import Resource
+
+    sim = Simulator()
+    lock = Resource(sim, capacity=1)
+    active = {"count": 0, "max": 0}
+
+    def user():
+        for _ in range(rounds):
+            yield lock.acquire()
+            active["count"] += 1
+            active["max"] = max(active["max"], active["count"])
+            yield sim.timeout(hold)
+            active["count"] -= 1
+            lock.release()
+
+    for _ in range(users):
+        sim.process(user())
+    sim.run()
+    assert active["max"] == 1  # never two holders
+    assert sim.now >= rounds * users * hold - 1e-9  # fully serialized

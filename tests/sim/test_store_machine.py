@@ -1,0 +1,77 @@
+"""Stateful property test of the bounded Store against a queue model."""
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.sim import Simulator, Store
+
+
+class StoreMachine(RuleBasedStateMachine):
+    """Drive a capacity-3 Store with put/get processes and compare to a
+    reference model: FIFO order, blocking puts beyond capacity, blocking
+    gets on empty."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.store = Store(self.sim, capacity=3)
+        self.model = deque()
+        self.pending_puts = deque()  # values whose put() is still blocked
+        self.received = []
+        self.expected = []
+        self.counter = 0
+
+    def _settle(self):
+        self.sim.run()
+
+    @rule()
+    def put(self):
+        self.counter += 1
+        value = self.counter
+
+        def putter(v=value):
+            yield self.store.put(v)
+
+        self.sim.process(putter())
+        # model: value enters the queue (or the blocked-putter line)
+        if len(self.model) < 3:
+            self.model.append(value)
+        else:
+            self.pending_puts.append(value)
+        self.expected.append(value)
+        self._settle()
+
+    @rule()
+    def get(self):
+        def getter():
+            value = yield self.store.get()
+            self.received.append(value)
+
+        self.sim.process(getter())
+        if self.model:
+            self.model.popleft()
+            if self.pending_puts:
+                self.model.append(self.pending_puts.popleft())
+        elif self.pending_puts:
+            # a blocked putter satisfies the getter directly
+            self.pending_puts.popleft()
+        else:
+            # getter blocks until a future put; account lazily
+            self.model.append(None)  # marker: one outstanding getter
+            self.model.popleft()
+        self._settle()
+
+    @invariant()
+    def received_is_fifo_prefix(self):
+        self._settle()
+        assert self.received == self.expected[: len(self.received)]
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.store) <= 3
+
+
+StoreMachine.TestCase.settings = settings(max_examples=40, deadline=None)
+TestStoreMachine = StoreMachine.TestCase

@@ -1,0 +1,107 @@
+"""Tests for trace recording and deterministic RNG streams."""
+
+import pytest
+
+from repro.sim import RngRegistry, TraceRecorder
+from repro.sim.trace import Timeline
+
+
+def _record_handler(tr, base, steps, category="tx"):
+    t = base
+    for index, (label, dur) in enumerate(steps):
+        tr.record(t, dur, category, label, begin=(index == 0))
+        t += dur
+    return t
+
+
+def test_trace_records_and_categories():
+    tr = TraceRecorder()
+    tr.record(0.0, 1.0, "tx", "trap entry")
+    tr.record(1.0, 2.0, "rx", "interrupt entry")
+    assert len(tr.by_category("tx")) == 1
+    assert len(tr.by_category("rx")) == 1
+    assert tr.by_category("tx")[0].end == 1.0
+
+
+def test_trace_disabled_recorder_records_nothing():
+    tr = TraceRecorder(enabled=False)
+    tr.record(0.0, 1.0, "tx", "step")
+    assert tr.records == []
+
+
+def test_trace_span_grouping():
+    tr = TraceRecorder()
+    _record_handler(tr, 0.0, [("a", 1.0), ("b", 2.0)])
+    _record_handler(tr, 10.0, [("a", 1.5), ("b", 0.5)])
+    spans = list(tr.spans("tx"))
+    assert len(spans) == 2
+    assert spans[0].total == pytest.approx(3.0)
+    assert spans[1].total == pytest.approx(2.0)
+    last = tr.last_span("tx")
+    assert last is not None and last.start == 10.0
+
+
+def test_timeline_steps_offsets():
+    tr = TraceRecorder()
+    _record_handler(tr, 5.0, [("a", 1.0), ("b", 2.0), ("c", 0.5)])
+    span = tr.last_span("tx")
+    steps = span.steps()
+    assert [s.label for s in steps] == ["a", "b", "c"]
+    assert steps[0].offset == 0.0
+    assert steps[1].offset == pytest.approx(1.0)
+    assert steps[2].offset == pytest.approx(3.0)
+    assert span.total == pytest.approx(3.5)
+
+
+def test_timeline_render_mentions_steps_and_total():
+    tr = TraceRecorder()
+    _record_handler(tr, 0.0, [("trap entry", 0.6), ("send", 1.4)])
+    text = tr.last_span("tx").render(title="TX timeline")
+    assert "TX timeline" in text
+    assert "trap entry" in text
+    assert "total" in text
+    assert "2.00us" in text
+
+
+def test_timeline_empty_rejected():
+    with pytest.raises(ValueError):
+        Timeline("tx", [])
+
+
+def test_trace_clear():
+    tr = TraceRecorder()
+    tr.record(0.0, 1.0, "tx", "x")
+    tr.clear()
+    assert tr.records == []
+
+
+def test_rng_streams_independent_and_deterministic():
+    a = RngRegistry(seed_a := 1234)
+    b = RngRegistry(seed_a)
+    seq_a = [a.stream("backoff").random() for _ in range(5)]
+    seq_b = [b.stream("backoff").random() for _ in range(5)]
+    assert seq_a == seq_b
+    # a different stream name gives a different sequence
+    other = [b.stream("loss").random() for _ in range(5)]
+    assert other != seq_a
+
+
+def test_rng_stream_isolation_from_creation_order():
+    r1 = RngRegistry(7)
+    r2 = RngRegistry(7)
+    # interleave creation differently; named streams must not be affected
+    r1.stream("x")
+    v1 = r1.stream("y").random()
+    v2 = r2.stream("y").random()
+    assert v1 == v2
+
+
+def test_rng_reset_restarts_streams():
+    reg = RngRegistry(42)
+    first = reg.stream("s").random()
+    reg.reset()
+    assert reg.stream("s").random() == first
+
+
+def test_rng_different_master_seeds_differ():
+    assert RngRegistry(1).stream("s").random() != RngRegistry(2).stream("s").random()

@@ -1,0 +1,55 @@
+"""Meta-tests: the repository delivers what DESIGN.md promises."""
+
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+EXPECTED_BENCHMARKS = [
+    "test_fig3_tx_timeline.py",
+    "test_fig4_rx_timeline.py",
+    "test_fig5_roundtrip.py",
+    "test_fig6_bandwidth.py",
+    "test_table1_splitc.py",
+    "test_table2_speedup.py",
+    "test_fig7_relative.py",
+    "test_overheads.py",
+    "test_ablation_smallmsg.py",
+    "test_ablation_contention.py",
+    "test_ablation_analytic.py",
+    "test_ablation_ip_encap.py",
+    "test_ablation_scalability.py",
+    "test_ablation_window.py",
+    "test_ablation_host_speed.py",
+    "test_ablation_overlap.py",
+    "test_ablation_bonding.py",
+    "test_ablation_radix_bits.py",
+    "test_ablation_sensitivity.py",
+]
+
+
+def test_every_table_and_figure_has_a_benchmark():
+    present = {p.name for p in (ROOT / "benchmarks").glob("test_*.py")}
+    missing = [name for name in EXPECTED_BENCHMARKS if name not in present]
+    assert not missing, f"missing benchmark files: {missing}"
+
+
+def test_documentation_set_complete():
+    for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "CALIBRATION.md",
+                "TUTORIAL.md", "LICENSE"):
+        path = ROOT / doc
+        assert path.exists() and path.stat().st_size > 500, doc
+
+
+def test_at_least_three_examples():
+    examples = list((ROOT / "examples").glob("*.py"))
+    assert len(examples) >= 3
+    for example in examples:
+        text = example.read_text()
+        assert '__main__' in text, f"{example.name} is not runnable"
+        assert text.lstrip().startswith(('#!/usr/bin/env python3', '"""')), example.name
+
+
+def test_experiments_md_references_real_benchmarks():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    for name in EXPECTED_BENCHMARKS:
+        assert name.removesuffix(".py") in text or name in text, name
