@@ -11,12 +11,18 @@ over U-Net" (Section 5).  This module provides exactly that layer:
   U-Net itself drops messages when receive resources are exhausted.
 * **flow control** — a bounded per-peer window of unacknowledged
   requests; senders block on a full window.
+* **adaptation** (opt-in, see :class:`AmConfig`) — Jacobson/Karels RTO
+  estimation with Karn's rule and jittered exponential backoff, AIMD
+  window adaptation, and duplicate-ack fast retransmit.  All default
+  off, so the classic fixed-RTO protocol the benchmarks were calibrated
+  against is what you get out of the box.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Generator, List, Optional, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from ..core.api import UserEndpoint
 from ..sim import Event, Resource, Simulator
@@ -60,9 +66,56 @@ class AmConfig:
     #: paths that reorder, e.g. Beowulf dual-NIC bonding.
     ooo_buffering: bool = False
 
+    # -- adaptive reliability (all off by default: the fixed-RTO, ----------
+    # -- static-window protocol above reproduces the paper's numbers) ------
+    #: estimate the RTO per peer (Jacobson/Karels SRTT + RTTVAR, with
+    #: Karn's rule: never sample a retransmitted packet's RTT)
+    adaptive_rto: bool = False
+    #: floor of the estimated RTO (guards against spurious retransmits
+    #: when delayed acks dominate the RTT sample)
+    rto_min_us: float = 250.0
+    #: ceiling of the estimated/backed-off RTO
+    rto_max_us: float = 60_000.0
+    #: RTO multiplier per consecutive timeout (exponential backoff)
+    backoff_factor: float = 2.0
+    #: random extra fraction added to backed-off RTOs so that peers
+    #: sharing a medium do not phase-lock their retransmissions
+    backoff_jitter: float = 0.1
+    #: AIMD window adaptation: halve the effective window on timeout,
+    #: grow it additively (one packet per window's worth of clean acks)
+    adaptive_window: bool = False
+    #: AIMD never shrinks the effective window below this
+    min_window: int = 1
+    #: retransmit the window head after `dup_ack_threshold` duplicate
+    #: cumulative acks instead of waiting out the RTO
+    fast_retransmit: bool = False
+    dup_ack_threshold: int = 3
+
+    @classmethod
+    def adaptive(cls, **overrides) -> "AmConfig":
+        """The full adaptive stack: estimated RTO + AIMD + fast retransmit."""
+        overrides.setdefault("adaptive_rto", True)
+        overrides.setdefault("adaptive_window", True)
+        overrides.setdefault("fast_retransmit", True)
+        return cls(**overrides)
+
     def __post_init__(self) -> None:
         if not 0 < self.window < SEQ_MOD // 2:
             raise ValueError("window must be positive and below half the sequence space")
+        for knob in ("retransmit_timeout_us", "ack_delay_us", "dispatch_overhead_us"):
+            value = getattr(self, knob)
+            if not value > 0:
+                raise ValueError(f"{knob} must be positive, got {value!r}")
+        if not 0 < self.rto_min_us <= self.rto_max_us:
+            raise ValueError("need 0 < rto_min_us <= rto_max_us")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_jitter < 0.0:
+            raise ValueError("backoff_jitter must be >= 0")
+        if not 0 < self.min_window <= self.window:
+            raise ValueError("need 0 < min_window <= window")
+        if self.dup_ack_threshold < 1:
+            raise ValueError("dup_ack_threshold must be >= 1")
 
 
 class _PeerState:
@@ -83,9 +136,23 @@ class _PeerState:
         "duplicates",
         "tx_lock",
         "ooo_held",
+        # -- adaptive reliability --
+        "srtt",
+        "rttvar",
+        "rto_us",
+        "backoff",
+        "sent_at",
+        "rexmit_seqs",
+        "cwnd",
+        "last_ack",
+        "dup_acks",
+        "fast_done_seq",
+        "timeouts",
+        "fast_retransmits",
+        "rtt_samples",
     )
 
-    def __init__(self, node: int, channel: int, sim: Simulator) -> None:
+    def __init__(self, node: int, channel: int, sim: Simulator, window: int) -> None:
         self.node = node
         self.channel = channel
         #: serializes seq assignment + hand-off to U-Net so that packets
@@ -105,6 +172,28 @@ class _PeerState:
         self.duplicates = 0
         #: out-of-order packets held for in-order delivery (seq -> Packet)
         self.ooo_held: Dict[int, Packet] = {}
+        #: smoothed RTT / variance estimates (Jacobson/Karels), unset
+        #: until the first clean sample
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        #: current estimated RTO (meaningful once srtt is set)
+        self.rto_us = 0.0
+        #: consecutive-timeout count driving exponential backoff
+        self.backoff = 0
+        #: seq -> first-transmission time, for RTT sampling
+        self.sent_at: Dict[int, float] = {}
+        #: seqs that were retransmitted (Karn's rule: never sample them)
+        self.rexmit_seqs: Set[int] = set()
+        #: AIMD congestion window (starts wide open at the config window)
+        self.cwnd = float(window)
+        #: last cumulative ack seen, for duplicate-ack detection
+        self.last_ack: Optional[int] = None
+        self.dup_acks = 0
+        #: head seq already fast-retransmitted (retransmit each head once)
+        self.fast_done_seq: Optional[int] = None
+        self.timeouts = 0
+        self.fast_retransmits = 0
+        self.rtt_samples = 0
 
 
 class RequestContext:
@@ -138,11 +227,14 @@ class AmEndpoint:
     substrate's signaling/channel service.
     """
 
-    def __init__(self, node_id: int, user_endpoint: UserEndpoint, config: Optional[AmConfig] = None) -> None:
+    def __init__(self, node_id: int, user_endpoint: UserEndpoint, config: Optional[AmConfig] = None,
+                 rng: Optional[random.Random] = None) -> None:
         self.node = node_id
         self.user = user_endpoint
         self.sim: Simulator = user_endpoint.sim
         self.config = config or AmConfig()
+        #: deterministic per-endpoint stream for retransmission jitter
+        self._rng = rng or random.Random(0x5EED ^ node_id)
         self._peers_by_node: Dict[int, _PeerState] = {}
         self._peers_by_channel: Dict[int, _PeerState] = {}
         self._handlers: Dict[int, Handler] = {}
@@ -164,7 +256,7 @@ class AmEndpoint:
     def connect_peer(self, node_id: int, channel_id: int) -> None:
         if node_id in self._peers_by_node:
             raise AmError(f"peer {node_id} already connected")
-        peer = _PeerState(node_id, channel_id, self.sim)
+        peer = _PeerState(node_id, channel_id, self.sim, self.config.window)
         self._peers_by_node[node_id] = peer
         self._peers_by_channel[channel_id] = peer
 
@@ -243,12 +335,19 @@ class AmEndpoint:
         peer.deliveries_since_ack = 0
         if track:
             peer.unacked[packet.seq] = packet
+            peer.sent_at[packet.seq] = self.sim.now
             peer.last_progress = self.sim.now
             self._ensure_timer(peer)
         yield from self.user.send(peer.channel, encode(packet))
 
+    def _effective_window(self, peer: _PeerState) -> int:
+        """The flow-control window currently in force for ``peer``."""
+        if not self.config.adaptive_window:
+            return self.config.window
+        return max(self.config.min_window, min(self.config.window, int(peer.cwnd)))
+
     def _acquire_window(self, peer: _PeerState) -> Generator:
-        while len(peer.unacked) >= self.config.window:
+        while len(peer.unacked) >= self._effective_window(peer):
             event = self.sim.event(name=f"am{self.node}.window")
             peer.window_waiters.append(event)
             yield event
@@ -284,7 +383,7 @@ class AmEndpoint:
                 else:
                     # go-back-N: duplicates and holes both trigger a re-ack
                     peer.duplicates += 1
-                self._note_delivery(peer)
+                self._note_delivery(peer, out_of_order=True)
                 continue
             yield from self._deliver_in_order(peer, packet)
             # drain any buffered successors the packet unblocked
@@ -315,17 +414,78 @@ class AmEndpoint:
             yield from result
 
     def _process_ack(self, peer: _PeerState, ack: int) -> None:
+        cfg = self.config
         acked = [seq for seq in peer.unacked if seq_lt(seq, ack)]
         if not acked:
+            # a repeated cumulative ack while data is outstanding means
+            # the receiver is seeing a hole: candidate fast retransmit
+            if cfg.fast_retransmit and peer.unacked:
+                if peer.last_ack is None or peer.last_ack != ack:
+                    peer.last_ack = ack
+                    peer.dup_acks = 0
+                else:
+                    peer.dup_acks += 1
+                    if peer.dup_acks == cfg.dup_ack_threshold:
+                        self._fast_retransmit(peer)
             return
+        peer.last_ack = ack
+        peer.dup_acks = 0
+        if cfg.adaptive_rto:
+            # Karn's rule: sample only packets that were never retransmitted
+            sample = None
+            for seq in acked:
+                sent = peer.sent_at.pop(seq, None)
+                if sent is not None and seq not in peer.rexmit_seqs:
+                    sample = self.sim.now - sent
+                peer.rexmit_seqs.discard(seq)
+            if sample is not None:
+                self._update_rto(peer, sample)
+            peer.backoff = 0  # forward progress cancels exponential backoff
+        else:
+            for seq in acked:
+                peer.sent_at.pop(seq, None)
+                peer.rexmit_seqs.discard(seq)
+        if cfg.adaptive_window:
+            # additive increase: one extra packet per window of clean acks
+            peer.cwnd = min(float(cfg.window),
+                            peer.cwnd + len(acked) / max(peer.cwnd, 1.0))
         for seq in acked:
             del peer.unacked[seq]
         peer.last_progress = self.sim.now
-        while peer.window_waiters and len(peer.unacked) < self.config.window:
+        while peer.window_waiters and len(peer.unacked) < self._effective_window(peer):
             peer.window_waiters.pop(0).succeed()
 
-    def _note_delivery(self, peer: _PeerState) -> None:
+    def _update_rto(self, peer: _PeerState, rtt: float) -> None:
+        """Jacobson/Karels: SRTT/RTTVAR EWMAs, RTO = SRTT + 4*RTTVAR."""
+        cfg = self.config
+        if peer.srtt is None:
+            peer.srtt = rtt
+            peer.rttvar = rtt / 2.0
+        else:
+            peer.rttvar = 0.75 * peer.rttvar + 0.25 * abs(peer.srtt - rtt)
+            peer.srtt = 0.875 * peer.srtt + 0.125 * rtt
+        peer.rtt_samples += 1
+        peer.rto_us = min(max(peer.srtt + 4.0 * peer.rttvar, cfg.rto_min_us), cfg.rto_max_us)
+
+    def _fast_retransmit(self, peer: _PeerState) -> None:
+        """Dup-ack threshold crossed: resend the window head right away."""
+        head_seq = next(iter(peer.unacked), None)
+        if head_seq is None or head_seq == peer.fast_done_seq:
+            return
+        peer.fast_done_seq = head_seq
+        peer.fast_retransmits += 1
+        if self.config.adaptive_window:
+            peer.cwnd = max(float(self.config.min_window), peer.cwnd / 2.0)
+        self.sim.process(self._retransmit_head(peer), name=f"am{self.node}.fastrx")
+
+    def _note_delivery(self, peer: _PeerState, out_of_order: bool = False) -> None:
         peer.deliveries_since_ack += 1
+        if out_of_order and self.config.fast_retransmit:
+            # ack holes immediately (RFC 5681 style) so the sender's
+            # duplicate-ack counter can cross its threshold before the
+            # arrival stream dries up
+            self.sim.process(self._send_ack(peer), name=f"am{self.node}.dupack")
+            return
         if peer.deliveries_since_ack >= self.config.ack_every:
             self.sim.process(self._send_ack(peer), name=f"am{self.node}.ack")
             return
@@ -344,26 +504,51 @@ class AmEndpoint:
             peer.timer_running = True
             self.sim.process(self._retransmit_timer(peer), name=f"am{self.node}.rto")
 
+    def _current_rto(self, peer: _PeerState) -> float:
+        """The retransmission timeout in force for ``peer`` right now."""
+        cfg = self.config
+        if not cfg.adaptive_rto:
+            return cfg.retransmit_timeout_us
+        # before the first RTT sample, fall back to the configured value
+        rto = peer.rto_us if peer.srtt is not None else cfg.retransmit_timeout_us
+        if peer.backoff:
+            rto *= cfg.backoff_factor ** peer.backoff
+            if cfg.backoff_jitter > 0.0:
+                # jitter de-phases peers that share a medium
+                rto *= 1.0 + cfg.backoff_jitter * self._rng.random()
+        return min(max(rto, cfg.rto_min_us), cfg.rto_max_us)
+
     def _retransmit_timer(self, peer: _PeerState) -> Generator:
-        timeout = self.config.retransmit_timeout_us
         while peer.unacked and self._running:
+            timeout = self._current_rto(peer)
             yield self.sim.timeout(timeout / 2)
             if not peer.unacked or not self._running:
                 break
             if self.sim.now - peer.last_progress >= timeout:
-                # retransmit only the head of the window (as TCP does):
-                # resending the whole window both floods a congested
-                # medium and can phase-lock with periodic loss patterns;
-                # once the head is acked the rest follow
-                yield peer.tx_lock.acquire()
-                try:
-                    head = next(iter(peer.unacked.values()), None)
-                    if head is None:
-                        break
-                    peer.retransmissions += 1
-                    peer.last_progress = self.sim.now
-                    head.ack = peer.expected_seq
-                    yield from self.user.send(peer.channel, encode(head))
-                finally:
-                    peer.tx_lock.release()
+                peer.timeouts += 1
+                if self.config.adaptive_rto:
+                    peer.backoff += 1
+                if self.config.adaptive_window:
+                    # multiplicative decrease: the medium is losing packets
+                    peer.cwnd = max(float(self.config.min_window), peer.cwnd / 2.0)
+                yield from self._retransmit_head(peer)
         peer.timer_running = False
+
+    def _retransmit_head(self, peer: _PeerState) -> Generator:
+        # retransmit only the head of the window (as TCP does):
+        # resending the whole window both floods a congested
+        # medium and can phase-lock with periodic loss patterns;
+        # once the head is acked the rest follow
+        yield peer.tx_lock.acquire()
+        try:
+            head_seq = next(iter(peer.unacked), None)
+            if head_seq is None:
+                return
+            head = peer.unacked[head_seq]
+            peer.retransmissions += 1
+            peer.rexmit_seqs.add(head_seq)
+            peer.last_progress = self.sim.now
+            head.ack = peer.expected_seq
+            yield from self.user.send(peer.channel, encode(head))
+        finally:
+            peer.tx_lock.release()

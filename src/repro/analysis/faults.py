@@ -1,108 +1,13 @@
-"""Fault injection: controlled loss and corruption on simulated links.
+"""Back-compat shim: fault injection grew into :mod:`repro.faults`.
 
-The tests and ablations need reproducible misbehaviour: dropped frames,
-corrupted cells, flaky links.  These wrappers interpose on the two
-substrates' delivery points and draw from named RNG streams so that
-fault patterns are deterministic per seed.
+The injectors started life here as test helpers; they are now part of a
+full fault-injection subsystem (perturbation pipelines, chaos soak
+harness).  Import from :mod:`repro.faults` in new code — this module
+re-exports the two original names so existing callers keep working.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-from ..atm.cells import Cell
-from ..sim.rng import RngRegistry
+from ..faults import CellFaultInjector, FrameFaultInjector
 
 __all__ = ["FrameFaultInjector", "CellFaultInjector"]
-
-
-class FrameFaultInjector:
-    """Drops and/or corrupts Ethernet frames arriving at one NIC.
-
-    Corrupted frames are flagged (and their bytes damaged); the DC21140's
-    hardware CRC checker then rejects them, so to the layers above a
-    corruption is indistinguishable from a loss — as on real Ethernet.
-    """
-
-    def __init__(
-        self,
-        backend,
-        drop_rate: float = 0.0,
-        corrupt_rate: float = 0.0,
-        rng: Optional[RngRegistry] = None,
-        stream: str = "faults.frames",
-    ) -> None:
-        if not 0.0 <= drop_rate <= 1.0 or not 0.0 <= corrupt_rate <= 1.0:
-            raise ValueError("rates must be within [0, 1]")
-        self.backend = backend
-        self.drop_rate = drop_rate
-        self.corrupt_rate = corrupt_rate
-        self.rng = (rng or RngRegistry()).stream(stream)
-        self.dropped = 0
-        self.corrupted = 0
-        self._original = backend.nic._on_frame
-        backend.nic._on_frame = self._interpose
-
-    def _interpose(self, frame) -> None:
-        roll = self.rng.random()
-        if roll < self.drop_rate:
-            self.dropped += 1
-            return
-        if roll < self.drop_rate + self.corrupt_rate:
-            from ..ethernet.frames import EthernetFrame
-
-            body = bytearray(frame.payload)
-            if body:
-                body[self.rng.randrange(len(body))] ^= 0xFF
-            frame = EthernetFrame(
-                dst_mac=frame.dst_mac,
-                src_mac=frame.src_mac,
-                dst_port=frame.dst_port,
-                src_port=frame.src_port,
-                payload=bytes(body),
-                corrupted=True,
-            )
-            self.corrupted += 1
-        self._original(frame)
-
-    def remove(self) -> None:
-        """Uninstall the injector."""
-        self.backend.nic._on_frame = self._original
-
-
-class CellFaultInjector:
-    """Drops and/or corrupts ATM cells arriving at one PCA-200."""
-
-    def __init__(
-        self,
-        backend,
-        drop_rate: float = 0.0,
-        corrupt_rate: float = 0.0,
-        rng: Optional[RngRegistry] = None,
-        stream: str = "faults.cells",
-    ) -> None:
-        if not 0.0 <= drop_rate <= 1.0 or not 0.0 <= corrupt_rate <= 1.0:
-            raise ValueError("rates must be within [0, 1]")
-        self.backend = backend
-        self.drop_rate = drop_rate
-        self.corrupt_rate = corrupt_rate
-        self.rng = (rng or RngRegistry()).stream(stream)
-        self.dropped = 0
-        self.corrupted = 0
-        self._original = backend.on_cell
-        backend.on_cell = self._interpose
-
-    def _interpose(self, cell: Cell) -> None:
-        roll = self.rng.random()
-        if roll < self.drop_rate:
-            self.dropped += 1
-            return
-        if roll < self.drop_rate + self.corrupt_rate:
-            body = bytearray(cell.payload)
-            body[self.rng.randrange(len(body))] ^= 0xFF
-            cell = Cell(vci=cell.vci, payload=bytes(body), last=cell.last, corrupted=True)
-            self.corrupted += 1
-        self._original(cell)
-
-    def remove(self) -> None:
-        self.backend.on_cell = self._original

@@ -65,6 +65,12 @@ def am_stats(am: Any) -> Dict[str, Any]:
             "retransmissions": peer.retransmissions,
             "duplicates": peer.duplicates,
             "unacked": len(peer.unacked),
+            "timeouts": peer.timeouts,
+            "fast_retransmits": peer.fast_retransmits,
+            "rtt_samples": peer.rtt_samples,
+            "srtt_us": round(peer.srtt, 2) if peer.srtt is not None else None,
+            "rto_us": round(peer.rto_us, 2) if peer.srtt is not None else None,
+            "cwnd": round(peer.cwnd, 2),
         }
         for node, peer in am._peers_by_node.items()
     }

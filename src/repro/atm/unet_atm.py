@@ -196,6 +196,14 @@ class UNetAtmBackend(UNetBackend):
                                   f"segment {len(cells)} cell(s) onto the fiber")
                 self.pdus_sent += 1
 
+    def rx_fault_hooks(self):
+        """Delivery hook points a fault pipeline may interpose on.
+
+        Cells funnel through :meth:`on_cell`; returns the single
+        ``(owner, attribute_name)`` pair naming it.
+        """
+        return [(self, "on_cell")]
+
     # -------------------------------------------------------------- receive
     def on_cell(self, cell: Cell) -> None:
         """Ingress callback wired to the switch-egress CellLink."""

@@ -33,6 +33,7 @@ _EXPERIMENTS = {
     "rtt": "single round-trip measurement",
     "bandwidth": "single bandwidth measurement",
     "splitc": "run one Split-C benchmark in the event-level simulator",
+    "soak": "chaos soak: AM reliability through fault scenarios",
     "report": "regenerate the full evaluation (all figures and tables)",
     "validate": "self-check every headline number against the paper",
     "list": "list available experiments",
@@ -263,6 +264,50 @@ def _cmd_splitc(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_soak(args) -> int:
+    import dataclasses
+
+    from .faults import (
+        SCENARIOS,
+        adaptive_config,
+        compare_reliability,
+        fixed_config,
+        render_comparison,
+        render_soak_table,
+        run_scenario,
+    )
+
+    names = args.scenario or [n for n in SCENARIOS if n != "bursty-atm"]
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s) {unknown}; choose from {sorted(SCENARIOS)}", file=sys.stderr)
+        return 2
+    scenarios = [SCENARIOS[n] for n in names]
+    if args.messages is not None:
+        if args.messages <= 0:
+            print("--messages must be positive", file=sys.stderr)
+            return 2
+        scenarios = [dataclasses.replace(s, messages=args.messages) for s in scenarios]
+    if args.mode == "compare":
+        results = compare_reliability(scenarios, seed=args.seed)
+        print(render_comparison(results))
+    else:
+        config = adaptive_config() if args.mode == "adaptive" else fixed_config()
+        results = [run_scenario(s, config=config, seed=args.seed, mode=args.mode)
+                   for s in scenarios]
+        print(render_soak_table(results))
+        for r in results:
+            for violation in r.violations:
+                print(f"  !! {r.scenario}: {violation}")
+    if args.stats:
+        from .analysis import render_stats
+
+        for r in results:
+            print(f"\n{r.scenario} [{r.mode}] fault pipeline:")
+            print(render_stats(r.fault_stats, indent=1))
+    return 0 if all(r.ok for r in results) else 1
+
+
 def _cmd_validate(_args) -> int:
     from .analysis import render_validation, validate_reproduction
 
@@ -349,6 +394,16 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--prefetch", action="store_true", help="split-phase fetches (mm)")
     ps.add_argument("--stats", action="store_true", help="dump simulation counters")
     ps.set_defaults(func=_cmd_splitc)
+    pk = sub.add_parser("soak", help=_EXPERIMENTS["soak"])
+    pk.add_argument("--scenario", action="append",
+                    help="scenario name (repeatable; default: every Ethernet scenario)")
+    pk.add_argument("--mode", default="compare", choices=("compare", "adaptive", "fixed"),
+                    help="compare runs each scenario under both reliability stacks")
+    pk.add_argument("--messages", type=int, default=None,
+                    help="override messages per scenario (default: each scenario's own)")
+    pk.add_argument("--seed", type=int, default=0xC0FFEE, help="fault-pattern master seed")
+    pk.add_argument("--stats", action="store_true", help="dump fault-pipeline counters")
+    pk.set_defaults(func=_cmd_soak)
     pr2 = sub.add_parser("report", help=_EXPERIMENTS["report"])
     pr2.add_argument("--keys", type=int, default=512 * 1024)
     pr2.set_defaults(func=_cmd_report)

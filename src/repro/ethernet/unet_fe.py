@@ -164,6 +164,14 @@ class UNetFeBackend(UNetBackend):
     def attach(self, attachment) -> None:
         self.nic.attach(attachment)
 
+    def rx_fault_hooks(self):
+        """Delivery hook points a fault pipeline may interpose on.
+
+        One per controller, so bonded (dual-NIC) hosts are perturbed on
+        both rails.  Returns ``(owner, attribute_name)`` pairs.
+        """
+        return [(nic, "_on_frame") for nic in self.nics]
+
     # ------------------------------------------------------------- transmit
     def kick(self, endpoint: Endpoint) -> Generator:
         """The fast trap: service the endpoint's entire send queue."""

@@ -1,0 +1,76 @@
+"""Fault injection: composable link perturbations, injectors, chaos soak.
+
+The paper's U-Net "offers no retransmission or flow control" (Section
+3.1); everything above it must earn its reliability.  This package
+supplies the adversary: perturbation models (:mod:`~repro.faults.perturb`)
+composed into pipelines attached to either substrate's delivery hook
+(:mod:`~repro.faults.inject`), and a soak harness that drives Active
+Messages traffic through named chaos scenarios while checking delivery
+invariants (:mod:`~repro.faults.soak`).
+"""
+
+from .inject import (
+    CellFaultInjector,
+    CellPipeline,
+    FrameFaultInjector,
+    FramePipeline,
+    PerturbationPipeline,
+    attach_pipeline,
+    corrupt_cell,
+    corrupt_frame,
+)
+from .perturb import (
+    Corrupt,
+    DelayJitter,
+    Duplicate,
+    GilbertElliott,
+    LinkFlap,
+    LinkPerturbation,
+    NicStall,
+    PerturbationContext,
+    Reorder,
+    UniformLoss,
+)
+from .soak import (
+    SCENARIOS,
+    SoakResult,
+    SoakScenario,
+    adaptive_config,
+    compare_reliability,
+    fixed_config,
+    render_comparison,
+    render_soak_table,
+    run_scenario,
+    wins,
+)
+
+__all__ = [
+    "LinkPerturbation",
+    "PerturbationContext",
+    "UniformLoss",
+    "GilbertElliott",
+    "Corrupt",
+    "Reorder",
+    "DelayJitter",
+    "Duplicate",
+    "LinkFlap",
+    "NicStall",
+    "PerturbationPipeline",
+    "FramePipeline",
+    "CellPipeline",
+    "attach_pipeline",
+    "corrupt_frame",
+    "corrupt_cell",
+    "FrameFaultInjector",
+    "CellFaultInjector",
+    "SoakScenario",
+    "SoakResult",
+    "SCENARIOS",
+    "run_scenario",
+    "fixed_config",
+    "adaptive_config",
+    "compare_reliability",
+    "render_soak_table",
+    "render_comparison",
+    "wins",
+]

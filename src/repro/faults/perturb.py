@@ -1,0 +1,369 @@
+"""Composable link-perturbation models.
+
+U-Net pushes all reliability above the substrate ("U-Net itself offers
+no retransmission or flow control", Section 3.1), so the Active
+Messages layer must survive anything a real link can do.  Real Ethernet
+and ATM links misbehave in richer ways than independent per-PDU loss:
+losses come in bursts (Gilbert–Elliott), striped paths reorder, queues
+add delay jitter, cut-through hardware duplicates, links flap, and NICs
+stall while the host hogs the bus.  Each of those behaviours is one
+:class:`LinkPerturbation` here; a pipeline of them interposes on a
+substrate's delivery hook (see :mod:`repro.faults.inject`).
+
+Every model draws from its own named :class:`~repro.sim.rng.RngRegistry`
+stream, so fault patterns are deterministic per master seed and adding a
+stage never perturbs the draws of another.
+
+A perturbation is a pure arrival-time filter: ``process(pdu, now, emit)``
+is called once per PDU and may call ``emit(pdu, delay_us)`` zero or more
+times — zero emits drop the PDU, several duplicate it, a positive delay
+defers (and thereby may reorder) it.  The pipeline owns scheduling.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..sim import Simulator
+from ..sim.rng import RngRegistry
+
+__all__ = [
+    "PerturbationContext",
+    "LinkPerturbation",
+    "UniformLoss",
+    "GilbertElliott",
+    "Corrupt",
+    "Reorder",
+    "DelayJitter",
+    "Duplicate",
+    "LinkFlap",
+    "NicStall",
+]
+
+#: ``emit(pdu, delay_us)`` — forward ``pdu`` to the next stage
+Emit = Callable[[object, float], None]
+
+
+class PerturbationContext:
+    """Runtime services a pipeline hands to its stages on attach."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        registry: RngRegistry,
+        corrupter: Optional[Callable[[object, random.Random], object]] = None,
+        prefix: str = "faults",
+    ) -> None:
+        self.sim = sim
+        self.registry = registry
+        self.corrupter = corrupter
+        self.prefix = prefix
+        self._scoped = registry.scoped(prefix)
+
+    def stream(self, name: str) -> random.Random:
+        return self._scoped.stream(name)
+
+
+class LinkPerturbation:
+    """Base class: a no-op stage that forwards every PDU untouched."""
+
+    #: suffix of this stage's RNG stream ("<prefix>.<stream_name>")
+    stream_name = "noop"
+
+    def __init__(self) -> None:
+        self.ctx: Optional[PerturbationContext] = None
+        self.rng: Optional[random.Random] = None
+
+    @property
+    def label(self) -> str:
+        return type(self).__name__
+
+    def attach(self, ctx: PerturbationContext) -> None:
+        self.ctx = ctx
+        self.rng = ctx.stream(self.stream_name)
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear per-run state (called on attach)."""
+
+    def process(self, pdu, now: float, emit: Emit) -> None:
+        emit(pdu, 0.0)
+
+    def counters(self) -> dict:
+        """Stage statistics for the soak report."""
+        return {}
+
+
+class UniformLoss(LinkPerturbation):
+    """Independent per-PDU loss — the classic drop_rate model."""
+
+    stream_name = "loss"
+
+    def __init__(self, rate: float) -> None:
+        super().__init__()
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("loss rate must be within [0, 1]")
+        self.rate = rate
+        self.dropped = 0
+
+    def reset(self) -> None:
+        self.dropped = 0
+
+    def process(self, pdu, now: float, emit: Emit) -> None:
+        if self.rng.random() < self.rate:
+            self.dropped += 1
+            return
+        emit(pdu, 0.0)
+
+    def counters(self) -> dict:
+        return {"dropped": self.dropped}
+
+
+class GilbertElliott(LinkPerturbation):
+    """Bursty loss: the two-state Gilbert–Elliott channel.
+
+    The link sits in a *good* state (loss ``loss_good``, usually ~0) and
+    occasionally enters a *bad* burst state (loss ``loss_bad``, high).
+    Per-PDU transition probabilities ``p_good_to_bad``/``p_bad_to_good``
+    set burst frequency and mean burst length (1/p_bad_to_good PDUs).
+    """
+
+    stream_name = "gilbert"
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.02,
+        p_bad_to_good: float = 0.25,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.75,
+    ) -> None:
+        super().__init__()
+        for name, p in (("p_good_to_bad", p_good_to_bad), ("p_bad_to_good", p_bad_to_good),
+                        ("loss_good", loss_good), ("loss_bad", loss_bad)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = False
+        self.dropped = 0
+        self.bursts = 0
+
+    def reset(self) -> None:
+        self.bad = False
+        self.dropped = 0
+        self.bursts = 0
+
+    def process(self, pdu, now: float, emit: Emit) -> None:
+        loss = self.loss_bad if self.bad else self.loss_good
+        drop = self.rng.random() < loss
+        # state transition after the loss draw: bursts span whole PDUs
+        if self.bad:
+            if self.rng.random() < self.p_bad_to_good:
+                self.bad = False
+        elif self.rng.random() < self.p_good_to_bad:
+            self.bad = True
+            self.bursts += 1
+        if drop:
+            self.dropped += 1
+            return
+        emit(pdu, 0.0)
+
+    def counters(self) -> dict:
+        return {"dropped": self.dropped, "bursts": self.bursts}
+
+
+class Corrupt(LinkPerturbation):
+    """Flip a byte in a fraction of PDUs (substrate CRC then rejects them)."""
+
+    stream_name = "corrupt"
+
+    def __init__(self, rate: float) -> None:
+        super().__init__()
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("corrupt rate must be within [0, 1]")
+        self.rate = rate
+        self.corrupted = 0
+
+    def reset(self) -> None:
+        self.corrupted = 0
+
+    def process(self, pdu, now: float, emit: Emit) -> None:
+        if self.rng.random() < self.rate and self.ctx.corrupter is not None:
+            self.corrupted += 1
+            pdu = self.ctx.corrupter(pdu, self.rng)
+        emit(pdu, 0.0)
+
+    def counters(self) -> dict:
+        return {"corrupted": self.corrupted}
+
+
+class Reorder(LinkPerturbation):
+    """Defer a fraction of PDUs so later arrivals overtake them.
+
+    Models striped paths (e.g. Beowulf dual-NIC bonding) and multi-path
+    switching fabrics, which deliver out of order without losing data.
+    """
+
+    stream_name = "reorder"
+
+    def __init__(self, rate: float = 0.05, delay_us: Tuple[float, float] = (20.0, 200.0)) -> None:
+        super().__init__()
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("reorder rate must be within [0, 1]")
+        if not 0.0 < delay_us[0] <= delay_us[1]:
+            raise ValueError("delay_us must be a positive (lo, hi) range")
+        self.rate = rate
+        self.delay_us = delay_us
+        self.reordered = 0
+
+    def reset(self) -> None:
+        self.reordered = 0
+
+    def process(self, pdu, now: float, emit: Emit) -> None:
+        if self.rng.random() < self.rate:
+            self.reordered += 1
+            emit(pdu, self.rng.uniform(*self.delay_us))
+            return
+        emit(pdu, 0.0)
+
+    def counters(self) -> dict:
+        return {"reordered": self.reordered}
+
+
+class DelayJitter(LinkPerturbation):
+    """Add uniform random queueing delay to every PDU."""
+
+    stream_name = "jitter"
+
+    def __init__(self, min_us: float = 0.0, max_us: float = 50.0) -> None:
+        super().__init__()
+        if min_us < 0.0 or max_us < min_us:
+            raise ValueError("need 0 <= min_us <= max_us")
+        self.min_us = min_us
+        self.max_us = max_us
+        self.delayed = 0
+
+    def reset(self) -> None:
+        self.delayed = 0
+
+    def process(self, pdu, now: float, emit: Emit) -> None:
+        self.delayed += 1
+        emit(pdu, self.rng.uniform(self.min_us, self.max_us))
+
+    def counters(self) -> dict:
+        return {"delayed": self.delayed}
+
+
+class Duplicate(LinkPerturbation):
+    """Deliver a fraction of PDUs more than once, slightly apart."""
+
+    stream_name = "dup"
+
+    def __init__(self, rate: float = 0.02, copies: int = 1, delay_us: float = 5.0) -> None:
+        super().__init__()
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("duplicate rate must be within [0, 1]")
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        if delay_us < 0.0:
+            raise ValueError("delay_us must be >= 0")
+        self.rate = rate
+        self.copies = copies
+        self.delay_us = delay_us
+        self.duplicated = 0
+
+    def reset(self) -> None:
+        self.duplicated = 0
+
+    def process(self, pdu, now: float, emit: Emit) -> None:
+        emit(pdu, 0.0)
+        if self.rng.random() < self.rate:
+            self.duplicated += 1
+            for copy in range(1, self.copies + 1):
+                emit(pdu, self.delay_us * copy)
+
+    def counters(self) -> dict:
+        return {"duplicated": self.duplicated}
+
+
+class LinkFlap(LinkPerturbation):
+    """Periodic (or scheduled) link up/down cycles; PDUs die while down.
+
+    Either give ``up_us``/``down_us`` for a repeating cycle starting up
+    at ``offset_us``, or an explicit ``schedule`` of absolute
+    ``(down_start_us, down_end_us)`` outage windows.
+    """
+
+    stream_name = "flap"
+
+    def __init__(
+        self,
+        up_us: float = 5000.0,
+        down_us: float = 500.0,
+        offset_us: float = 0.0,
+        schedule: Optional[Sequence[Tuple[float, float]]] = None,
+    ) -> None:
+        super().__init__()
+        if schedule is None and (up_us <= 0.0 or down_us < 0.0):
+            raise ValueError("need up_us > 0 and down_us >= 0")
+        self.up_us = up_us
+        self.down_us = down_us
+        self.offset_us = offset_us
+        self.schedule = list(schedule) if schedule is not None else None
+        self.dropped = 0
+
+    def reset(self) -> None:
+        self.dropped = 0
+
+    def is_down(self, now: float) -> bool:
+        if self.schedule is not None:
+            return any(start <= now < end for start, end in self.schedule)
+        phase = (now - self.offset_us) % (self.up_us + self.down_us)
+        return phase >= self.up_us
+
+    def process(self, pdu, now: float, emit: Emit) -> None:
+        if self.is_down(now):
+            self.dropped += 1
+            return
+        emit(pdu, 0.0)
+
+    def counters(self) -> dict:
+        return {"dropped": self.dropped}
+
+
+class NicStall(LinkPerturbation):
+    """The NIC periodically stalls (host bus contention, ring starvation).
+
+    PDUs arriving inside a stall window are buffered and released — in
+    arrival order — when the window ends, so a stall turns a smooth
+    stream into a burst, stressing receive-queue sizing downstream.
+    """
+
+    stream_name = "stall"
+
+    def __init__(self, period_us: float = 10_000.0, stall_us: float = 300.0,
+                 offset_us: float = 0.0) -> None:
+        super().__init__()
+        if period_us <= 0.0 or not 0.0 <= stall_us < period_us:
+            raise ValueError("need period_us > 0 and 0 <= stall_us < period_us")
+        self.period_us = period_us
+        self.stall_us = stall_us
+        self.offset_us = offset_us
+        self.stalled = 0
+
+    def reset(self) -> None:
+        self.stalled = 0
+
+    def process(self, pdu, now: float, emit: Emit) -> None:
+        phase = (now - self.offset_us) % self.period_us
+        if phase < self.stall_us:
+            self.stalled += 1
+            emit(pdu, self.stall_us - phase)
+            return
+        emit(pdu, 0.0)
+
+    def counters(self) -> dict:
+        return {"stalled": self.stalled}

@@ -3,7 +3,7 @@
 from .engine import EmptySchedule, Simulator
 from .events import AllOf, AnyOf, Condition, Event, Interrupt, Process, StopProcess, Timeout
 from .queues import BoundedRing, Resource, RingEmptyError, RingFullError, Store
-from .rng import RngRegistry
+from .rng import RngRegistry, ScopedRng
 from .trace import Timeline, TimelineStep, TraceRecord, TraceRecorder
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "RingFullError",
     "RingEmptyError",
     "RngRegistry",
+    "ScopedRng",
     "TraceRecorder",
     "TraceRecord",
     "Timeline",

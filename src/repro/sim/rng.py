@@ -12,7 +12,7 @@ import hashlib
 import random
 from typing import Dict
 
-__all__ = ["RngRegistry"]
+__all__ = ["RngRegistry", "ScopedRng"]
 
 
 class RngRegistry:
@@ -29,5 +29,27 @@ class RngRegistry:
             self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
         return self._streams[name]
 
+    def scoped(self, prefix: str) -> "ScopedRng":
+        """A view of this registry that prefixes every stream name.
+
+        Lets a subsystem (e.g. one fault pipeline of several) hand out
+        namespaced streams without threading name prefixes everywhere.
+        """
+        return ScopedRng(self, prefix)
+
     def reset(self) -> None:
         self._streams.clear()
+
+
+class ScopedRng:
+    """A registry view whose streams all live under one name prefix."""
+
+    def __init__(self, registry: RngRegistry, prefix: str) -> None:
+        self._registry = registry
+        self.prefix = prefix
+
+    def stream(self, name: str) -> random.Random:
+        return self._registry.stream(f"{self.prefix}.{name}")
+
+    def scoped(self, prefix: str) -> "ScopedRng":
+        return ScopedRng(self._registry, f"{self.prefix}.{prefix}")

@@ -79,3 +79,58 @@ def test_retransmission_across_wrap_point():
     sim.run(until=5_000_000.0)
     assert injector.dropped > 0
     assert seen == list(range(12))
+
+
+def test_gbn_under_bursty_loss_across_wrap_point():
+    """Gilbert-Elliott burst losses straddling 65535 -> 0 must not
+    confuse go-back-N: seq_lt comparisons and cumulative acks both wrap."""
+    from repro.am import AmConfig
+    from repro.faults import FramePipeline, GilbertElliott
+    from repro.sim import RngRegistry
+
+    sim, am0, am1 = _pair(SEQ_MOD - 8)
+    am0.config = AmConfig.adaptive()
+    am1.config = AmConfig.adaptive()
+    seen = []
+    am1.register_handler(1, lambda ctx: seen.append(ctx.args[0]))
+    stage = GilbertElliott(p_good_to_bad=0.1, p_bad_to_good=0.3, loss_bad=0.9)
+    pipeline = FramePipeline(am1.user.host.backend, [stage], rng=RngRegistry(33))
+
+    def tx():
+        for i in range(40):  # window crosses the wrap several sends in
+            yield from am0.request(1, 1, args=(i,))
+
+    sim.process(tx())
+    sim.run(until=10_000_000.0)
+    pipeline.restore()
+    assert stage.dropped > 0 and stage.bursts > 0
+    assert seen == list(range(40))  # exactly-once, in order, despite bursts
+    assert am0._peers_by_node[1].next_seq == (SEQ_MOD - 8 + 40) % SEQ_MOD
+    assert not am0._peers_by_node[1].unacked
+
+
+def test_gbn_under_reordering_near_wrap_point():
+    """Deferred deliveries around the wrap look like "old" sequence
+    numbers to naive comparisons; GBN must still dispatch in order."""
+    from repro.am import AmConfig
+    from repro.faults import FramePipeline, Reorder
+    from repro.sim import RngRegistry
+
+    sim, am0, am1 = _pair(SEQ_MOD - 6)
+    am0.config = AmConfig.adaptive()
+    am1.config = AmConfig.adaptive()
+    seen = []
+    am1.register_handler(1, lambda ctx: seen.append(ctx.args[0]))
+    stage = Reorder(rate=0.25, delay_us=(30.0, 300.0))
+    pipeline = FramePipeline(am1.user.host.backend, [stage], rng=RngRegistry(17))
+
+    def tx():
+        for i in range(30):
+            yield from am0.request(1, 1, args=(i,))
+
+    sim.process(tx())
+    sim.run(until=10_000_000.0)
+    pipeline.restore()
+    assert stage.reordered > 0
+    assert seen == list(range(30))
+    assert not am0._peers_by_node[1].unacked

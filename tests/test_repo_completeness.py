@@ -24,6 +24,7 @@ EXPECTED_BENCHMARKS = [
     "test_ablation_bonding.py",
     "test_ablation_radix_bits.py",
     "test_ablation_sensitivity.py",
+    "test_ablation_reliability.py",
 ]
 
 
