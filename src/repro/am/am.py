@@ -16,6 +16,14 @@ over U-Net" (Section 5).  This module provides exactly that layer:
   window adaptation, and duplicate-ack fast retransmit.  All default
   off, so the classic fixed-RTO protocol the benchmarks were calibrated
   against is what you get out of the box.
+* **receiver credit** (opt-in, ``AmConfig.credit_flow``) — every packet
+  advertises the sender's remaining receive capacity (free receive-queue
+  slots and donated buffers, fair-shared across peers); senders gate
+  their window on the peer's latest advertisement minus their own
+  unacked in-flight packets.  A receiver that falls behind thus stalls
+  its senders instead of silently shedding their packets, which is the
+  backpressure half of the overload-containment story (the other half,
+  quarantine, lives in :mod:`repro.core.health`).
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from typing import Callable, Dict, Generator, List, Optional, Set, Tuple
 from ..core.api import UserEndpoint
 from ..sim import Event, Resource, Simulator
 from .protocol import (
+    CREDIT_SIZE,
     HEADER_SIZE,
     SEQ_MOD,
     TYPE_ACK,
@@ -91,6 +100,16 @@ class AmConfig:
     fast_retransmit: bool = False
     dup_ack_threshold: int = 3
 
+    # -- receiver-credit backpressure (off by default: classic U-Net is ----
+    # -- receiver-paced and drops; see the overload soak for the contrast) -
+    #: gate the send window on the peer's advertised receive capacity, so
+    #: an exhausted receiver turns sender overruns into stalls, not drops.
+    #: Advertisements piggyback on every packet (two extra wire bytes) and
+    #: are refreshed periodically when they change.
+    credit_flow: bool = False
+    #: period of the background credit-refresh process
+    credit_update_us: float = 400.0
+
     @classmethod
     def adaptive(cls, **overrides) -> "AmConfig":
         """The full adaptive stack: estimated RTO + AIMD + fast retransmit."""
@@ -116,6 +135,8 @@ class AmConfig:
             raise ValueError("need 0 < min_window <= window")
         if self.dup_ack_threshold < 1:
             raise ValueError("dup_ack_threshold must be >= 1")
+        if not self.credit_update_us > 0:
+            raise ValueError("credit_update_us must be positive")
 
 
 class _PeerState:
@@ -150,6 +171,11 @@ class _PeerState:
         "timeouts",
         "fast_retransmits",
         "rtt_samples",
+        # -- receiver-credit backpressure --
+        "remote_credit",
+        "credit_waiters",
+        "credit_stalls",
+        "last_advertised",
     )
 
     def __init__(self, node: int, channel: int, sim: Simulator, window: int) -> None:
@@ -194,6 +220,14 @@ class _PeerState:
         self.timeouts = 0
         self.fast_retransmits = 0
         self.rtt_samples = 0
+        #: peer's latest receive-capacity advertisement (None = none yet,
+        #: treated as unlimited so start-up cannot deadlock)
+        self.remote_credit: Optional[int] = None
+        self.credit_waiters: List[Event] = []
+        #: times a sender stalled on exhausted remote credit
+        self.credit_stalls = 0
+        #: last credit value advertised *to* this peer
+        self.last_advertised: Optional[int] = None
 
 
 class RequestContext:
@@ -246,12 +280,15 @@ class AmEndpoint:
         self.requests_delivered = 0
         self._running = True
         self.sim.process(self._dispatch_loop(), name=f"am{node_id}.dispatch")
+        if self.config.credit_flow:
+            self.sim.process(self._credit_refresh_loop(), name=f"am{node_id}.credit")
 
     # ------------------------------------------------------------- set-up
     @property
     def max_data(self) -> int:
         """Largest data block one packet can carry on this substrate."""
-        return self.user.host.backend.max_pdu - HEADER_SIZE
+        overhead = HEADER_SIZE + (CREDIT_SIZE if self.config.credit_flow else 0)
+        return self.user.host.backend.max_pdu - overhead
 
     def connect_peer(self, node_id: int, channel_id: int) -> None:
         if node_id in self._peers_by_node:
@@ -331,6 +368,11 @@ class AmEndpoint:
 
     def _transmit(self, peer: _PeerState, packet: Packet, track: bool) -> Generator:
         packet.ack = peer.expected_seq
+        if self.config.credit_flow:
+            # piggyback our current receive capacity on everything we send
+            advertised = self._local_credit()
+            packet.credit = advertised
+            peer.last_advertised = advertised
         peer.pending_ack = False
         peer.deliveries_since_ack = 0
         if track:
@@ -338,6 +380,12 @@ class AmEndpoint:
             peer.sent_at[packet.seq] = self.sim.now
             peer.last_progress = self.sim.now
             self._ensure_timer(peer)
+            if self.config.credit_flow and peer.remote_credit is not None:
+                # conservative spend between advertisements; the next
+                # absolute advertisement overwrites any drift.  Replies
+                # bypass the credit gate (deadlock avoidance) so this may
+                # go negative.
+                peer.remote_credit -= 1
         yield from self.user.send(peer.channel, encode(packet))
 
     def _effective_window(self, peer: _PeerState) -> int:
@@ -347,10 +395,57 @@ class AmEndpoint:
         return max(self.config.min_window, min(self.config.window, int(peer.cwnd)))
 
     def _acquire_window(self, peer: _PeerState) -> Generator:
-        while len(peer.unacked) >= self._effective_window(peer):
-            event = self.sim.event(name=f"am{self.node}.window")
-            peer.window_waiters.append(event)
-            yield event
+        while True:
+            if len(peer.unacked) >= self._effective_window(peer):
+                event = self.sim.event(name=f"am{self.node}.window")
+                peer.window_waiters.append(event)
+                yield event
+                continue
+            if (self.config.credit_flow and peer.remote_credit is not None
+                    and peer.remote_credit <= 0):
+                # the peer has no receive capacity for us: stall (do not
+                # burn its service time with packets it must drop) until
+                # an advertisement says the pressure is off
+                peer.credit_stalls += 1
+                event = self.sim.event(name=f"am{self.node}.credit")
+                peer.credit_waiters.append(event)
+                yield event
+                continue
+            return
+
+    def _local_credit(self) -> int:
+        """Receive capacity to advertise: what this endpoint could absorb
+        right now (queue slots and donated buffers), fair-shared across
+        peers so N senders cannot jointly overrun one advertisement."""
+        endpoint = self.user.endpoint
+        room = min(
+            endpoint.recv_queue.capacity - len(endpoint.recv_queue),
+            len(endpoint.free_queue),
+        )
+        return room // max(1, len(self._peers_by_node))
+
+    def _credit_refresh_loop(self) -> Generator:
+        """Re-advertise when capacity changed and no traffic carried it.
+
+        This is what un-sticks a credit-stalled sender after the local
+        application drains a backlog: consuming messages generates no
+        reverse traffic of its own, so the refreshed advertisement must
+        travel on an explicit ACK.
+        """
+        while self._running:
+            yield self.sim.timeout(self.config.credit_update_us)
+            if not self._running:
+                break
+            for peer in list(self._peers_by_node.values()):
+                if peer.last_advertised is None:
+                    continue  # never talked to them; nothing to refresh
+                if self._local_credit() != peer.last_advertised:
+                    yield from self._send_ack(peer)
+
+    @property
+    def credit_stalls(self) -> int:
+        """Total sender stalls on exhausted remote credit, all peers."""
+        return sum(p.credit_stalls for p in self._peers_by_node.values())
 
     def _peer(self, node: int) -> _PeerState:
         try:
@@ -371,6 +466,8 @@ class AmEndpoint:
             if peer is None:
                 continue
             self._process_ack(peer, packet.ack)
+            if packet.credit is not None and self.config.credit_flow:
+                self._process_credit(peer, packet.credit)
             if packet.type == TYPE_ACK:
                 continue
             if packet.seq != peer.expected_seq:
@@ -454,6 +551,19 @@ class AmEndpoint:
         peer.last_progress = self.sim.now
         while peer.window_waiters and len(peer.unacked) < self._effective_window(peer):
             peer.window_waiters.pop(0).succeed()
+
+    def _process_credit(self, peer: _PeerState, advertised: int) -> None:
+        """Absorb an absolute credit advertisement from ``peer``.
+
+        Runs after :meth:`_process_ack`, so ``peer.unacked`` holds only
+        packets the advertisement cannot have accounted for yet; charging
+        them against it keeps the sender conservative between updates.
+        """
+        peer.remote_credit = advertised - len(peer.unacked)
+        if peer.remote_credit > 0 and peer.credit_waiters:
+            waiters, peer.credit_waiters = peer.credit_waiters, []
+            for event in waiters:
+                event.succeed()
 
     def _update_rto(self, peer: _PeerState, rtt: float) -> None:
         """Jacobson/Karels: SRTT/RTTVAR EWMAs, RTO = SRTT + 4*RTTVAR."""
@@ -549,6 +659,9 @@ class AmEndpoint:
             peer.rexmit_seqs.add(head_seq)
             peer.last_progress = self.sim.now
             head.ack = peer.expected_seq
+            if self.config.credit_flow:
+                head.credit = self._local_credit()
+                peer.last_advertised = head.credit
             yield from self.user.send(peer.channel, encode(head))
         finally:
             peer.tx_lock.release()

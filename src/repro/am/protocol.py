@@ -5,19 +5,29 @@ a handler identifier, four word-size arguments, and an optional data
 block.  On top of U-Net — which itself offers no retransmission or flow
 control (Section 3.1) — every data packet carries a sequence number and
 a cumulative acknowledgement; the sender keeps a go-back-N window.
+
+When the receiver-credit extension is enabled (``AmConfig.credit_flow``)
+a packet may additionally advertise the sender's *receive* capacity.
+The advertisement rides behind a flag bit in the type byte plus a
+two-byte credit word between header and data, so the classic wire
+format — and every byte the calibrated benchmarks see — is unchanged
+when the extension is off.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 __all__ = [
     "Packet",
     "encode",
     "decode",
     "HEADER_SIZE",
+    "CREDIT_FLAG",
+    "CREDIT_SIZE",
+    "MAX_CREDIT",
     "TYPE_REQUEST",
     "TYPE_REPLY",
     "TYPE_ACK",
@@ -34,6 +44,12 @@ HEADER_SIZE = struct.calcsize(_HEADER_FMT)
 TYPE_REQUEST = 1
 TYPE_REPLY = 2
 TYPE_ACK = 3
+
+#: type-byte flag: a two-byte credit advertisement follows the header
+CREDIT_FLAG = 0x80
+CREDIT_SIZE = struct.calcsize("!H")
+#: largest advertisable credit (the wire word is 16 bits)
+MAX_CREDIT = 0xFFFF
 
 #: 16-bit sequence space; windows must stay below half of it
 SEQ_MOD = 1 << 16
@@ -66,6 +82,8 @@ class Packet:
     req_seq: int = 0
     args: Tuple[int, int, int, int] = (0, 0, 0, 0)
     data: bytes = b""
+    #: receive-capacity advertisement (credit extension); None = absent
+    credit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if len(self.args) != 4:
@@ -80,10 +98,23 @@ def encode(packet: Packet) -> bytes:
     >>> q = decode(encode(p))
     >>> (q.handler, q.seq, q.args, q.data)
     (7, 3, (1, 2, 0, 0), b'hi')
+
+    A credit advertisement survives the round trip and costs two bytes:
+
+    >>> c = decode(encode(Packet(type=TYPE_ACK, credit=9)))
+    >>> (c.type, c.credit)
+    (3, 9)
+    >>> len(encode(Packet(type=TYPE_ACK, credit=9))) - len(encode(Packet(type=TYPE_ACK)))
+    2
     """
+    wire_type = packet.type
+    credit = b""
+    if packet.credit is not None:
+        wire_type |= CREDIT_FLAG
+        credit = struct.pack("!H", min(max(packet.credit, 0), MAX_CREDIT))
     header = struct.pack(
         _HEADER_FMT,
-        packet.type,
+        wire_type,
         packet.handler,
         packet.seq,
         packet.ack,
@@ -91,7 +122,7 @@ def encode(packet: Packet) -> bytes:
         *(a & 0xFFFFFFFF for a in packet.args),
         len(packet.data),
     )
-    return header + packet.data
+    return header + credit + packet.data
 
 
 def decode(raw: bytes) -> Packet:
@@ -101,8 +132,16 @@ def decode(raw: bytes) -> Packet:
     ptype, handler, seq, ack, req_seq, a0, a1, a2, a3, dlen = struct.unpack(
         _HEADER_FMT, raw[:HEADER_SIZE]
     )
-    data = raw[HEADER_SIZE : HEADER_SIZE + dlen]
+    offset = HEADER_SIZE
+    credit: Optional[int] = None
+    if ptype & CREDIT_FLAG:
+        ptype &= ~CREDIT_FLAG
+        if len(raw) < offset + CREDIT_SIZE:
+            raise ValueError("AM packet credit word truncated")
+        (credit,) = struct.unpack("!H", raw[offset : offset + CREDIT_SIZE])
+        offset += CREDIT_SIZE
+    data = raw[offset : offset + dlen]
     if len(data) != dlen:
         raise ValueError("AM packet data truncated")
     return Packet(type=ptype, handler=handler, seq=seq, ack=ack, req_seq=req_seq,
-                  args=(a0, a1, a2, a3), data=data)
+                  args=(a0, a1, a2, a3), data=data, credit=credit)

@@ -132,6 +132,7 @@ class UNetAtmBackend(UNetBackend):
         self.crc_errors = 0
         self.no_buffer_drops = 0
         self.recv_queue_drops = 0
+        self.quarantine_drops = 0
         sim.process(self._tx_firmware(), name=f"{name}.i960-tx")
         sim.process(self._rx_firmware(), name=f"{name}.i960-rx")
 
@@ -220,6 +221,18 @@ class UNetAtmBackend(UNetBackend):
             if target is None:
                 continue
             endpoint, channel_id = target
+            if endpoint.quarantined:
+                # containment: drop the cell right after the VCI lookup so
+                # a misbehaving endpoint stops consuming i960 service time
+                # (no buffer allocation, no DMA); one drop counted per PDU
+                state = self._reassembly.pop(cell.vci, None)
+                if state is not None:
+                    for idx in state.buffer_indices:
+                        endpoint.free_queue.try_push(idx)
+                if cell.last:
+                    self.quarantine_drops += 1
+                    endpoint.quarantine_drops += 1
+                continue
             state = self._reassembly.get(cell.vci)
             if state is None and cell.last and self.single_cell_fast_path:
                 yield from self._rx_single_cell(cell, endpoint, channel_id)
@@ -233,6 +246,7 @@ class UNetAtmBackend(UNetBackend):
                 if taken is None:
                     state.dropping = True
                     self.no_buffer_drops += 1
+                    endpoint.no_buffer_drops += 1
                 else:
                     state.buffer_indices.append(taken)
             if not state.dropping:
@@ -290,6 +304,7 @@ class UNetAtmBackend(UNetBackend):
                 idx = endpoint.take_free_buffer()
                 if idx is None:
                     self.no_buffer_drops += 1
+                    endpoint.no_buffer_drops += 1
                     for used_idx, _len in segments:
                         endpoint.free_queue.try_push(used_idx)
                     return

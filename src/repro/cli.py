@@ -33,7 +33,7 @@ _EXPERIMENTS = {
     "rtt": "single round-trip measurement",
     "bandwidth": "single bandwidth measurement",
     "splitc": "run one Split-C benchmark in the event-level simulator",
-    "soak": "chaos soak: AM reliability through fault scenarios",
+    "soak": "soak suites: wire chaos or service-capacity overload",
     "report": "regenerate the full evaluation (all figures and tables)",
     "validate": "self-check every headline number against the paper",
     "list": "list available experiments",
@@ -277,6 +277,8 @@ def _cmd_soak(args) -> int:
         run_scenario,
     )
 
+    if args.suite == "overload":
+        return _cmd_soak_overload(args)
     names = args.scenario or [n for n in SCENARIOS if n != "bursty-atm"]
     unknown = [n for n in names if n not in SCENARIOS]
     if unknown:
@@ -306,6 +308,52 @@ def _cmd_soak(args) -> int:
             print(f"\n{r.scenario} [{r.mode}] fault pipeline:")
             print(render_stats(r.fault_stats, indent=1))
     return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_soak_overload(args) -> int:
+    import dataclasses
+
+    from .faults import (
+        OVERLOAD_SCENARIOS,
+        compare_credit,
+        compare_policies,
+        render_endpoint_table,
+        render_overload_table,
+        run_overload,
+    )
+
+    names = args.scenario or list(OVERLOAD_SCENARIOS)
+    unknown = [n for n in names if n not in OVERLOAD_SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s) {unknown}; choose from {sorted(OVERLOAD_SCENARIOS)}",
+              file=sys.stderr)
+        return 2
+    scenarios = [OVERLOAD_SCENARIOS[n] for n in names]
+    if args.messages is not None:
+        if args.messages <= 0:
+            print("--messages must be positive", file=sys.stderr)
+            return 2
+        scenarios = [dataclasses.replace(s, messages=args.messages) for s in scenarios]
+    results = []
+    for scenario in scenarios:
+        if scenario.shared_receiver:
+            # the incast shape is the fixed-vs-credit demonstration
+            results.extend(compare_credit(scenario, seed=args.seed))
+        elif args.policy == "compare":
+            results.extend(compare_policies(scenario, seed=args.seed))
+        else:
+            results.append(run_overload(scenario, policy=args.policy,
+                                        credit=args.credit, seed=args.seed))
+    print(render_overload_table(results))
+    if args.stats:
+        for r in results:
+            print()
+            print(render_endpoint_table(r))
+    # the status-quo baselines (drop policy, fixed senders) are allowed to
+    # suffer — that is the demonstration; the harness fails only when a
+    # containment run breaks a delivery invariant
+    contained = [r for r in results if r.policy != "drop" or r.credit]
+    return 0 if all(r.ok for r in (contained or results)) else 1
 
 
 def _cmd_validate(_args) -> int:
@@ -395,14 +443,23 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--stats", action="store_true", help="dump simulation counters")
     ps.set_defaults(func=_cmd_splitc)
     pk = sub.add_parser("soak", help=_EXPERIMENTS["soak"])
+    pk.add_argument("--suite", default="chaos", choices=("chaos", "overload"),
+                    help="chaos soaks the wire; overload soaks the receiver's "
+                         "service capacity (incast, sick endpoints)")
     pk.add_argument("--scenario", action="append",
-                    help="scenario name (repeatable; default: every Ethernet scenario)")
+                    help="scenario name (repeatable; default: every scenario of the suite)")
     pk.add_argument("--mode", default="compare", choices=("compare", "adaptive", "fixed"),
-                    help="compare runs each scenario under both reliability stacks")
+                    help="chaos suite: compare runs each scenario under both reliability stacks")
+    pk.add_argument("--policy", default="compare",
+                    choices=("compare", "drop", "backpressure", "quarantine"),
+                    help="overload suite: containment policy (compare runs all three)")
+    pk.add_argument("--credit", action="store_true",
+                    help="overload suite: AM receiver-credit flow on single-policy runs")
     pk.add_argument("--messages", type=int, default=None,
                     help="override messages per scenario (default: each scenario's own)")
     pk.add_argument("--seed", type=int, default=0xC0FFEE, help="fault-pattern master seed")
-    pk.add_argument("--stats", action="store_true", help="dump fault-pipeline counters")
+    pk.add_argument("--stats", action="store_true",
+                    help="dump fault-pipeline / per-endpoint telemetry")
     pk.set_defaults(func=_cmd_soak)
     pr2 = sub.add_parser("report", help=_EXPERIMENTS["report"])
     pr2.add_argument("--keys", type=int, default=512 * 1024)

@@ -8,8 +8,24 @@ from .api import Host, ReceivedMessage, UserEndpoint
 from .base import UNetBackend
 from .channels import AtmTag, ChannelBinding, EthernetTag, lookup_channel, register_channel
 from .descriptors import SMALL_MESSAGE_MAX, RecvDescriptor, SendDescriptor
-from .endpoint import Endpoint, EndpointConfig
-from .errors import ChannelError, EndpointError, MessageTooLarge, ProtectionError, UNetError
+from .endpoint import DROP_COUNTERS, Endpoint, EndpointConfig
+from .errors import (
+    ChannelError,
+    EndpointError,
+    InvalidDescriptorError,
+    MessageTooLarge,
+    ProtectionError,
+    UNetError,
+)
+from .health import (
+    POLICIES,
+    POLICY_BACKPRESSURE,
+    POLICY_DROP,
+    POLICY_QUARANTINE,
+    EndpointHealth,
+    HealthConfig,
+    HealthMonitor,
+)
 from .mux import DemuxTable
 
 __all__ = [
@@ -19,6 +35,7 @@ __all__ = [
     "UNetBackend",
     "Endpoint",
     "EndpointConfig",
+    "DROP_COUNTERS",
     "SendDescriptor",
     "RecvDescriptor",
     "SMALL_MESSAGE_MAX",
@@ -28,8 +45,16 @@ __all__ = [
     "register_channel",
     "lookup_channel",
     "DemuxTable",
+    "HealthConfig",
+    "HealthMonitor",
+    "EndpointHealth",
+    "POLICIES",
+    "POLICY_DROP",
+    "POLICY_BACKPRESSURE",
+    "POLICY_QUARANTINE",
     "UNetError",
     "EndpointError",
+    "InvalidDescriptorError",
     "ChannelError",
     "ProtectionError",
     "MessageTooLarge",

@@ -77,3 +77,24 @@ class UNetBackend(abc.ABC):
     def host_send_overhead_us(self) -> float:
         """Host-processor time consumed per small-message send (Section 4.4)."""
         raise NotImplementedError
+
+    def drop_stats(self) -> dict:
+        """NI/kernel-level drop counters, one entry per shared name.
+
+        Every backend keeps ``recv_queue_drops``/``no_buffer_drops``/
+        ``quarantine_drops`` attributes and a ``demux`` table; the same
+        vocabulary (:data:`repro.core.endpoint.DROP_COUNTERS`) is spoken
+        by :meth:`Endpoint.drop_stats` and :meth:`DemuxTable.drop_stats`,
+        so reports can merge accounting across layers without per-class
+        attribute spelunking.
+        """
+        stats = {
+            "recv_queue_drops": getattr(self, "recv_queue_drops", 0),
+            "no_buffer_drops": getattr(self, "no_buffer_drops", 0),
+            "unknown_tag_drops": 0,
+            "quarantine_drops": getattr(self, "quarantine_drops", 0),
+        }
+        demux = getattr(self, "demux", None)
+        if demux is not None:
+            stats["unknown_tag_drops"] = demux.unknown_tag_drops
+        return stats

@@ -15,9 +15,15 @@ from typing import Callable, List, Optional
 from ..hw.memory import Buffer, BufferArea
 from ..sim import BoundedRing, Event, Simulator
 from .descriptors import RecvDescriptor, SendDescriptor
-from .errors import EndpointError, ProtectionError
+from .errors import EndpointError, InvalidDescriptorError, ProtectionError
 
-__all__ = ["Endpoint", "EndpointConfig"]
+__all__ = ["Endpoint", "EndpointConfig", "DROP_COUNTERS"]
+
+#: the shared drop-accounting vocabulary: every layer that can lose a
+#: message (endpoint, demux, either substrate backend) reports these
+#: counter names from its ``drop_stats()`` so reports can merge them
+DROP_COUNTERS = ("recv_queue_drops", "no_buffer_drops", "unknown_tag_drops",
+                 "quarantine_drops")
 
 
 class EndpointConfig:
@@ -74,14 +80,41 @@ class Endpoint:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.receive_drops = 0
+        #: messages lost because the free queue held no buffer (counted
+        #: here by the serving backend, in addition to its own total)
+        self.no_buffer_drops = 0
+        #: messages shed while the endpoint was quarantined
+        self.quarantine_drops = 0
+        #: set by the health layer (see :mod:`repro.core.health`): the
+        #: NI/kernel sheds this endpoint's traffic at the demux step so a
+        #: misbehaving process cannot consume service time that other
+        #: endpoints need
+        self.quarantined = False
 
     # -- application side --------------------------------------------------
     def post_send(self, descriptor: SendDescriptor) -> None:
-        """Push a send descriptor (application side)."""
+        """Push a send descriptor (application side).
+
+        The descriptor is validated here, at the protection boundary: a
+        bad buffer index or segment length raises a typed
+        :class:`~repro.core.errors.InvalidDescriptorError` instead of
+        corrupting state deep inside the substrate.
+        """
         if descriptor.channel_id not in self.channels:
             raise ProtectionError(
                 f"channel {descriptor.channel_id} not registered on endpoint {self.id}"
             )
+        for index, length in descriptor.segments:
+            if not 0 <= index < self.buffers.num_buffers:
+                raise InvalidDescriptorError(
+                    f"endpoint {self.id}: send segment names buffer {index}, "
+                    f"but the buffer area has {self.buffers.num_buffers}"
+                )
+            if not 0 <= length <= self.buffers.buffer_size:
+                raise InvalidDescriptorError(
+                    f"endpoint {self.id}: send segment length {length} outside "
+                    f"[0, {self.buffers.buffer_size}]"
+                )
         self.send_queue.push(descriptor)
         self.last_send_activity = self.sim.now
 
@@ -107,7 +140,9 @@ class Endpoint:
     def donate_free_buffer(self, buffer_index: int) -> None:
         """Provide a receive buffer to the NI via the free queue."""
         if not 0 <= buffer_index < self.buffers.num_buffers:
-            raise EndpointError(f"bad buffer index {buffer_index}")
+            raise InvalidDescriptorError(
+                f"endpoint {self.id}: bad free-queue buffer index {buffer_index}"
+            )
         self.free_queue.push(buffer_index)
 
     def set_signal_handler(self, handler: Optional[Callable[["Endpoint"], None]]) -> None:
@@ -177,6 +212,30 @@ class Endpoint:
     def take_free_buffer(self) -> Optional[int]:
         """NI side: pop a donated receive buffer index."""
         return self.free_queue.try_pop()
+
+    # -- health / accounting -------------------------------------------------
+    @property
+    def recv_queue_occupancy(self) -> float:
+        """Receive-queue fill fraction (0.0 empty .. 1.0 full)."""
+        return len(self.recv_queue) / self.recv_queue.capacity
+
+    @property
+    def free_buffer_level(self) -> float:
+        """Free-queue fill fraction relative to its capacity."""
+        return len(self.free_queue) / self.free_queue.capacity
+
+    def drop_stats(self) -> dict:
+        """Drop counters under the shared :data:`DROP_COUNTERS` names.
+
+        ``unknown_tag_drops`` happen before any endpoint is known, so an
+        endpoint always reports zero there; the demux table owns them.
+        """
+        return {
+            "recv_queue_drops": self.receive_drops,
+            "no_buffer_drops": self.no_buffer_drops,
+            "unknown_tag_drops": 0,
+            "quarantine_drops": self.quarantine_drops,
+        }
 
     def _wake_receivers(self) -> None:
         waiters, self._recv_waiters = self._recv_waiters, []

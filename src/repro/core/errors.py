@@ -6,6 +6,7 @@ __all__ = [
     "UNetError",
     "ChannelError",
     "EndpointError",
+    "InvalidDescriptorError",
     "ProtectionError",
     "MessageTooLarge",
 ]
@@ -21,6 +22,14 @@ class EndpointError(UNetError):
 
 class ChannelError(UNetError):
     """Unknown or mis-registered communication channel."""
+
+
+class InvalidDescriptorError(EndpointError):
+    """A descriptor pushed onto an endpoint queue is malformed (buffer
+    index out of range, segment length negative or larger than the
+    buffer).  Raised at ``post_send``/``donate_free_buffer`` time so a
+    misbehaving application fails in its own system call instead of
+    deep inside the NI firmware or kernel service routine."""
 
 
 class ProtectionError(EndpointError):

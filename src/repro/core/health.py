@@ -1,0 +1,263 @@
+"""Per-endpoint health monitoring and overload containment.
+
+The paper's U-Net is receiver-paced: when an endpoint's receive or free
+queue is empty the NI/kernel silently drops (Section 3), and nothing
+upstream reacts.  One dead or slow process can therefore force its
+peers into pathological retransmission while its traffic keeps burning
+NI firmware / kernel interrupt time — service capacity every *other*
+endpoint on the host needs.  This module adds the missing reaction: a
+watchdog samples each endpoint's drop counters and queue occupancy into
+EWMAs, classifies the endpoint, and applies a containment policy:
+
+* ``drop`` — the paper's status quo: keep counting, keep paying full
+  service cost for traffic that will be dropped at the final queue.
+* ``backpressure`` — while overloaded, the NI/kernel sheds the
+  endpoint's traffic at the demux step (cheap), and restores full
+  service once the application drains its queues below the exit
+  thresholds (hysteresis).  Drops become a transient, self-relieving
+  condition instead of a service-time leak.
+* ``quarantine`` — as above, but latched: the endpoint stays shed until
+  :meth:`HealthMonitor.release` (an operator action), matching the
+  protection story — one misbehaving process must never degrade other
+  processes' endpoints.
+
+Shedding is implemented by the substrates themselves: both
+``UNetFeBackend._rx_handler`` and ``UNetAtmBackend._rx_firmware`` check
+``endpoint.quarantined`` right after the demux lookup and drop shed
+traffic before any buffer allocation, copy, or DMA work happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from ..sim import Simulator
+from .endpoint import Endpoint
+
+__all__ = [
+    "POLICY_DROP",
+    "POLICY_BACKPRESSURE",
+    "POLICY_QUARANTINE",
+    "POLICIES",
+    "STATE_HEALTHY",
+    "STATE_OVERLOADED",
+    "STATE_SHED",
+    "STATE_QUARANTINED",
+    "HealthConfig",
+    "EndpointHealth",
+    "HealthMonitor",
+]
+
+POLICY_DROP = "drop"
+POLICY_BACKPRESSURE = "backpressure"
+POLICY_QUARANTINE = "quarantine"
+POLICIES = (POLICY_DROP, POLICY_BACKPRESSURE, POLICY_QUARANTINE)
+
+STATE_HEALTHY = "healthy"
+#: drops/occupancy above threshold but policy keeps serving (``drop``)
+STATE_OVERLOADED = "overloaded"
+#: shed under the ``backpressure`` policy (recovers on its own)
+STATE_SHED = "shed"
+#: shed under the ``quarantine`` policy (latched until release)
+STATE_QUARANTINED = "quarantined"
+
+
+@dataclass
+class HealthConfig:
+    """Watchdog thresholds and containment policy."""
+
+    policy: str = POLICY_DROP
+    #: sampling period of the watchdog process
+    check_period_us: float = 200.0
+    #: EWMA weight given to the newest sample (both estimators)
+    ewma_alpha: float = 0.4
+    #: enter overload when the drop-rate EWMA (service drops per check
+    #: period: recv-queue + no-buffer) crosses this ...
+    drop_rate_high: float = 2.0
+    #: ... or the receive-queue occupancy EWMA crosses this
+    occupancy_high: float = 0.9
+    #: consecutive bad samples required before the policy fires
+    min_unhealthy_checks: int = 2
+    #: ``backpressure`` exit thresholds (hysteresis below the entry ones)
+    drop_rate_low: float = 0.25
+    occupancy_low: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown containment policy {self.policy!r}")
+        if self.check_period_us <= 0.0:
+            raise ValueError("check_period_us must be positive")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.min_unhealthy_checks < 1:
+            raise ValueError("min_unhealthy_checks must be >= 1")
+        if not 0.0 <= self.drop_rate_low <= self.drop_rate_high:
+            raise ValueError("need 0 <= drop_rate_low <= drop_rate_high")
+        if not 0.0 <= self.occupancy_low <= self.occupancy_high:
+            raise ValueError("need 0 <= occupancy_low <= occupancy_high")
+
+
+class EndpointHealth:
+    """The watchdog's record for one endpoint."""
+
+    __slots__ = (
+        "endpoint",
+        "state",
+        "drop_ewma",
+        "occupancy_ewma",
+        "unhealthy_checks",
+        "shed_at",
+        "shed_episodes",
+        "recovered_at",
+        "_last_service_drops",
+    )
+
+    def __init__(self, endpoint: Endpoint) -> None:
+        self.endpoint = endpoint
+        self.state = STATE_HEALTHY
+        self.drop_ewma = 0.0
+        self.occupancy_ewma = 0.0
+        self.unhealthy_checks = 0
+        #: sim time the endpoint was last shed (None if never)
+        self.shed_at: Optional[float] = None
+        self.shed_episodes = 0
+        self.recovered_at: Optional[float] = None
+        self._last_service_drops = self._service_drops()
+
+    def _service_drops(self) -> int:
+        """Drops that cost the NI/kernel real service time.
+
+        Quarantine drops are excluded: once shed, the endpoint stops
+        generating the very signal that shed it, which is what lets the
+        ``backpressure`` EWMAs decay toward recovery.
+        """
+        return self.endpoint.receive_drops + self.endpoint.no_buffer_drops
+
+    def sample(self, alpha: float) -> None:
+        drops = self._service_drops()
+        delta = drops - self._last_service_drops
+        self._last_service_drops = drops
+        self.drop_ewma += alpha * (delta - self.drop_ewma)
+        self.occupancy_ewma += alpha * (self.endpoint.recv_queue_occupancy - self.occupancy_ewma)
+
+    def telemetry(self) -> dict:
+        """One row of per-endpoint health telemetry for reports."""
+        stats = self.endpoint.drop_stats()
+        stats.update(
+            endpoint=self.endpoint.id,
+            owner=self.endpoint.owner,
+            state=self.state,
+            drop_ewma=self.drop_ewma,
+            occupancy_ewma=self.occupancy_ewma,
+            shed_episodes=self.shed_episodes,
+            messages_received=self.endpoint.messages_received,
+        )
+        return stats
+
+
+class HealthMonitor:
+    """Watchdog process applying one :class:`HealthConfig` to endpoints.
+
+    One monitor typically serves one host (all endpoints of a backend),
+    mirroring where the real mechanism would live — the kernel service
+    routine or NI firmware.  Endpoints join via :meth:`watch`; the
+    monitor process starts lazily with the first one.
+    """
+
+    def __init__(self, sim: Simulator, config: Optional[HealthConfig] = None,
+                 name: str = "health") -> None:
+        self.sim = sim
+        self.config = config or HealthConfig()
+        self.name = name
+        self._records: Dict[int, EndpointHealth] = {}
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------- lifecycle
+    def watch(self, endpoint: Endpoint) -> EndpointHealth:
+        """Start monitoring ``endpoint``; returns its health record."""
+        record = self._records.get(endpoint.id)
+        if record is not None and record.endpoint is endpoint:
+            return record
+        record = EndpointHealth(endpoint)
+        self._records[endpoint.id] = record
+        if not self._running:
+            self._running = True
+            self.sim.process(self._watchdog(), name=f"{self.name}.watchdog")
+        return record
+
+    def unwatch(self, endpoint: Endpoint) -> None:
+        self._records.pop(endpoint.id, None)
+
+    def stop(self) -> None:
+        """Stop the watchdog process (endpoints keep their last state)."""
+        self._stopped = True
+
+    def health_of(self, endpoint: Endpoint) -> Optional[EndpointHealth]:
+        record = self._records.get(endpoint.id)
+        if record is not None and record.endpoint is endpoint:
+            return record
+        return None
+
+    def release(self, endpoint: Endpoint) -> None:
+        """Operator action: lift a quarantine (or shed) and start fresh."""
+        record = self.health_of(endpoint)
+        if record is None:
+            return
+        endpoint.quarantined = False
+        record.state = STATE_HEALTHY
+        record.unhealthy_checks = 0
+        record.drop_ewma = 0.0
+        record.occupancy_ewma = 0.0
+        record.recovered_at = self.sim.now
+
+    # -------------------------------------------------------------- watchdog
+    def _watchdog(self) -> Generator:
+        cfg = self.config
+        while not self._stopped:
+            yield self.sim.timeout(cfg.check_period_us)
+            for record in list(self._records.values()):
+                record.sample(cfg.ewma_alpha)
+                self._classify(record)
+        self._running = False
+
+    def _classify(self, record: EndpointHealth) -> None:
+        cfg = self.config
+        if record.state == STATE_QUARANTINED:
+            return  # latched: only release() exits
+        overloaded = (record.drop_ewma >= cfg.drop_rate_high
+                      or record.occupancy_ewma >= cfg.occupancy_high)
+        if record.state == STATE_SHED:
+            if (record.drop_ewma <= cfg.drop_rate_low
+                    and record.occupancy_ewma <= cfg.occupancy_low):
+                record.endpoint.quarantined = False
+                record.state = STATE_HEALTHY
+                record.unhealthy_checks = 0
+                record.recovered_at = self.sim.now
+            return
+        if not overloaded:
+            record.unhealthy_checks = 0
+            if record.state == STATE_OVERLOADED:
+                record.state = STATE_HEALTHY
+            return
+        record.unhealthy_checks += 1
+        if record.unhealthy_checks < cfg.min_unhealthy_checks:
+            return
+        if cfg.policy == POLICY_DROP:
+            record.state = STATE_OVERLOADED
+        elif cfg.policy == POLICY_BACKPRESSURE:
+            record.state = STATE_SHED
+            record.endpoint.quarantined = True
+            record.shed_at = self.sim.now
+            record.shed_episodes += 1
+        else:  # POLICY_QUARANTINE
+            record.state = STATE_QUARANTINED
+            record.endpoint.quarantined = True
+            record.shed_at = self.sim.now
+            record.shed_episodes += 1
+
+    # ------------------------------------------------------------- reporting
+    def report(self) -> List[dict]:
+        """Per-endpoint telemetry rows, in endpoint-id order."""
+        return [self._records[key].telemetry() for key in sorted(self._records)]

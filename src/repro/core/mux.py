@@ -48,3 +48,12 @@ class DemuxTable:
         if entry is None:
             self.unknown_tag_drops += 1
         return entry
+
+    def drop_stats(self) -> dict:
+        """Drop counters under the shared ``DROP_COUNTERS`` names."""
+        return {
+            "recv_queue_drops": 0,
+            "no_buffer_drops": 0,
+            "unknown_tag_drops": self.unknown_tag_drops,
+            "quarantine_drops": 0,
+        }

@@ -132,6 +132,7 @@ class UNetFeBackend(UNetBackend):
         self.messages_received = 0
         self.no_buffer_drops = 0
         self.recv_queue_drops = 0
+        self.quarantine_drops = 0
         self.ip_header_drops = 0
 
     # ------------------------------------------------------------------ API
@@ -299,6 +300,12 @@ class UNetFeBackend(UNetBackend):
                 if target is None:
                     continue
                 endpoint, channel_id = target
+                if endpoint.quarantined:
+                    # containment: shed before any alloc/copy work so a
+                    # misbehaving endpoint stops consuming kernel time
+                    self.quarantine_drops += 1
+                    endpoint.quarantine_drops += 1
+                    continue
                 yield from self._step(RX_TRACE, "alloc+init U-Net recv descr", t.alloc_init_recv_descriptor_us)
                 yield from self._deliver_payload(endpoint, channel_id, payload)
                 yield from self._step(RX_TRACE, "bump device recv ring", t.bump_recv_ring_us)
@@ -321,6 +328,7 @@ class UNetFeBackend(UNetBackend):
                 index = endpoint.take_free_buffer()
                 if index is None:
                     self.no_buffer_drops += 1
+                    endpoint.no_buffer_drops += 1
                     for idx, _l in segments:
                         endpoint.free_queue.try_push(idx)
                     return

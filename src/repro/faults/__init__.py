@@ -4,9 +4,12 @@ The paper's U-Net "offers no retransmission or flow control" (Section
 3.1); everything above it must earn its reliability.  This package
 supplies the adversary: perturbation models (:mod:`~repro.faults.perturb`)
 composed into pipelines attached to either substrate's delivery hook
-(:mod:`~repro.faults.inject`), and a soak harness that drives Active
-Messages traffic through named chaos scenarios while checking delivery
-invariants (:mod:`~repro.faults.soak`).
+(:mod:`~repro.faults.inject`), endpoint-level faults — receivers that
+stall, lag, or leak, and senders that post garbage descriptors
+(:mod:`~repro.faults.receiver`) — and two soak harnesses that drive
+traffic through named scenarios while checking delivery invariants:
+wire chaos (:mod:`~repro.faults.soak`) and service-capacity overload
+(:mod:`~repro.faults.overload`).
 """
 
 from .inject import (
@@ -30,6 +33,24 @@ from .perturb import (
     PerturbationContext,
     Reorder,
     UniformLoss,
+)
+from .overload import (
+    OVERLOAD_SCENARIOS,
+    OverloadResult,
+    OverloadScenario,
+    compare_credit,
+    compare_policies,
+    render_endpoint_table,
+    render_overload_table,
+    run_overload,
+)
+from .receiver import (
+    LeakyReceiver,
+    MisbehavingSender,
+    ReceiverFault,
+    SlowReceiver,
+    StalledReceiver,
+    forge_unknown_traffic,
 )
 from .soak import (
     SCENARIOS,
@@ -73,4 +94,18 @@ __all__ = [
     "render_soak_table",
     "render_comparison",
     "wins",
+    "ReceiverFault",
+    "SlowReceiver",
+    "StalledReceiver",
+    "LeakyReceiver",
+    "MisbehavingSender",
+    "forge_unknown_traffic",
+    "OverloadScenario",
+    "OverloadResult",
+    "OVERLOAD_SCENARIOS",
+    "run_overload",
+    "compare_policies",
+    "compare_credit",
+    "render_overload_table",
+    "render_endpoint_table",
 ]
