@@ -278,6 +278,13 @@ class AmEndpoint:
         self.replies_sent = 0
         self.acks_sent = 0
         self.requests_delivered = 0
+        #: optional observable-event hook ``observer(kind, fields)``.
+        #: Kinds: grant, credit_stall, tx, rexmit, timeout, dispatch,
+        #: reply, dup_rx.  Every ``fields`` dict carries ``node`` (this
+        #: endpoint), ``peer`` and ``t`` (sim time); the conformance
+        #: checker consumes these to diff substrates against the
+        #: reference model without reaching into private state.
+        self.observer: Optional[Callable[[str, Dict], None]] = None
         self._running = True
         self.sim.process(self._dispatch_loop(), name=f"am{node_id}.dispatch")
         if self.config.credit_flow:
@@ -305,6 +312,40 @@ class AmEndpoint:
     def shutdown(self) -> None:
         """Stop background activity so the simulation can drain."""
         self._running = False
+
+    # ------------------------------------------------------- introspection
+    def _observe(self, kind: str, peer: _PeerState, **fields) -> None:
+        if self.observer is not None:
+            fields["node"] = self.node
+            fields["peer"] = peer.node
+            fields["t"] = self.sim.now
+            self.observer(kind, fields)
+
+    def snapshot(self) -> Dict[int, Dict]:
+        """State-machine introspection: one dict per connected peer.
+
+        Everything a checker needs to reason about the protocol state
+        without touching ``_PeerState`` internals directly.
+        """
+        out: Dict[int, Dict] = {}
+        for node, p in self._peers_by_node.items():
+            out[node] = {
+                "next_seq": p.next_seq,
+                "expected_seq": p.expected_seq,
+                "unacked": len(p.unacked),
+                "window": self._effective_window(p),
+                "cwnd": p.cwnd,
+                "remote_credit": p.remote_credit,
+                "last_advertised": p.last_advertised,
+                "retransmissions": p.retransmissions,
+                "timeouts": p.timeouts,
+                "fast_retransmits": p.fast_retransmits,
+                "duplicates": p.duplicates,
+                "credit_stalls": p.credit_stalls,
+                "rtt_samples": p.rtt_samples,
+                "srtt_us": p.srtt,
+            }
+        return out
 
     # ------------------------------------------------------------- sending
     def request(self, dest: int, handler: int, args=(), data: bytes = b"") -> Generator:
@@ -380,6 +421,10 @@ class AmEndpoint:
             peer.sent_at[packet.seq] = self.sim.now
             peer.last_progress = self.sim.now
             self._ensure_timer(peer)
+            # observed pre-spend: remote_credit is what the gate saw
+            self._observe("tx", peer, seq=packet.seq, ptype=packet.type,
+                          unacked=len(peer.unacked), window=self._effective_window(peer),
+                          remote_credit=peer.remote_credit)
             if self.config.credit_flow and peer.remote_credit is not None:
                 # conservative spend between advertisements; the next
                 # absolute advertisement overwrites any drift.  Replies
@@ -407,10 +452,14 @@ class AmEndpoint:
                 # burn its service time with packets it must drop) until
                 # an advertisement says the pressure is off
                 peer.credit_stalls += 1
+                self._observe("credit_stall", peer, remote_credit=peer.remote_credit)
                 event = self.sim.event(name=f"am{self.node}.credit")
                 peer.credit_waiters.append(event)
                 yield event
                 continue
+            self._observe("grant", peer, unacked=len(peer.unacked),
+                          window=self._effective_window(peer),
+                          remote_credit=peer.remote_credit)
             return
 
     def _local_credit(self) -> int:
@@ -480,6 +529,8 @@ class AmEndpoint:
                 else:
                     # go-back-N: duplicates and holes both trigger a re-ack
                     peer.duplicates += 1
+                    self._observe("dup_rx", peer, seq=packet.seq,
+                                  expected=peer.expected_seq)
                 self._note_delivery(peer, out_of_order=True)
                 continue
             yield from self._deliver_in_order(peer, packet)
@@ -495,8 +546,11 @@ class AmEndpoint:
         peer.expected_seq = seq_add(peer.expected_seq, 1)
         if packet.type == TYPE_REQUEST:
             self.requests_delivered += 1
+            self._observe("dispatch", peer, seq=packet.seq, handler=packet.handler,
+                          msg=packet.args[0])
             yield from self._run_handler(peer, packet)
         elif packet.type == TYPE_REPLY:
+            self._observe("reply", peer, seq=packet.seq, req_seq=packet.req_seq)
             waiter = self._rpc_waiters.pop((peer.node, packet.req_seq), None)
             if waiter is not None:
                 waiter.succeed((packet.args, packet.data))
@@ -636,6 +690,7 @@ class AmEndpoint:
                 break
             if self.sim.now - peer.last_progress >= timeout:
                 peer.timeouts += 1
+                self._observe("timeout", peer, rto_us=timeout)
                 if self.config.adaptive_rto:
                     peer.backoff += 1
                 if self.config.adaptive_window:
@@ -656,6 +711,7 @@ class AmEndpoint:
                 return
             head = peer.unacked[head_seq]
             peer.retransmissions += 1
+            self._observe("rexmit", peer, seq=head_seq)
             peer.rexmit_seqs.add(head_seq)
             peer.last_progress = self.sim.now
             head.ack = peer.expected_seq

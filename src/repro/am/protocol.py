@@ -35,6 +35,7 @@ __all__ = [
     "seq_lt",
     "seq_leq",
     "seq_add",
+    "peek_type_seq",
 ]
 
 #: type, handler, seq, ack, req_seq, 4 word args, data length
@@ -123,6 +124,21 @@ def encode(packet: Packet) -> bytes:
         len(packet.data),
     )
     return header + credit + packet.data
+
+
+def peek_type_seq(raw: bytes) -> Optional[Tuple[int, int]]:
+    """Read ``(type, seq)`` from a wire message's header, if present.
+
+    Needs only the first ``HEADER_SIZE`` bytes, so it works on the first
+    cell of a segmented AAL5 PDU (the AM header always fits one cell) —
+    that is what lets a fault schedule identify a packet on either
+    substrate without reassembling it.  The credit flag is stripped.
+    Returns None when ``raw`` is too short to hold a header.
+    """
+    if len(raw) < HEADER_SIZE:
+        return None
+    ptype, _handler, seq = struct.unpack("!BBH", raw[:4])
+    return ptype & ~CREDIT_FLAG, seq
 
 
 def decode(raw: bytes) -> Packet:

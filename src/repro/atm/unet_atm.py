@@ -231,7 +231,7 @@ class UNetAtmBackend(UNetBackend):
                         endpoint.free_queue.try_push(idx)
                 if cell.last:
                     self.quarantine_drops += 1
-                    endpoint.quarantine_drops += 1
+                    endpoint.note_drop("quarantine_drops")
                 continue
             state = self._reassembly.get(cell.vci)
             if state is None and cell.last and self.single_cell_fast_path:
@@ -246,7 +246,7 @@ class UNetAtmBackend(UNetBackend):
                 if taken is None:
                     state.dropping = True
                     self.no_buffer_drops += 1
-                    endpoint.no_buffer_drops += 1
+                    endpoint.note_drop("no_buffer_drops")
                 else:
                     state.buffer_indices.append(taken)
             if not state.dropping:
@@ -304,7 +304,7 @@ class UNetAtmBackend(UNetBackend):
                 idx = endpoint.take_free_buffer()
                 if idx is None:
                     self.no_buffer_drops += 1
-                    endpoint.no_buffer_drops += 1
+                    endpoint.note_drop("no_buffer_drops")
                     for used_idx, _len in segments:
                         endpoint.free_queue.try_push(used_idx)
                     return

@@ -34,6 +34,7 @@ _EXPERIMENTS = {
     "bandwidth": "single bandwidth measurement",
     "splitc": "run one Split-C benchmark in the event-level simulator",
     "soak": "soak suites: wire chaos or service-capacity overload",
+    "conformance": "differential conformance: both substrates vs the reference model",
     "report": "regenerate the full evaluation (all figures and tables)",
     "validate": "self-check every headline number against the paper",
     "list": "list available experiments",
@@ -356,6 +357,63 @@ def _cmd_soak_overload(args) -> int:
     return 0 if all(r.ok for r in (contained or results)) else 1
 
 
+def _cmd_conformance(args) -> int:
+    """Differential conformance sweep / single-case replay."""
+    from .conformance import (
+        BUGS, generate_case, load_artifact, render_report, run_case,
+        save_artifact, shrink_case,
+    )
+
+    substrates = tuple(args.substrate) if args.substrate else ("atm", "ethernet")
+    if args.bug and args.bug not in BUGS:
+        print(f"unknown bug {args.bug!r}; choose from {sorted(BUGS)}", file=sys.stderr)
+        return 2
+
+    if args.replay:
+        case = load_artifact(args.replay)
+        report = run_case(case, substrates=substrates, bug=args.bug)
+        print(render_report(report))
+        return 0 if report.ok else 1
+
+    configs = tuple(args.config) if args.config else ("fixed", "adaptive", "credit")
+    if args.bug:
+        # a bug only shows where its machinery is engaged
+        configs = tuple(c for c in configs if c in BUGS[args.bug]["configs"]) or configs
+    failures = []
+    ran = 0
+    for seed in range(args.seed_base, args.seed_base + args.seeds):
+        for config_name in configs:
+            case = generate_case(seed, config_name, n_messages=args.messages)
+            report = run_case(case, substrates=substrates, bug=args.bug)
+            ran += 1
+            if report.ok:
+                if args.verbose:
+                    print(render_report(report, context=False))
+                continue
+            failures.append(report)
+            print(render_report(report))
+            if args.shrink:
+                print(f"  shrinking (budget {args.budget} runs)...")
+                result = shrink_case(report, substrates=substrates, budget=args.budget,
+                                     progress=lambda m: print(f"    {m}"))
+                print(f"  minimized {result.original_size} -> {result.case.size} events "
+                      f"in {result.attempts} attempts; divergence kinds: "
+                      f"{', '.join(result.kinds)}")
+                print(render_report(result.report))
+                if args.artifact:
+                    save_artifact(args.artifact, result)
+                    print(f"  reproducer written to {args.artifact} "
+                          f"(replay: python -m repro conformance --replay {args.artifact})")
+            if args.fail_fast:
+                break
+        if args.fail_fast and failures:
+            break
+    verdict = "no divergences" if not failures else f"{len(failures)} divergent case(s)"
+    print(f"conformance: {ran} differential runs over {list(configs)} "
+          f"on {list(substrates)}: {verdict}")
+    return 0 if not failures else 1
+
+
 def _cmd_validate(_args) -> int:
     from .analysis import render_validation, validate_reproduction
 
@@ -461,6 +519,29 @@ def build_parser() -> argparse.ArgumentParser:
     pk.add_argument("--stats", action="store_true",
                     help="dump fault-pipeline / per-endpoint telemetry")
     pk.set_defaults(func=_cmd_soak)
+    pc = sub.add_parser("conformance", help=_EXPERIMENTS["conformance"])
+    pc.add_argument("--seeds", type=int, default=10,
+                    help="number of generated cases per config preset")
+    pc.add_argument("--seed-base", type=int, default=0, help="first seed of the sweep")
+    pc.add_argument("--messages", type=int, default=12, help="workload length per case")
+    pc.add_argument("--config", action="append", choices=("fixed", "adaptive", "credit"),
+                    help="config preset (repeatable; default: all three)")
+    pc.add_argument("--substrate", action="append", choices=("atm", "ethernet"),
+                    help="substrate (repeatable; default: both)")
+    pc.add_argument("--bug", default=None,
+                    help="inject a named protocol bug (the harness must catch it)")
+    pc.add_argument("--shrink", action="store_true",
+                    help="minimize each failing case to its smallest reproducer")
+    pc.add_argument("--budget", type=int, default=160,
+                    help="max differential runs the shrinker may spend per failure")
+    pc.add_argument("--artifact", metavar="FILE", default=None,
+                    help="write the shrunk reproducer JSON here")
+    pc.add_argument("--replay", metavar="FILE", default=None,
+                    help="re-run one saved reproducer instead of sweeping")
+    pc.add_argument("--fail-fast", action="store_true",
+                    help="stop the sweep at the first divergent case")
+    pc.add_argument("--verbose", action="store_true", help="print passing cases too")
+    pc.set_defaults(func=_cmd_conformance)
     pr2 = sub.add_parser("report", help=_EXPERIMENTS["report"])
     pr2.add_argument("--keys", type=int, default=512 * 1024)
     pr2.set_defaults(func=_cmd_report)

@@ -1,0 +1,416 @@
+"""The differential checker: one case, three executions, one verdict.
+
+``run_case`` drives an identical workload and fault schedule through
+the ATM substrate, the FE substrate, and the reference model, then
+diffs the AM-level observable traces:
+
+* **deliveries** — dispatch order and RPC completions compared exactly
+  (go-back-N semantics are timing-independent);
+* **drops** — observed drop classes must be a subset of what the
+  reference semantics allow for this case (a roomy receiver must show
+  zero; quarantine/unknown-tag never appear in a clean run);
+* **retransmissions** — compared within a tolerance band (timing
+  differs across substrates; the *need* to retransmit does not);
+* **fired schedule** — every occurrence-0 fault must hit the same
+  packet on every execution, which is the checker checking its own
+  premise that schedules are substrate-invariant;
+* **online invariants** — window gate, credit gate, and dispatch
+  continuity, caught by the probe at the exact violating event.
+
+``inject_bug`` installs a deliberately broken state machine (e.g. the
+off-by-one credit gate) so the harness can prove it detects — and the
+shrinker can minimize — a real semantic regression.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence
+
+from ..am import AmEndpoint
+from ..am.am import _PeerState  # typing/introspection only
+from ..core import EndpointConfig
+from ..faults.inject import attach_pipeline
+from ..faults.scripted import scripted_stage_factory
+from ..sim import Simulator
+from .model import RefTrace, run_reference
+from .observe import ObservationProbe, ObservedTrace
+from .schedule import ConformanceCase
+
+__all__ = ["Divergence", "CaseReport", "run_substrate", "run_case",
+           "diff_case", "render_report", "BUGS", "inject_bug", "SUBSTRATES"]
+
+SUBSTRATES = ("atm", "ethernet")
+
+#: wall-clock drain after the workload completes, so tail
+#: retransmissions and acks settle before counters are read
+_DRAIN_US = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observable disagreement between an execution and the spec."""
+
+    kind: str
+    substrate: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.substrate}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class CaseReport:
+    """Everything one differential run produced."""
+
+    case: ConformanceCase
+    ref: RefTrace
+    traces: Dict[str, ObservedTrace]
+    divergences: List[Divergence] = field(default_factory=list)
+    bug: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def first_divergence(self) -> Optional[Divergence]:
+        return self.divergences[0] if self.divergences else None
+
+
+# --------------------------------------------------------------- bug library
+def _buggy_credit_gate(self, peer: _PeerState) -> Generator:
+    """The classic off-by-one: sends while remote credit is exactly 0."""
+    while True:
+        if len(peer.unacked) >= self._effective_window(peer):
+            event = self.sim.event(name=f"am{self.node}.window")
+            peer.window_waiters.append(event)
+            yield event
+            continue
+        if (self.config.credit_flow and peer.remote_credit is not None
+                and peer.remote_credit < 0):  # BUG: spec says <= 0
+            peer.credit_stalls += 1
+            self._observe("credit_stall", peer, remote_credit=peer.remote_credit)
+            event = self.sim.event(name=f"am{self.node}.credit")
+            peer.credit_waiters.append(event)
+            yield event
+            continue
+        self._observe("grant", peer, unacked=len(peer.unacked),
+                      window=self._effective_window(peer),
+                      remote_credit=peer.remote_credit)
+        return
+
+
+def _buggy_ack_horizon(self, peer: _PeerState, ack: int) -> None:
+    """Cumulative-ack fencepost: also acks the packet the receiver is
+    still *waiting for*, so a dropped packet is never retransmitted."""
+    from ..am.protocol import seq_add, seq_lt
+
+    cfg = self.config
+    acked = [seq for seq in peer.unacked if seq_lt(seq, seq_add(ack, 1))]  # BUG: < ack
+    if not acked:
+        if cfg.fast_retransmit and peer.unacked:
+            if peer.last_ack is None or peer.last_ack != ack:
+                peer.last_ack = ack
+                peer.dup_acks = 0
+            else:
+                peer.dup_acks += 1
+                if peer.dup_acks == cfg.dup_ack_threshold:
+                    self._fast_retransmit(peer)
+        return
+    peer.last_ack = ack
+    peer.dup_acks = 0
+    if cfg.adaptive_rto:
+        sample = None
+        for seq in acked:
+            sent = peer.sent_at.pop(seq, None)
+            if sent is not None and seq not in peer.rexmit_seqs:
+                sample = self.sim.now - sent
+            peer.rexmit_seqs.discard(seq)
+        if sample is not None:
+            self._update_rto(peer, sample)
+        peer.backoff = 0
+    else:
+        for seq in acked:
+            peer.sent_at.pop(seq, None)
+            peer.rexmit_seqs.discard(seq)
+    if cfg.adaptive_window:
+        peer.cwnd = min(float(cfg.window),
+                        peer.cwnd + len(acked) / max(peer.cwnd, 1.0))
+    for seq in acked:
+        del peer.unacked[seq]
+    peer.last_progress = self.sim.now
+    while peer.window_waiters and len(peer.unacked) < self._effective_window(peer):
+        peer.window_waiters.pop(0).succeed()
+
+
+#: named, intentionally broken protocol variants the harness must catch
+BUGS: Dict[str, dict] = {
+    "credit-gate": {
+        "description": "send admitted while remote credit is exactly 0 "
+                       "(gate tests < 0 instead of <= 0)",
+        "patches": {"_acquire_window": _buggy_credit_gate},
+        "configs": ("credit",),
+    },
+    "ack-horizon": {
+        "description": "cumulative ack off by one: the packet the receiver "
+                       "is waiting for is treated as acknowledged, so a "
+                       "dropped packet is never retransmitted",
+        "patches": {"_process_ack": _buggy_ack_horizon},
+        "configs": ("fixed", "adaptive", "credit"),
+    },
+}
+
+
+@contextmanager
+def inject_bug(name: Optional[str]):
+    """Temporarily install a named bug into :class:`AmEndpoint`."""
+    if name is None:
+        yield
+        return
+    if name not in BUGS:
+        raise ValueError(f"unknown bug {name!r}; choose from {sorted(BUGS)}")
+    patches = BUGS[name]["patches"]
+    saved = {attr: getattr(AmEndpoint, attr) for attr in patches}
+    try:
+        for attr, fn in patches.items():
+            setattr(AmEndpoint, attr, fn)
+        yield
+    finally:
+        for attr, fn in saved.items():
+            setattr(AmEndpoint, attr, fn)
+
+
+# ------------------------------------------------------------------- running
+def _build_network(substrate: str, sim: Simulator):
+    if substrate == "atm":
+        from ..atm import AtmNetwork
+
+        return AtmNetwork(sim)
+    if substrate in ("ethernet", "fe"):
+        from ..ethernet import SwitchedNetwork
+
+        return SwitchedNetwork(sim)
+    raise ValueError(f"unknown substrate {substrate!r}; choose from {SUBSTRATES}")
+
+
+def _payload(i: int, size: int) -> bytes:
+    return bytes((i + j) % 256 for j in range(size))
+
+
+def run_substrate(case: ConformanceCase, substrate: str,
+                  bug: Optional[str] = None) -> ObservedTrace:
+    """Run ``case`` on one substrate and collect its observable trace."""
+    from ..hw import PENTIUM_120
+
+    with inject_bug(bug):
+        sim = Simulator()
+        net = _build_network(substrate, sim)
+        h0 = net.add_host("n0", PENTIUM_120)
+        h1 = net.add_host("n1", PENTIUM_120)
+        sender_cfg = EndpointConfig(num_buffers=64, buffer_size=2048,
+                                    send_queue_depth=64, recv_queue_depth=64)
+        receiver_cfg = EndpointConfig(num_buffers=case.rx_buffers + 24, buffer_size=2048,
+                                      send_queue_depth=64,
+                                      recv_queue_depth=case.recv_queue_depth)
+        ep0 = h0.create_endpoint(config=sender_cfg, rx_buffers=32)
+        ep1 = h1.create_endpoint(config=receiver_cfg, rx_buffers=case.rx_buffers)
+        ch0, ch1 = net.connect(ep0, ep1)
+        config0 = case.am_config(receiver=False)
+        config1 = case.am_config(receiver=True)
+        am0 = AmEndpoint(0, ep0, config=config0)
+        am1 = AmEndpoint(1, ep1, config=config1)
+        am0.connect_peer(1, ch0)
+        am1.connect_peer(0, ch1)
+
+        probe = ObservationProbe(substrate, requester_node=0,
+                                 config_window=config0.window)
+        probe.attach_am(am0)
+        probe.attach_am(am1)
+        probe.attach_endpoint(ep0.endpoint)
+        probe.attach_endpoint(ep1.endpoint)
+        probe.attach_demux(h0.backend.demux)
+        probe.attach_demux(h1.backend.demux)
+        probe.attach_trace(h1.backend.trace)
+
+        # the scripted stage at h1 sees the request path, the one at h0
+        # the reply path — keyed by packet identity, not arrival index
+        fwd_stage = scripted_stage_factory(h1.backend, case.fwd_faults())
+        rev_stage = scripted_stage_factory(h0.backend, case.rev_faults())
+        pipelines = [
+            attach_pipeline(h1.backend, [fwd_stage], prefix="conformance.fwd"),
+            attach_pipeline(h0.backend, [rev_stage], prefix="conformance.rev"),
+        ]
+
+        integrity_failures: List[int] = []
+
+        def handler(ctx) -> None:
+            i = ctx.args[0]
+            if ctx.data != _payload(i, len(ctx.data)) or len(ctx.data) != case.messages[i].size:
+                integrity_failures.append(i)
+
+        def rpc_handler(ctx):
+            handler(ctx)
+            yield from ctx.reply(args=(ctx.args[0] * 2 + 1,))
+
+        am1.register_handler(1, handler)
+        am1.register_handler(2, rpc_handler)
+
+        rpc_errors: List[str] = []
+
+        def traffic():
+            for i, message in enumerate(case.messages):
+                data = _payload(i, message.size)
+                if message.rpc:
+                    args, _d = yield from am0.rpc(1, 2, args=(i,), data=data)
+                    if args[0] != i * 2 + 1:
+                        rpc_errors.append(f"rpc {i} returned {args[0]}, wanted {i * 2 + 1}")
+                else:
+                    yield from am0.request(1, 1, args=(i,), data=data)
+            return sim.now
+
+        process = sim.process(traffic(), name="conformance.traffic")
+        sim.run(until=case.time_limit_us)
+        completed = bool(process.triggered) and process.ok
+        completion = process.value if completed else case.time_limit_us
+        if completed:
+            am0.shutdown()
+            am1.shutdown()
+            sim.run(until=min(case.time_limit_us, sim.now + _DRAIN_US))
+
+        for line in rpc_errors:
+            probe.violations.append(f"rpc: {line}")
+        if integrity_failures:
+            probe.violations.append(
+                f"integrity: corrupted payload reached the handler for ids "
+                f"{sorted(set(integrity_failures))[:8]}")
+
+        snapshots = {"am0": am0.snapshot(), "am1": am1.snapshot()}
+        trace = probe.finish(completed, completion,
+                             fired=fwd_stage.fired + rev_stage.fired,
+                             snapshots=snapshots)
+        trace.rexmit = sum(p["retransmissions"] for snap in snapshots.values()
+                           for p in snap.values())
+        trace.timeouts = sum(p["timeouts"] for snap in snapshots.values()
+                             for p in snap.values())
+        trace.dup_rx = sum(p["duplicates"] for snap in snapshots.values()
+                           for p in snap.values())
+        trace.credit_stalls = sum(p["credit_stalls"] for snap in snapshots.values()
+                                  for p in snap.values())
+        for pipeline in pipelines:
+            pipeline.restore()
+        return trace
+
+
+# ------------------------------------------------------------------- diffing
+def diff_case(case: ConformanceCase, ref: RefTrace,
+              traces: Dict[str, ObservedTrace]) -> List[Divergence]:
+    """Every observable disagreement between executions and the spec."""
+    out: List[Divergence] = []
+    for name, obs in traces.items():
+        for violation in obs.violations:
+            kind, _, detail = violation.partition(": ")
+            out.append(Divergence(kind, name, detail or violation))
+        if obs.completed != ref.completed:
+            out.append(Divergence(
+                "termination", name,
+                f"substrate {'completed' if obs.completed else 'did not complete'} "
+                f"but the reference model {'did' if ref.completed else 'did not'} "
+                f"({len(obs.dispatched)}/{len(case.messages)} dispatched "
+                f"by t={obs.completion_time_us:.0f}us)"))
+            continue  # downstream diffs are noise on a hung run
+        if obs.dispatched != ref.dispatched:
+            index = next((i for i, (a, b) in enumerate(zip(obs.dispatched, ref.dispatched))
+                          if a != b), min(len(obs.dispatched), len(ref.dispatched)))
+            out.append(Divergence(
+                "dispatch-order", name,
+                f"first mismatch at position {index}: substrate "
+                f"{obs.dispatched[index:index + 6]} vs reference "
+                f"{ref.dispatched[index:index + 6]}"))
+        if sorted(obs.replies) != sorted(ref.replies):
+            out.append(Divergence(
+                "reply-set", name,
+                f"substrate completed rpcs {sorted(obs.replies)} vs reference "
+                f"{sorted(ref.replies)}"))
+        if obs.fired_keys(0) != ref.fired_keys(0):
+            out.append(Divergence(
+                "fired-schedule", name,
+                f"occurrence-0 faults hit {obs.fired_keys(0)} on the substrate "
+                f"but {ref.fired_keys(0)} in the model — the schedule was not "
+                f"substrate-invariant"))
+        allowed = set(ref.drop_classes)
+        if case.overrun_possible():
+            allowed |= {"recv_queue_drops", "no_buffer_drops"}
+        observed = {k for k, v in obs.drop_classes.items() if v}
+        illegal = observed - allowed
+        if illegal:
+            out.append(Divergence(
+                "drop-class", name,
+                f"drop classes {sorted(illegal)} observed "
+                f"({ {k: obs.drop_classes[k] for k in sorted(illegal)} }) but the "
+                f"reference semantics allow only {sorted(allowed) or 'none'}"))
+        if obs.completed and ref.completed:
+            floor = sum(1 for f in obs.fired if f.action == "drop")
+            ceiling = 4 * max(ref.rexmit, floor, 1) + 16
+            if not floor <= obs.rexmit <= ceiling:
+                out.append(Divergence(
+                    "rexmit-band", name,
+                    f"{obs.rexmit} retransmissions outside the tolerance band "
+                    f"[{floor}, {ceiling}] (reference needed {ref.rexmit}, "
+                    f"{floor} scheduled drops fired)"))
+    names = [n for n, t in traces.items() if t.completed]
+    for i in range(1, len(names)):
+        a, b = traces[names[0]], traces[names[i]]
+        if a.dispatched != b.dispatched:
+            out.append(Divergence(
+                "substrate-mismatch", f"{names[0]}/{names[i]}",
+                "the two substrates disagree on dispatch order"))
+    return out
+
+
+def run_case(case: ConformanceCase, substrates: Sequence[str] = SUBSTRATES,
+             bug: Optional[str] = None) -> CaseReport:
+    """The full differential run: reference model + each substrate."""
+    ref = run_reference(case)
+    traces = {name: run_substrate(case, name, bug=bug) for name in substrates}
+    return CaseReport(case=case, ref=ref, traces=traces,
+                      divergences=diff_case(case, ref, traces), bug=bug)
+
+
+# ----------------------------------------------------------------- reporting
+def render_report(report: CaseReport, context: bool = True) -> str:
+    """Human-readable verdict, with full context on the first divergence."""
+    lines = [report.case.describe()]
+    if report.bug:
+        lines.append(f"  injected bug: {report.bug} — {BUGS[report.bug]['description']}")
+    ref = report.ref
+    lines.append(f"  reference: dispatched={len(ref.dispatched)} replies={len(ref.replies)} "
+                 f"rexmit={ref.rexmit} drops={ref.drop_classes or '{}'} "
+                 f"fired={len(ref.fired)} ticks={ref.ticks}")
+    for name, obs in report.traces.items():
+        lines.append(f"  {name:9s}: completed={obs.completed} "
+                     f"dispatched={len(obs.dispatched)} replies={len(obs.replies)} "
+                     f"rexmit={obs.rexmit} dup_rx={obs.dup_rx} "
+                     f"stalls={obs.credit_stalls} drops={obs.drop_classes or '{}'} "
+                     f"t={obs.completion_time_us / 1000.0:.2f}ms")
+    if report.ok:
+        lines.append("  verdict: no divergences")
+        return "\n".join(lines)
+    lines.append(f"  verdict: {len(report.divergences)} divergence(s)")
+    for d in report.divergences:
+        lines.append(f"    !! {d}")
+    first = report.first_divergence()
+    if context and first is not None and first.substrate in report.traces:
+        obs = report.traces[first.substrate]
+        if obs.event_tail:
+            lines.append(f"  last observable events on {first.substrate}:")
+            for kind, fields in list(obs.event_tail)[-12:]:
+                t = fields.get("t")
+                stamp = f"{t:10.1f}us " if isinstance(t, float) else " " * 12
+                brief = {k: v for k, v in fields.items() if k != "t"}
+                lines.append(f"    {stamp}{kind} {brief}")
+        if obs.substrate_tail:
+            lines.append(f"  last substrate service steps on {first.substrate}:")
+            for step in obs.substrate_tail[-8:]:
+                lines.append(f"    {step}")
+    return "\n".join(lines)

@@ -1,0 +1,289 @@
+"""The reference model: an executable spec of U-Net + AM semantics.
+
+This is the oracle of the differential checker — a deliberately small,
+substrate-free interpreter of the semantics both substrates must agree
+on:
+
+* **U-Net endpoint semantics** — a receiver owns a bounded receive
+  queue and a pool of donated buffers; an arrival finding no room is
+  *shed* (classified ``recv_queue_drops`` / ``no_buffer_drops``) and
+  the sender is never told; unknown tags and quarantine never occur in
+  a clean run.
+* **AM reliability** — per-peer sequence numbers, cumulative acks,
+  go-back-N head retransmission after a timeout without progress.
+* **AM flow control** — a bounded window of unacked requests; under
+  ``credit_flow``, sends additionally gate on the peer's advertised
+  receive capacity minus in-flight packets (replies bypass both gates).
+
+Time is abstract: one tick ~ 10 us, links cost a fixed 2 ticks, the
+retransmission timeout a fixed 400 ticks.  None of those constants need
+to match the substrates — the model defines *what* must happen (which
+messages get dispatched, in what order, what may be dropped and why,
+how many retransmissions a fault schedule can force), not *when*.  The
+checker therefore compares delivery traces exactly but retransmission
+counts only within tolerance bands.
+
+Fault schedules address packets by ``(direction, seq, occurrence)``
+exactly as :mod:`repro.faults.scripted` does on a real link, so the
+same :class:`~repro.conformance.schedule.ConformanceCase` drives the
+model and both substrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .schedule import ConformanceCase
+
+__all__ = ["RefTrace", "run_reference", "TICK_US", "TICK_LIMIT"]
+
+#: one model tick in (nominal) microseconds — only used to convert a
+#: schedule's delay_us into ticks
+TICK_US = 10.0
+#: one-way link latency, in ticks
+LINK_TICKS = 2
+#: retransmit a sender's window head after this long without progress
+RTO_TICKS = 400
+#: period of the credit-refresh advertisement when credit_flow is on
+CREDIT_REFRESH_TICKS = 40
+#: give up (completed=False) after this many ticks
+TICK_LIMIT = 60_000
+
+#: data blocks above this need a receive buffer rather than landing
+#: inline in the descriptor (the tighter of the two substrates' paths:
+#: the ATM single-cell fast path tops out at 40 wire bytes ~ 12 data
+#: bytes once the 26-byte AM header and 2-byte credit word are paid)
+INLINE_DATA_MAX = 12
+
+
+@dataclass
+class RefTrace:
+    """What the reference model says must (and may) happen."""
+
+    completed: bool
+    #: request ids dispatched at the receiver, in order
+    dispatched: List[int]
+    #: request seqs whose RPC replies completed at the sender, in order
+    replies: List[int]
+    #: total retransmissions, both directions
+    rexmit: int
+    #: scheduled faults that fired, in hit order
+    fired: List = field(default_factory=list)
+    #: drops the model itself incurred, by class
+    drop_classes: Dict[str, int] = field(default_factory=dict)
+    ticks: int = 0
+
+    def fired_keys(self, occurrence: int = 0) -> List[Tuple[str, int, int, str]]:
+        """Canonical (direction, seq, occurrence, action) tuples for the
+        fired events at the given occurrence — the substrate-invariant
+        part of the fired log (later occurrences depend on timing)."""
+        return sorted((f.direction, f.seq, f.occurrence, f.action)
+                      for f in self.fired if f.occurrence == occurrence)
+
+
+class _Sender:
+    """One direction's reliability sender: window, unacked, schedule."""
+
+    def __init__(self, events) -> None:
+        self.next_seq = 0
+        self.unacked: Dict[int, object] = {}
+        self.last_progress = 0
+        self.occurrence: Dict[int, int] = {}
+        self.events = {(e.seq, e.occurrence): e for e in events}
+        self.fired: List = []
+        self.rexmit = 0
+
+    def transmit(self, seq: int) -> Optional[Tuple[int, bool]]:
+        """Run one transmission of ``seq`` through the fault schedule.
+
+        Returns None when the copy is dropped, else ``(delay_ticks,
+        duplicated)`` for the surviving copy.
+        """
+        occ = self.occurrence.get(seq, 0)
+        self.occurrence[seq] = occ + 1
+        event = self.events.get((seq, occ))
+        if event is not None:
+            self.fired.append(event)
+        if event is not None and event.action == "drop":
+            return None
+        delay = LINK_TICKS
+        if event is not None and event.action == "delay":
+            delay += max(1, round(event.delay_us / TICK_US))
+        return delay, (event is not None and event.action == "dup")
+
+    def ack(self, ack_value: int) -> bool:
+        """Absorb a cumulative ack; True when it made progress."""
+        acked = [s for s in self.unacked if s < ack_value]
+        for s in acked:
+            del self.unacked[s]
+        return bool(acked)
+
+    def head(self) -> Optional[int]:
+        return min(self.unacked) if self.unacked else None
+
+
+def run_reference(case: ConformanceCase) -> RefTrace:
+    """Interpret ``case`` under the reference semantics."""
+    config = case.am_config()
+    window = config.window
+    credit_flow = config.credit_flow
+    consume_period = max(1, round(case.dispatch_overhead_us / TICK_US))
+
+    fwd = _Sender(case.fwd_faults())
+    rev = _Sender(case.rev_faults())
+    remote_credit: Optional[int] = None  # node0's view of node1's capacity
+
+    # node1: the receiver of requests
+    expected1 = 0
+    queue1: List[Tuple[int, bool, bool]] = []  # (msg id, rpc?, holds buffer?)
+    free1 = case.rx_buffers
+    pending_replies: List[int] = []  # req_seqs awaiting a reply send
+    # node0: the receiver of replies (roomy: never sheds)
+    expected0 = 0
+
+    dispatched: List[int] = []
+    replies: List[int] = []
+    drop_classes: Dict[str, int] = {}
+    agenda: Dict[int, List[Tuple[str, tuple]]] = {}
+
+    def post(tick: int, kind: str, *data) -> None:
+        agenda.setdefault(tick, []).append((kind, data))
+
+    def capacity1() -> int:
+        return max(0, min(case.recv_queue_depth - len(queue1), free1))
+
+    op_index = 0
+    waiting_reply: Optional[int] = None
+
+    t = 0
+    completed = False
+    while t <= TICK_LIMIT:
+        # 1. arrivals scheduled for this tick, in posting order
+        for kind, data in agenda.pop(t, ()):  # noqa: B020 - consumed once
+            if kind == "fwd_data":
+                seq, msg_id, rpc, needs_buffer = data
+                if seq == expected1:
+                    if len(queue1) >= case.recv_queue_depth:
+                        drop_classes["recv_queue_drops"] = drop_classes.get("recv_queue_drops", 0) + 1
+                        continue  # U-Net shed: AM never saw it, no ack
+                    if needs_buffer and free1 <= 0:
+                        drop_classes["no_buffer_drops"] = drop_classes.get("no_buffer_drops", 0) + 1
+                        continue
+                    expected1 += 1
+                    if needs_buffer:
+                        free1 -= 1
+                    queue1.append((msg_id, rpc, needs_buffer))
+                # in-order, old, and future packets all re-ack (go-back-N)
+                post(t + LINK_TICKS, "ack_to_fwd", expected1, capacity1())
+            elif kind == "rev_data":
+                seq, req_seq = data
+                if seq == expected0:
+                    expected0 += 1
+                    replies.append(req_seq)
+                post(t + LINK_TICKS, "ack_to_rev", expected0)
+            elif kind == "ack_to_fwd":
+                ack_value, advertised = data
+                if fwd.ack(ack_value):
+                    fwd.last_progress = t
+                if credit_flow:
+                    remote_credit = advertised - len(fwd.unacked)
+            elif kind == "ack_to_rev":
+                (ack_value,) = data
+                if rev.ack(ack_value):
+                    rev.last_progress = t
+        if waiting_reply is not None and waiting_reply in replies:
+            waiting_reply = None
+
+        # 2. receiver consumption: node1 dispatches one queued message
+        #    per consume period (the AM dispatch loop's pace)
+        if queue1 and t % consume_period == 0:
+            msg_id, rpc, held_buffer = queue1.pop(0)
+            dispatched.append(msg_id)
+            if held_buffer:
+                free1 += 1
+            if rpc:
+                pending_replies.append(msg_id)  # fwd seq == msg id
+        # periodic credit refresh (what un-sticks a stalled sender);
+        # only while the conversation is live, so the agenda can drain
+        if (credit_flow and t % CREDIT_REFRESH_TICKS == 0 and t > 0
+                and (fwd.unacked or op_index < len(case.messages))):
+            post(t + LINK_TICKS, "ack_to_fwd", expected1, capacity1())
+
+        # 3. reply sends: sequenced and retransmitted but window-exempt
+        while pending_replies:
+            req_seq = pending_replies.pop(0)
+            seq = rev.next_seq
+            rev.next_seq += 1
+            rev.unacked[seq] = req_seq
+            rev.last_progress = t
+            sent = rev.transmit(seq)
+            if sent is not None:
+                delay, dup = sent
+                post(t + delay, "rev_data", seq, req_seq)
+                if dup:
+                    post(t + delay + 1, "rev_data", seq, req_seq)
+
+        # 4. workload sends: window- and credit-gated, RPCs block
+        while op_index < len(case.messages) and waiting_reply is None:
+            if len(fwd.unacked) >= window:
+                break
+            if credit_flow and remote_credit is not None and remote_credit <= 0:
+                break  # credit stall; the refresh loop will un-stick us
+            message = case.messages[op_index]
+            seq = fwd.next_seq
+            fwd.next_seq += 1
+            fwd.unacked[seq] = message
+            fwd.last_progress = t
+            if credit_flow and remote_credit is not None:
+                remote_credit -= 1
+            if message.rpc:
+                waiting_reply = seq
+            sent = fwd.transmit(seq)
+            needs_buffer = message.size > INLINE_DATA_MAX
+            if sent is not None:
+                delay, dup = sent
+                post(t + delay, "fwd_data", seq, op_index, message.rpc, needs_buffer)
+                if dup:
+                    post(t + delay + 1, "fwd_data", seq, op_index, message.rpc, needs_buffer)
+            op_index += 1
+
+        # 5. go-back-N: retransmit a stalled window's head
+        for sender, kind_args in ((fwd, "fwd"), (rev, "rev")):
+            if sender.unacked and t - sender.last_progress >= RTO_TICKS:
+                head = sender.head()
+                sender.rexmit += 1
+                sender.last_progress = t
+                sent = sender.transmit(head)
+                if sent is not None:
+                    delay, dup = sent
+                    if kind_args == "fwd":
+                        message = sender.unacked[head]
+                        post(t + delay, "fwd_data", head, head, message.rpc,
+                             message.size > INLINE_DATA_MAX)
+                        if dup:
+                            post(t + delay + 1, "fwd_data", head, head, message.rpc,
+                                 message.size > INLINE_DATA_MAX)
+                    else:
+                        req_seq = sender.unacked[head]
+                        post(t + delay, "rev_data", head, req_seq)
+                        if dup:
+                            post(t + delay + 1, "rev_data", head, req_seq)
+
+        # 6. termination: workload done, nothing in flight, queues dry
+        if (op_index == len(case.messages) and waiting_reply is None
+                and not fwd.unacked and not rev.unacked
+                and not pending_replies and not queue1 and not agenda):
+            completed = True
+            break
+        t += 1
+
+    return RefTrace(
+        completed=completed,
+        dispatched=dispatched,
+        replies=replies,
+        rexmit=fwd.rexmit + rev.rexmit,
+        fired=fwd.fired + rev.fired,
+        drop_classes=drop_classes,
+        ticks=t,
+    )

@@ -1,0 +1,190 @@
+"""Conformance cases: a workload plus a content-addressed fault schedule.
+
+A :class:`ConformanceCase` is everything needed to reproduce one
+differential run bit-for-bit on any substrate (and on the reference
+model): the message workload, the scheduled faults addressed by AM
+packet identity (see :mod:`repro.faults.scripted`), the protocol
+configuration preset, and the receiver's capacity sizing.  Cases are
+generated deterministically from a seed via the named-stream RNG
+registry and serialize to plain dicts, which is what makes shrunk
+failing cases replayable artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..am import AmConfig
+from ..faults.scripted import ScheduledFault
+from ..sim import RngRegistry
+
+__all__ = ["Message", "ConformanceCase", "CONFIG_PRESETS", "generate_case"]
+
+#: payload sizes that cross the substrates' interesting thresholds:
+#: empty, tiny, ATM single-cell boundary (40 wire bytes), FE inline
+#: boundary (64 wire bytes), one buffer, several cells
+_SIZES = (0, 4, 12, 40, 64, 120, 200)
+
+_DELAYS_US = (80.0, 250.0, 600.0)
+
+#: receiver sizing per preset: (recv_queue_depth, rx_buffers,
+#: receiver dispatch_overhead_us).  The credit preset runs a shallow,
+#: slow receiver so the credit machine actually engages.
+CONFIG_PRESETS: Dict[str, dict] = {
+    "fixed": {"recv_queue_depth": 64, "rx_buffers": 32, "dispatch_overhead_us": 1.0},
+    "adaptive": {"recv_queue_depth": 64, "rx_buffers": 32, "dispatch_overhead_us": 1.0},
+    "credit": {"recv_queue_depth": 4, "rx_buffers": 6, "dispatch_overhead_us": 40.0},
+}
+
+
+@dataclass(frozen=True)
+class Message:
+    """One workload operation: a request (optionally a full RPC)."""
+
+    size: int
+    rpc: bool = False
+
+    def to_dict(self) -> dict:
+        return {"size": self.size, "rpc": self.rpc}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Message":
+        return cls(size=int(d["size"]), rpc=bool(d["rpc"]))
+
+
+@dataclass
+class ConformanceCase:
+    """One reproducible differential-checking case."""
+
+    seed: int
+    config_name: str
+    messages: List[Message]
+    faults: List[ScheduledFault] = field(default_factory=list)
+    recv_queue_depth: int = 64
+    rx_buffers: int = 32
+    dispatch_overhead_us: float = 1.0
+    time_limit_us: float = 10_000_000.0
+
+    @property
+    def name(self) -> str:
+        return f"{self.config_name}/seed{self.seed}"
+
+    @property
+    def size(self) -> int:
+        """Case size for shrinking: workload events + fault events."""
+        return len(self.messages) + len(self.faults)
+
+    @property
+    def n_replies(self) -> int:
+        return sum(1 for m in self.messages if m.rpc)
+
+    def am_config(self, receiver: bool = False) -> AmConfig:
+        """The AM protocol configuration for one side of this case."""
+        kwargs = {}
+        if receiver:
+            kwargs["dispatch_overhead_us"] = self.dispatch_overhead_us
+        if self.config_name == "adaptive":
+            return AmConfig.adaptive(**kwargs)
+        if self.config_name == "credit":
+            return AmConfig(credit_flow=True, **kwargs)
+        if self.config_name == "fixed":
+            return AmConfig(**kwargs)
+        raise ValueError(f"unknown config preset {self.config_name!r}")
+
+    def fwd_faults(self) -> List[ScheduledFault]:
+        return [f for f in self.faults if f.direction == "fwd"]
+
+    def rev_faults(self) -> List[ScheduledFault]:
+        return [f for f in self.faults if f.direction == "rev"]
+
+    def overrun_possible(self) -> bool:
+        """Can the sender legally outrun the receiver's capacity?
+
+        True when the flow-control window exceeds what the receiver can
+        absorb (queue slots or donated buffers) — classic U-Net then
+        *may* shed at the receive queue or free queue; a roomy receiver
+        must show zero drops.
+        """
+        window = self.am_config().window
+        return min(self.recv_queue_depth, self.rx_buffers) < window
+
+    def describe(self) -> str:
+        ops = ", ".join(
+            f"{'rpc' if m.rpc else 'req'}({m.size}B)" for m in self.messages
+        )
+        lines = [
+            f"case {self.name}: {len(self.messages)} messages, "
+            f"{len(self.faults)} faults, receiver depth={self.recv_queue_depth} "
+            f"buffers={self.rx_buffers} dispatch={self.dispatch_overhead_us}us",
+            f"  workload: [{ops}]",
+        ]
+        for f in self.faults:
+            extra = f" +{f.delay_us:.0f}us" if f.action in ("delay", "dup") and f.delay_us else ""
+            lines.append(f"  fault: {f.direction} seq={f.seq} occurrence={f.occurrence} "
+                         f"{f.action}{extra}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "config_name": self.config_name,
+            "messages": [m.to_dict() for m in self.messages],
+            "faults": [f.to_dict() for f in self.faults],
+            "recv_queue_depth": self.recv_queue_depth,
+            "rx_buffers": self.rx_buffers,
+            "dispatch_overhead_us": self.dispatch_overhead_us,
+            "time_limit_us": self.time_limit_us,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ConformanceCase":
+        return cls(
+            seed=int(d["seed"]),
+            config_name=d["config_name"],
+            messages=[Message.from_dict(m) for m in d["messages"]],
+            faults=[ScheduledFault.from_dict(f) for f in d["faults"]],
+            recv_queue_depth=int(d["recv_queue_depth"]),
+            rx_buffers=int(d["rx_buffers"]),
+            dispatch_overhead_us=float(d["dispatch_overhead_us"]),
+            time_limit_us=float(d["time_limit_us"]),
+        )
+
+
+def generate_case(seed: int, config_name: str = "fixed", n_messages: int = 12) -> ConformanceCase:
+    """Deterministically derive a case from ``seed``.
+
+    Draw order is fixed (workload first, then faults, each from its own
+    named stream), so a given (seed, config, n) names the same case
+    forever — across substrates, machines, and shrinker re-runs.
+    """
+    if config_name not in CONFIG_PRESETS:
+        raise ValueError(f"unknown config preset {config_name!r}; "
+                         f"choose from {sorted(CONFIG_PRESETS)}")
+    scoped = RngRegistry(seed).scoped(f"conformance.{config_name}")
+    wl = scoped.stream("workload")
+    messages = [Message(size=wl.choice(_SIZES), rpc=wl.random() < 0.25)
+                for _ in range(n_messages)]
+    n_replies = sum(1 for m in messages if m.rpc)
+
+    fr = scoped.stream("faults")
+    faults: List[ScheduledFault] = []
+    for _ in range(fr.randrange(4)):
+        direction = "rev" if (n_replies and fr.random() < 0.25) else "fwd"
+        seq = fr.randrange(n_replies) if direction == "rev" else fr.randrange(n_messages)
+        occurrence = 0 if fr.random() < 0.8 else 1
+        roll = fr.random()
+        if roll < 0.60:
+            action, delay = "drop", 0.0
+        elif roll < 0.85:
+            action, delay = "delay", fr.choice(_DELAYS_US)
+        else:
+            action, delay = "dup", 0.0
+        fault = ScheduledFault(direction=direction, seq=seq, occurrence=occurrence,
+                               action=action, delay_us=delay)
+        if fault not in faults:
+            faults.append(fault)
+
+    preset = CONFIG_PRESETS[config_name]
+    return ConformanceCase(seed=seed, config_name=config_name, messages=messages,
+                           faults=faults, **preset)

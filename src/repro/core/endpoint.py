@@ -90,6 +90,10 @@ class Endpoint:
         #: misbehaving process cannot consume service time that other
         #: endpoints need
         self.quarantined = False
+        #: optional observable-event hook ``observer(kind, endpoint)``,
+        #: invoked on every counted drop (kind is a ``DROP_COUNTERS``
+        #: name); used by the conformance checker to build per-run traces
+        self.observer: Optional[Callable[[str, "Endpoint"], None]] = None
 
     # -- application side --------------------------------------------------
     def post_send(self, descriptor: SendDescriptor) -> None:
@@ -188,7 +192,7 @@ class Endpoint:
         """
         descriptor.timestamp = self.sim.now
         if not self.recv_queue.try_push(descriptor):
-            self.receive_drops += 1
+            self.note_drop("recv_queue_drops")
             return False
         self.messages_received += 1
         self.bytes_received += descriptor.length
@@ -214,6 +218,25 @@ class Endpoint:
         return self.free_queue.try_pop()
 
     # -- health / accounting -------------------------------------------------
+    def note_drop(self, kind: str) -> None:
+        """Count one lost message under the shared drop vocabulary.
+
+        All layers that shed a message destined for this endpoint funnel
+        through here (``deliver`` for a full receive queue, the serving
+        backend for no-buffer and quarantine sheds), so the observer hook
+        sees every drop exactly once with its classification.
+        """
+        if kind == "recv_queue_drops":
+            self.receive_drops += 1
+        elif kind == "no_buffer_drops":
+            self.no_buffer_drops += 1
+        elif kind == "quarantine_drops":
+            self.quarantine_drops += 1
+        else:
+            raise ValueError(f"unknown drop class {kind!r}; expected one of {DROP_COUNTERS}")
+        if self.observer is not None:
+            self.observer(kind, self)
+
     @property
     def recv_queue_occupancy(self) -> float:
         """Receive-queue fill fraction (0.0 empty .. 1.0 full)."""

@@ -22,6 +22,9 @@ class DemuxTable:
         self.name = name
         self._table: Dict[Any, Tuple[Endpoint, int]] = {}
         self.unknown_tag_drops = 0
+        #: optional hook ``observer(rx_tag)`` fired on unknown-tag drops
+        #: (the one drop class no endpoint can own); see conformance
+        self.observer = None
 
     def __len__(self) -> int:
         return len(self._table)
@@ -47,6 +50,8 @@ class DemuxTable:
         entry = self._table.get(rx_tag)
         if entry is None:
             self.unknown_tag_drops += 1
+            if self.observer is not None:
+                self.observer(rx_tag)
         return entry
 
     def drop_stats(self) -> dict:

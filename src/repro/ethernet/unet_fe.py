@@ -304,7 +304,7 @@ class UNetFeBackend(UNetBackend):
                     # containment: shed before any alloc/copy work so a
                     # misbehaving endpoint stops consuming kernel time
                     self.quarantine_drops += 1
-                    endpoint.quarantine_drops += 1
+                    endpoint.note_drop("quarantine_drops")
                     continue
                 yield from self._step(RX_TRACE, "alloc+init U-Net recv descr", t.alloc_init_recv_descriptor_us)
                 yield from self._deliver_payload(endpoint, channel_id, payload)
@@ -328,7 +328,7 @@ class UNetFeBackend(UNetBackend):
                 index = endpoint.take_free_buffer()
                 if index is None:
                     self.no_buffer_drops += 1
-                    endpoint.no_buffer_drops += 1
+                    endpoint.note_drop("no_buffer_drops")
                     for idx, _l in segments:
                         endpoint.free_queue.try_push(idx)
                     return

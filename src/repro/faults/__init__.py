@@ -44,6 +44,12 @@ from .overload import (
     render_overload_table,
     run_overload,
 )
+from .scripted import (
+    CellScriptedStage,
+    FrameScriptedStage,
+    ScheduledFault,
+    scripted_stage_factory,
+)
 from .receiver import (
     LeakyReceiver,
     MisbehavingSender,
@@ -94,6 +100,10 @@ __all__ = [
     "render_soak_table",
     "render_comparison",
     "wins",
+    "ScheduledFault",
+    "FrameScriptedStage",
+    "CellScriptedStage",
+    "scripted_stage_factory",
     "ReceiverFault",
     "SlowReceiver",
     "StalledReceiver",

@@ -1,0 +1,176 @@
+"""Deterministic, content-addressed fault schedules.
+
+The random :class:`~repro.faults.perturb.LinkPerturbation` stages key
+their draws on PDU *arrival order*, which is not comparable across
+substrates: the ATM path carries cells, the FE path frames, and ack
+timing shifts every index.  A conformance run needs the *same* fault to
+hit the *same* Active Messages packet on every substrate, so the stages
+here address packets by wire content instead — the decoded AM sequence
+number plus an *occurrence* index counting how many times that sequence
+number has crossed this link (0 = first transmission, 1 = first
+retransmission, ...).
+
+The AM header always fits in the first cell of a segmented AAL5 PDU
+(26 bytes against a 48-byte cell payload), so the cell stage can decide
+a whole PDU's fate from its first cell, without reassembly, and apply
+it to every cell of that PDU.  Pure ACKs are never targeted — their seq
+field is meaningless and dropping them cannot change AM-observable
+semantics (cumulative acks are re-sent constantly) — so a schedule can
+never cut off the protocol's recovery path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..am.protocol import TYPE_REPLY, TYPE_REQUEST, peek_type_seq
+from .perturb import Emit, LinkPerturbation
+
+__all__ = ["ScheduledFault", "FrameScriptedStage", "CellScriptedStage",
+           "scripted_stage_factory"]
+
+#: emit the duplicate copy this long after the original, far enough
+#: apart that a multi-cell duplicate cannot interleave with its original
+DUP_DELAY_US = 60.0
+
+_ACTIONS = ("drop", "dup", "delay")
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One deterministic fault: what happens to one packet transmission.
+
+    ``direction`` is interpreted by the harness ("fwd" = request path,
+    "rev" = reply/ack path); the stage itself only sees the events for
+    its own link.  ``seq`` is the AM sequence number, ``occurrence``
+    which transmission of that seq is hit (0-based).
+    """
+
+    direction: str
+    seq: int
+    occurrence: int
+    action: str
+    delay_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("fwd", "rev"):
+            raise ValueError(f"direction must be 'fwd' or 'rev', got {self.direction!r}")
+        if self.action not in _ACTIONS:
+            raise ValueError(f"action must be one of {_ACTIONS}, got {self.action!r}")
+        if self.seq < 0 or self.occurrence < 0:
+            raise ValueError("seq and occurrence must be non-negative")
+        if self.action == "delay" and not self.delay_us > 0.0:
+            raise ValueError("delay action needs delay_us > 0")
+
+    def to_dict(self) -> dict:
+        return {"direction": self.direction, "seq": self.seq,
+                "occurrence": self.occurrence, "action": self.action,
+                "delay_us": self.delay_us}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScheduledFault":
+        return cls(direction=d["direction"], seq=int(d["seq"]),
+                   occurrence=int(d["occurrence"]), action=d["action"],
+                   delay_us=float(d.get("delay_us", 0.0)))
+
+
+class _ScriptedStage(LinkPerturbation):
+    """Shared machinery: occurrence tracking and the fired log."""
+
+    stream_name = "scripted"  # unused: scripted stages draw no randomness
+
+    def __init__(self, events: Sequence[ScheduledFault]) -> None:
+        super().__init__()
+        self._events: Dict[Tuple[int, int], ScheduledFault] = {
+            (e.seq, e.occurrence): e for e in events
+        }
+        self.seen: Dict[int, int] = {}
+        #: faults that actually hit a packet, in hit order
+        self.fired: List[ScheduledFault] = []
+
+    def attach(self, ctx) -> None:  # no RNG stream wanted
+        self.ctx = ctx
+        self.reset()
+
+    def reset(self) -> None:
+        self.seen = {}
+        self.fired = []
+
+    def _decide(self, raw: bytes) -> Optional[ScheduledFault]:
+        """The scheduled fault for this wire message, if any.
+
+        Counts the occurrence for every tracked (data-bearing) packet it
+        sees, whether or not an event matches.
+        """
+        peeked = peek_type_seq(raw)
+        if peeked is None:
+            return None
+        ptype, seq = peeked
+        if ptype not in (TYPE_REQUEST, TYPE_REPLY):
+            return None
+        occurrence = self.seen.get(seq, 0)
+        self.seen[seq] = occurrence + 1
+        event = self._events.get((seq, occurrence))
+        if event is not None:
+            self.fired.append(event)
+        return event
+
+    def _apply(self, event: Optional[ScheduledFault], pdu, emit: Emit,
+               delay_offset: float = 0.0) -> None:
+        if event is None:
+            emit(pdu, delay_offset)
+        elif event.action == "drop":
+            return
+        elif event.action == "delay":
+            emit(pdu, delay_offset + event.delay_us)
+        elif event.action == "dup":
+            emit(pdu, delay_offset)
+            emit(pdu, delay_offset + (event.delay_us or DUP_DELAY_US))
+
+    def counters(self) -> dict:
+        return {"fired": len(self.fired), "tracked": len(self.seen)}
+
+
+class FrameScriptedStage(_ScriptedStage):
+    """Scripted faults on Ethernet frames (one AM packet per frame)."""
+
+    def process(self, frame, now: float, emit: Emit) -> None:
+        self._apply(self._decide(frame.payload), frame, emit)
+
+
+class CellScriptedStage(_ScriptedStage):
+    """Scripted faults on ATM cells, decided per AAL5 PDU.
+
+    The fate of a PDU is decided on its first cell (where the AM header
+    lives) and applied to every cell until the ``last`` marker, tracked
+    per VCI exactly as firmware reassembly is.
+    """
+
+    def __init__(self, events: Sequence[ScheduledFault]) -> None:
+        super().__init__(events)
+        self._pending: Dict[int, Optional[ScheduledFault]] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._pending = {}
+
+    def process(self, cell, now: float, emit: Emit) -> None:
+        if cell.vci in self._pending:
+            event = self._pending[cell.vci]
+        else:
+            event = self._decide(bytes(cell.payload))
+            if not cell.last:
+                self._pending[cell.vci] = event
+        if cell.last:
+            self._pending.pop(cell.vci, None)
+        self._apply(event, cell, emit)
+
+
+def scripted_stage_factory(backend, events: Sequence[ScheduledFault]) -> _ScriptedStage:
+    """The right scripted stage for ``backend``'s substrate."""
+    if hasattr(backend, "on_cell"):
+        return CellScriptedStage(events)
+    if hasattr(backend, "nic"):
+        return FrameScriptedStage(events)
+    raise TypeError(f"no known substrate for backend {backend!r}")

@@ -30,15 +30,34 @@ class TraceRecord:
 
 
 class TraceRecorder:
-    """Accumulates :class:`TraceRecord` entries; cheap to disable."""
+    """Accumulates :class:`TraceRecord` entries; cheap to disable.
+
+    Subscribers see every record as it happens — even when ``enabled``
+    is False, so an observer (e.g. the conformance checker's probe) can
+    stream substrate steps without paying for an unbounded buffer.
+    """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.records: List[TraceRecord] = []
+        self._listeners: List[Any] = []
+
+    def subscribe(self, listener) -> None:
+        """Call ``listener(record)`` for every future record."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     def record(self, start: float, duration: float, category: str, step: str, **info: Any) -> None:
+        if not self.enabled and not self._listeners:
+            return
+        rec = TraceRecord(start, duration, category, step, dict(info))
         if self.enabled:
-            self.records.append(TraceRecord(start, duration, category, step, dict(info)))
+            self.records.append(rec)
+        for listener in self._listeners:
+            listener(rec)
 
     def clear(self) -> None:
         self.records.clear()

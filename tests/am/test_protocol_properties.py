@@ -1,0 +1,121 @@
+"""Property tests for the AM wire protocol (hypothesis).
+
+The encode/decode pair and the circular sequence arithmetic are the
+foundation everything else (reliability, credit flow, the conformance
+harness's packet peeking) stands on, so they get exhaustive randomized
+coverage: round-trips, the CREDIT_FLAG framing, 16-bit credit clamping
+and wrap, and the seq-space order relations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.am.protocol import (
+    CREDIT_FLAG,
+    CREDIT_SIZE,
+    HEADER_SIZE,
+    MAX_CREDIT,
+    SEQ_MOD,
+    TYPE_ACK,
+    TYPE_REPLY,
+    TYPE_REQUEST,
+    Packet,
+    decode,
+    encode,
+    peek_type_seq,
+    seq_add,
+    seq_leq,
+    seq_lt,
+)
+
+_types = st.sampled_from((TYPE_REQUEST, TYPE_REPLY, TYPE_ACK))
+_seqs = st.integers(min_value=0, max_value=SEQ_MOD - 1)
+_words = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def _packets(credit=st.none() | st.integers(min_value=0, max_value=MAX_CREDIT)):
+    return st.builds(
+        Packet,
+        type=_types,
+        handler=st.integers(min_value=0, max_value=0x7F),
+        seq=_seqs,
+        ack=_seqs,
+        req_seq=_seqs,
+        args=st.tuples(_words, _words, _words, _words),
+        data=st.binary(max_size=300),
+        credit=credit,
+    )
+
+
+@given(_packets())
+def test_encode_decode_round_trip(packet):
+    clone = decode(encode(packet))
+    assert clone.type == packet.type
+    assert clone.handler == packet.handler
+    assert clone.seq == packet.seq
+    assert clone.ack == packet.ack
+    assert clone.req_seq == packet.req_seq
+    assert clone.args == packet.args
+    assert clone.data == packet.data
+    assert clone.credit == packet.credit
+
+
+@given(_packets())
+def test_credit_flag_framing(packet):
+    """The flag bit and the two-byte word appear iff credit is carried,
+    and the classic wire format is byte-identical when it is not."""
+    raw = encode(packet)
+    if packet.credit is None:
+        assert not raw[0] & CREDIT_FLAG
+        assert len(raw) == HEADER_SIZE + len(packet.data)
+    else:
+        assert raw[0] & CREDIT_FLAG
+        assert len(raw) == HEADER_SIZE + CREDIT_SIZE + len(packet.data)
+
+
+@given(_packets(credit=st.integers(min_value=-5, max_value=MAX_CREDIT + 5000)))
+def test_credit_clamps_to_the_wire_word(packet):
+    """Out-of-range advertisements clamp to [0, 0xFFFF] instead of
+    wrapping: a huge credit must never decode as a tiny one."""
+    clone = decode(encode(packet))
+    assert clone.credit == min(max(packet.credit, 0), MAX_CREDIT)
+
+
+@given(_packets())
+def test_peek_matches_full_decode(packet):
+    """The first-cell peek agrees with full decode, credit flag stripped."""
+    raw = encode(packet)
+    assert peek_type_seq(raw) == (packet.type, packet.seq)
+    # ... even given only the header prefix (the ATM first-cell view)
+    assert peek_type_seq(raw[:HEADER_SIZE]) == (packet.type, packet.seq)
+
+
+@given(st.binary(max_size=HEADER_SIZE - 1))
+def test_peek_rejects_short_fragments(raw):
+    assert peek_type_seq(raw) is None
+
+
+@given(_seqs, st.integers(min_value=1, max_value=SEQ_MOD // 2 - 1))
+def test_seq_add_preserves_order_across_wrap(seq, n):
+    """Within half the space, a forward step is always 'later' — the
+    invariant that keeps go-back-N correct across the 16-bit wrap."""
+    later = seq_add(seq, n)
+    assert seq_lt(seq, later)
+    assert not seq_lt(later, seq)
+    assert seq_leq(seq, later)
+
+
+@given(_seqs, _seqs)
+@settings(max_examples=200)
+def test_seq_order_is_antisymmetric(a, b):
+    if a == b:
+        assert not seq_lt(a, b) and seq_leq(a, b)
+    else:
+        # exactly one direction holds unless the distance is exactly half
+        if (b - a) % SEQ_MOD != SEQ_MOD // 2:
+            assert seq_lt(a, b) != seq_lt(b, a)
+
+
+@given(_seqs, st.integers(min_value=0, max_value=10_000))
+def test_seq_add_wraps_into_range(seq, n):
+    assert 0 <= seq_add(seq, n) < SEQ_MOD

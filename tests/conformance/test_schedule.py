@@ -1,0 +1,64 @@
+"""Case generation and the scripted (content-addressed) fault stage."""
+
+import pytest
+
+from repro.conformance import CONFIG_PRESETS, ConformanceCase, Message, generate_case
+from repro.faults.scripted import ScheduledFault
+
+
+def test_generation_is_deterministic():
+    a = generate_case(7, "adaptive")
+    b = generate_case(7, "adaptive")
+    assert a.to_dict() == b.to_dict()
+
+
+def test_different_seeds_differ():
+    cases = [generate_case(s, "fixed").to_dict() for s in range(6)]
+    assert any(c != cases[0] for c in cases[1:])
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIG_PRESETS))
+def test_round_trips_through_dict(config_name):
+    case = generate_case(3, config_name)
+    clone = ConformanceCase.from_dict(case.to_dict())
+    assert clone.to_dict() == case.to_dict()
+    assert clone.messages == case.messages
+    assert clone.faults == case.faults
+
+
+def test_fault_seqs_stay_in_range():
+    for seed in range(30):
+        case = generate_case(seed, "fixed")
+        for f in case.fwd_faults():
+            assert 0 <= f.seq < len(case.messages)
+        for f in case.rev_faults():
+            assert 0 <= f.seq < case.n_replies
+
+
+def test_credit_preset_engages_the_credit_machine():
+    case = generate_case(0, "credit")
+    assert case.am_config().credit_flow
+    assert case.overrun_possible()
+    # the receiver pays dispatch overhead; the sender does not
+    assert case.am_config(receiver=True).dispatch_overhead_us == pytest.approx(40.0)
+
+
+def test_roomy_presets_cannot_be_overrun():
+    for name in ("fixed", "adaptive"):
+        assert not generate_case(0, name).overrun_possible()
+
+
+def test_scheduled_fault_validation():
+    with pytest.raises(ValueError):
+        ScheduledFault(direction="sideways", seq=0, occurrence=0, action="drop")
+    with pytest.raises(ValueError):
+        ScheduledFault(direction="fwd", seq=0, occurrence=0, action="mangle")
+    with pytest.raises(ValueError):
+        ScheduledFault(direction="fwd", seq=-1, occurrence=0, action="drop")
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ValueError):
+        generate_case(0, "turbo")
+    with pytest.raises(ValueError):
+        ConformanceCase(seed=0, config_name="turbo", messages=[Message(0)]).am_config()

@@ -1,0 +1,79 @@
+"""Property tests for U-Net descriptor validation (hypothesis).
+
+Descriptors are the application/NIC contract: every reachable
+constructor input must either produce a consistent descriptor or raise
+``ValueError`` — never yield a descriptor whose derived properties lie.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.descriptors import RecvDescriptor, SendDescriptor
+
+_segments = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=255),
+              st.integers(min_value=0, max_value=4096)),
+    min_size=1, max_size=8)
+
+
+@given(st.integers(min_value=0, max_value=64), _segments)
+def test_send_descriptor_length_is_the_segment_sum(channel, segments):
+    d = SendDescriptor(channel_id=channel, segments=segments)
+    assert d.length == sum(length for _i, length in segments)
+    assert not d.completed
+
+
+@given(st.integers(min_value=0, max_value=64))
+def test_send_descriptor_needs_segments(channel):
+    with pytest.raises(ValueError):
+        SendDescriptor(channel_id=channel, segments=[])
+
+
+@given(_segments, st.integers(min_value=0, max_value=7),
+       st.integers(min_value=1, max_value=4096))
+def test_send_descriptor_rejects_any_negative_segment(segments, position, length):
+    poisoned = list(segments)
+    poisoned.insert(position % (len(poisoned) + 1), (0, -length))
+    with pytest.raises(ValueError):
+        SendDescriptor(channel_id=0, segments=poisoned)
+
+
+@given(st.binary(max_size=128))
+def test_recv_descriptor_inline_round_trip(payload):
+    d = RecvDescriptor(channel_id=0, length=len(payload), inline=payload)
+    assert d.is_inline
+    assert d.length == len(payload)
+    assert not d.segments
+
+
+@given(st.binary(min_size=0, max_size=128), st.integers(min_value=1, max_value=64))
+def test_recv_descriptor_rejects_inline_length_mismatch(payload, skew):
+    with pytest.raises(ValueError):
+        RecvDescriptor(channel_id=0, length=len(payload) + skew, inline=payload)
+
+
+@given(st.binary(min_size=1, max_size=64), _segments)
+def test_recv_descriptor_rejects_inline_plus_buffers(payload, segments):
+    with pytest.raises(ValueError):
+        RecvDescriptor(channel_id=0, length=len(payload), inline=payload,
+                       segments=segments)
+
+
+@given(st.integers(min_value=1, max_value=4096))
+def test_recv_descriptor_rejects_payload_with_nowhere_to_live(length):
+    with pytest.raises(ValueError):
+        RecvDescriptor(channel_id=0, length=length)
+
+
+@given(_segments)
+def test_recv_descriptor_buffer_borne(segments):
+    total = sum(length for _i, length in segments)
+    d = RecvDescriptor(channel_id=0, length=total, segments=segments)
+    assert not d.is_inline
+
+
+def test_empty_message_needs_no_storage():
+    d = RecvDescriptor(channel_id=0, length=0)
+    assert not d.is_inline
+    assert d.segments == []

@@ -1,0 +1,113 @@
+"""Determinism audit: the whole stack replays bit-for-bit from a seed.
+
+Every conformance verdict, soak result, and shrunk reproducer relies on
+the simulation being a pure function of its seed.  Two layers of
+defense: (1) end-to-end audits that run the same seed twice and demand
+byte-identical telemetry; (2) a lint pass over ``src/repro`` banning
+the ambient-nondeterminism primitives (wall clocks, the module-level
+``random`` API) from simulation code — randomness must flow through the
+named-stream :class:`~repro.sim.rng.RngRegistry` and time through the
+simulator clock.
+"""
+
+import ast
+import json
+import pathlib
+
+import pytest
+
+import repro
+
+SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
+
+
+def _telemetry(trace):
+    """Canonical byte form of everything a run observably produced."""
+    return json.dumps({
+        "dispatched": trace.dispatched,
+        "replies": trace.replies,
+        "rexmit": trace.rexmit,
+        "drops": trace.drop_classes,
+        "completion": trace.completion_time_us,
+        "snapshots": trace.snapshots,
+        "events": [(k, sorted(f.items())) for k, f in trace.event_tail],
+        "steps": trace.substrate_tail,
+    }, sort_keys=True, default=repr).encode()
+
+
+@pytest.mark.parametrize("substrate", ["atm", "ethernet"])
+def test_same_seed_gives_byte_identical_telemetry(substrate):
+    from repro.conformance import generate_case, run_substrate
+
+    case = generate_case(13, "credit")
+    first = _telemetry(run_substrate(case, substrate))
+    second = _telemetry(run_substrate(case, substrate))
+    assert first == second
+
+
+def test_reference_model_is_a_pure_function_of_the_case():
+    from repro.conformance import generate_case, run_reference
+
+    case = generate_case(21, "adaptive")
+    runs = [run_reference(case) for _ in range(3)]
+    baseline = (runs[0].dispatched, runs[0].replies, runs[0].rexmit,
+                runs[0].drop_classes, runs[0].ticks)
+    for r in runs[1:]:
+        assert (r.dispatched, r.replies, r.rexmit, r.drop_classes, r.ticks) == baseline
+
+
+def test_rng_registry_streams_are_stable_and_independent():
+    from repro.sim import RngRegistry
+
+    a = RngRegistry(42).stream("conformance.workload")
+    b = RngRegistry(42).stream("conformance.workload")
+    assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+    # drawing from one stream must not perturb a sibling
+    reg = RngRegistry(42)
+    lhs = reg.stream("faults")
+    _ = [reg.stream("workload").random() for _ in range(5)]
+    rhs = RngRegistry(42).stream("faults")
+    burned = [rhs.random() for _ in range(5)]
+    assert [lhs.random() for _ in range(5)] == burned
+
+
+# ------------------------------------------------------------------ linting
+#: (module attribute call) pairs that smuggle ambient nondeterminism
+#: into what must be a seed-determined simulation
+_BANNED_CALLS = {
+    ("time", "time"),
+    ("time", "monotonic"),
+    ("time", "perf_counter"),
+    ("random", "random"),
+    ("random", "randint"),
+    ("random", "randrange"),
+    ("random", "choice"),
+    ("random", "shuffle"),
+    ("random", "seed"),
+    ("os", "urandom"),
+}
+
+
+def _banned_calls_in(path: pathlib.Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        if (isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name)
+                and (fn.value.id, fn.attr) in _BANNED_CALLS):
+            yield f"{path.relative_to(SRC_ROOT)}:{node.lineno}: {fn.value.id}.{fn.attr}()"
+
+
+def test_no_ambient_nondeterminism_in_simulation_code():
+    """``time.time()`` / module-level ``random.*()`` are banned in
+    ``src/repro``: they would make soak verdicts and conformance
+    artifacts unreplayable.  Seeded ``random.Random(...)`` instances and
+    the RngRegistry are the sanctioned sources."""
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        offenders.extend(_banned_calls_in(path))
+    assert not offenders, (
+        "ambient nondeterminism in simulation code (route randomness "
+        "through RngRegistry, time through the simulator clock):\n  "
+        + "\n  ".join(offenders))
