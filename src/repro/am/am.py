@@ -47,6 +47,7 @@ from .protocol import (
     seq_add,
     seq_lt,
 )
+from .spec import credit_gate_blocks, cumulative_acked
 
 __all__ = ["AmConfig", "AmEndpoint", "RequestContext", "AmError"]
 
@@ -446,8 +447,7 @@ class AmEndpoint:
                 peer.window_waiters.append(event)
                 yield event
                 continue
-            if (self.config.credit_flow and peer.remote_credit is not None
-                    and peer.remote_credit <= 0):
+            if self.config.credit_flow and credit_gate_blocks(peer.remote_credit):
                 # the peer has no receive capacity for us: stall (do not
                 # burn its service time with packets it must drop) until
                 # an advertisement says the pressure is off
@@ -566,7 +566,7 @@ class AmEndpoint:
 
     def _process_ack(self, peer: _PeerState, ack: int) -> None:
         cfg = self.config
-        acked = [seq for seq in peer.unacked if seq_lt(seq, ack)]
+        acked = cumulative_acked(peer.unacked, ack)
         if not acked:
             # a repeated cumulative ack while data is outstanding means
             # the receiver is seeing a hole: candidate fast retransmit

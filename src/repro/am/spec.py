@@ -1,0 +1,47 @@
+"""The AM reliability spec, as executable predicates.
+
+Two implementations now exist of the Active Messages state machine —
+the simulated :class:`~repro.am.am.AmEndpoint` (generator processes)
+and the wall-clock :class:`~repro.live.am.LiveAm` (synchronous
+polling).  The decisions the differential checker cares most about are
+exactly the ones that have historically gone off by one, so they live
+here, once, and both endpoints call them:
+
+* the **credit gate**: a sender with zero known remote credit must
+  stall (``<= 0``, not ``< 0`` — the classic injected bug);
+* the **cumulative-ack horizon**: an ack of ``n`` acknowledges every
+  sequence number strictly before ``n`` (``seq_lt``, not ``seq_leq`` —
+  the other classic).
+
+Keeping these shared means a fix (or a bug) lands in both substrates at
+once, and the conformance bug library can patch each implementation's
+seam knowing the healthy behavior is identical by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .protocol import seq_lt
+
+__all__ = ["credit_gate_blocks", "cumulative_acked"]
+
+
+def credit_gate_blocks(remote_credit: Optional[int]) -> bool:
+    """Must a sender stall on this known remote credit?
+
+    ``None`` means the peer has never advertised — treated as unlimited
+    so start-up cannot deadlock.  Zero (or the negative values that
+    conservative spending between advertisements can reach) blocks.
+    """
+    return remote_credit is not None and remote_credit <= 0
+
+
+def cumulative_acked(outstanding: Iterable[int], ack: int) -> List[int]:
+    """The sequence numbers ``ack`` acknowledges, in iteration order.
+
+    A cumulative ack names the *next expected* sequence number: it
+    covers everything strictly before it in the circular space and
+    never the packet the receiver is still waiting for.
+    """
+    return [seq for seq in outstanding if seq_lt(seq, ack)]

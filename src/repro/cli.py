@@ -34,7 +34,8 @@ _EXPERIMENTS = {
     "bandwidth": "single bandwidth measurement",
     "splitc": "run one Split-C benchmark in the event-level simulator",
     "soak": "soak suites: wire chaos or service-capacity overload",
-    "conformance": "differential conformance: both substrates vs the reference model",
+    "bench": "wall-clock benchmarks on the live U-Net/OS substrate",
+    "conformance": "differential conformance: substrates vs the reference model",
     "report": "regenerate the full evaluation (all figures and tables)",
     "validate": "self-check every headline number against the paper",
     "list": "list available experiments",
@@ -357,12 +358,46 @@ def _cmd_soak_overload(args) -> int:
     return 0 if all(r.ok for r in (contained or results)) else 1
 
 
+def _cmd_bench(args) -> int:
+    """Wall-clock benchmark rig on the live U-Net/OS substrate."""
+    if not args.live:
+        print("the simulated figures live under `fig5` / `fig6`; pass --live "
+              "to run the wall-clock rig on real sockets", file=sys.stderr)
+        return 2
+    from .live import available_transport_kinds, render_bench, run_bench, write_bench
+
+    kinds = available_transport_kinds()
+    kind = args.transport if args.transport != "auto" else (kinds[0] if kinds else None)
+    if kind is None or kind not in kinds:
+        msg = (f"live transport {args.transport!r} is not available on this "
+               f"machine (available: {list(kinds) or 'none'})")
+        if args.skip_missing:
+            print(f"skipped: {msg}")
+            return 0
+        print(msg, file=sys.stderr)
+        return 2
+    payload = run_bench(
+        kind,
+        rtt_samples=args.rtt_samples,
+        bw_messages=args.bw_messages,
+        incast_senders=args.senders,
+        incast_messages=args.incast_messages,
+        progress=lambda m: print(f"  {m}"),
+    )
+    print(render_bench(payload))
+    if args.output:
+        write_bench(args.output, payload)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_conformance(args) -> int:
     """Differential conformance sweep / single-case replay."""
     from .conformance import (
-        BUGS, generate_case, load_artifact, render_report, run_case,
+        BUGS, generate_case, load_artifact_meta, render_report, run_case,
         save_artifact, shrink_case,
     )
+    from .core.substrates import SubstrateUnavailable, ensure_available
 
     substrates = tuple(args.substrate) if args.substrate else ("atm", "ethernet")
     if args.bug and args.bug not in BUGS:
@@ -370,10 +405,31 @@ def _cmd_conformance(args) -> int:
         return 2
 
     if args.replay:
-        case = load_artifact(args.replay)
-        report = run_case(case, substrates=substrates, bug=args.bug)
+        meta = load_artifact_meta(args.replay)
+        # the artifact's recorded substrate set is the replay contract;
+        # an explicit --substrate overrides it knowingly
+        replay_substrates = (tuple(args.substrate) if args.substrate
+                             else tuple(meta["substrates"] or ()) or substrates)
+        bug = args.bug or meta["bug"]
+        try:
+            for name in replay_substrates:
+                ensure_available(name)
+        except (SubstrateUnavailable, ValueError) as exc:
+            print(f"replay refused: {exc}", file=sys.stderr)
+            print(f"the artifact records its divergence against "
+                  f"{list(replay_substrates)}; silently re-verifying on a "
+                  f"subset would not reproduce it", file=sys.stderr)
+            return 3
+        report = run_case(meta["case"], substrates=replay_substrates, bug=bug)
         print(render_report(report))
         return 0 if report.ok else 1
+
+    try:
+        for name in substrates:
+            ensure_available(name)
+    except (SubstrateUnavailable, ValueError) as exc:
+        print(f"cannot sweep: {exc}", file=sys.stderr)
+        return 2
 
     configs = tuple(args.config) if args.config else ("fixed", "adaptive", "credit")
     if args.bug:
@@ -519,6 +575,25 @@ def build_parser() -> argparse.ArgumentParser:
     pk.add_argument("--stats", action="store_true",
                     help="dump fault-pipeline / per-endpoint telemetry")
     pk.set_defaults(func=_cmd_soak)
+    pn = sub.add_parser("bench", help=_EXPERIMENTS["bench"])
+    pn.add_argument("--live", action="store_true",
+                    help="run on real OS sockets and the wall clock")
+    pn.add_argument("--transport", default="auto", choices=("auto", "unix", "udp"),
+                    help="live transport (auto prefers AF_UNIX when available)")
+    pn.add_argument("--output", metavar="FILE", default="BENCH_live.json",
+                    help="write the schema-validated JSON payload here "
+                         "('' to skip)")
+    pn.add_argument("--rtt-samples", type=int, default=40,
+                    help="measured round trips per message size")
+    pn.add_argument("--bw-messages", type=int, default=200,
+                    help="messages per bandwidth point")
+    pn.add_argument("--senders", type=int, default=4,
+                    help="incast fan-in (sender count)")
+    pn.add_argument("--incast-messages", type=int, default=100,
+                    help="messages per incast sender")
+    pn.add_argument("--skip-missing", action="store_true",
+                    help="exit 0 (not 2) when no live transport exists here")
+    pn.set_defaults(func=_cmd_bench)
     pc = sub.add_parser("conformance", help=_EXPERIMENTS["conformance"])
     pc.add_argument("--seeds", type=int, default=10,
                     help="number of generated cases per config preset")
@@ -526,8 +601,11 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--messages", type=int, default=12, help="workload length per case")
     pc.add_argument("--config", action="append", choices=("fixed", "adaptive", "credit"),
                     help="config preset (repeatable; default: all three)")
-    pc.add_argument("--substrate", action="append", choices=("atm", "ethernet"),
-                    help="substrate (repeatable; default: both)")
+    from .core.substrates import substrate_names
+
+    pc.add_argument("--substrate", action="append", choices=substrate_names(),
+                    help="substrate (repeatable; default: atm + ethernet; "
+                         "live/live-unix/live-udp run on real sockets)")
     pc.add_argument("--bug", default=None,
                     help="inject a named protocol bug (the harness must catch it)")
     pc.add_argument("--shrink", action="store_true",

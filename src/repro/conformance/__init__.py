@@ -26,7 +26,13 @@ from .checker import (
 from .model import RefTrace, run_reference
 from .observe import ObservationProbe, ObservedTrace
 from .schedule import CONFIG_PRESETS, ConformanceCase, Message, generate_case
-from .shrink import ShrinkResult, load_artifact, save_artifact, shrink_case
+from .shrink import (
+    ShrinkResult,
+    load_artifact,
+    load_artifact_meta,
+    save_artifact,
+    shrink_case,
+)
 
 __all__ = [
     "Message",
@@ -50,4 +56,5 @@ __all__ = [
     "shrink_case",
     "save_artifact",
     "load_artifact",
+    "load_artifact_meta",
 ]

@@ -31,7 +31,8 @@ from typing import Callable, List, Optional, Sequence
 from .checker import SUBSTRATES, CaseReport, run_case
 from .schedule import ConformanceCase, Message
 
-__all__ = ["ShrinkResult", "shrink_case", "save_artifact", "load_artifact"]
+__all__ = ["ShrinkResult", "shrink_case", "save_artifact", "load_artifact",
+           "load_artifact_meta"]
 
 #: stop exploring after this many candidate executions (each candidate
 #: is a full differential run; keep the budget bounded)
@@ -182,6 +183,10 @@ def save_artifact(path: str, result: ShrinkResult) -> None:
         "format": "repro-conformance-case/1",
         "case": result.case.to_dict(),
         "bug": result.report.bug,
+        #: the exact substrate set the divergence was observed against —
+        #: replay must run these, or fail loudly, never silently verify
+        #: on whatever subset happens to be available
+        "substrates": list(result.report.substrates),
         "divergence_kinds": result.kinds,
         "divergences": [str(d) for d in result.report.divergences],
         "original_size": result.original_size,
@@ -201,3 +206,18 @@ def load_artifact(path: str) -> ConformanceCase:
     if "case" in payload:
         payload = payload["case"]
     return ConformanceCase.from_dict(payload)
+
+
+def load_artifact_meta(path: str) -> dict:
+    """The replay contract recorded in an artifact: ``case`` plus the
+    ``substrates`` the divergence was observed against and the injected
+    ``bug``, if any.  Bare case dicts (no envelope) yield empty meta so
+    old artifacts keep replaying on the caller's defaults."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if "case" not in payload:
+        return {"case": ConformanceCase.from_dict(payload),
+                "substrates": None, "bug": None}
+    return {"case": ConformanceCase.from_dict(payload["case"]),
+            "substrates": payload.get("substrates"),
+            "bug": payload.get("bug")}

@@ -7,6 +7,7 @@ Substrate bindings live with their hardware models:
 from .api import Host, ReceivedMessage, UserEndpoint
 from .base import UNetBackend
 from .channels import AtmTag, ChannelBinding, EthernetTag, lookup_channel, register_channel
+from .clock import Clock, ClockShim, ManualClock
 from .descriptors import SMALL_MESSAGE_MAX, RecvDescriptor, SendDescriptor
 from .endpoint import DROP_COUNTERS, Endpoint, EndpointConfig
 from .errors import (
@@ -27,8 +28,27 @@ from .health import (
     HealthMonitor,
 )
 from .mux import DemuxTable
+from .substrates import (
+    SubstrateSpec,
+    SubstrateUnavailable,
+    available_substrates,
+    ensure_available,
+    get_substrate,
+    register_substrate,
+    substrate_names,
+)
 
 __all__ = [
+    "Clock",
+    "ClockShim",
+    "ManualClock",
+    "SubstrateSpec",
+    "SubstrateUnavailable",
+    "register_substrate",
+    "get_substrate",
+    "substrate_names",
+    "available_substrates",
+    "ensure_available",
     "Host",
     "UserEndpoint",
     "ReceivedMessage",

@@ -28,7 +28,7 @@ from ..am.protocol import TYPE_REPLY, TYPE_REQUEST, peek_type_seq
 from .perturb import Emit, LinkPerturbation
 
 __all__ = ["ScheduledFault", "FrameScriptedStage", "CellScriptedStage",
-           "scripted_stage_factory"]
+           "DatagramScriptedStage", "scripted_stage_factory"]
 
 #: emit the duplicate copy this long after the original, far enough
 #: apart that a multi-cell duplicate cannot interleave with its original
@@ -167,10 +167,31 @@ class CellScriptedStage(_ScriptedStage):
         self._apply(event, cell, emit)
 
 
+class DatagramScriptedStage(_ScriptedStage):
+    """Scripted faults on live U-Net/OS datagrams (ingress framing layer).
+
+    A live datagram is the U-Net/OS frame header followed by one whole
+    AM packet, so the decision peeks past the header; the fault applies
+    to the raw datagram (bytes), which is what the live backend's
+    ingress hook carries.  Content addressing is identical to the other
+    substrates — same (seq, occurrence) keys, same fired log — which is
+    what makes one schedule substrate-invariant across all three.
+    """
+
+    def __init__(self, events: Sequence[ScheduledFault], header_size: int = 0) -> None:
+        super().__init__(events)
+        self._header_size = header_size
+
+    def process(self, raw: bytes, now: float, emit: Emit) -> None:
+        self._apply(self._decide(raw[self._header_size:]), raw, emit)
+
+
 def scripted_stage_factory(backend, events: Sequence[ScheduledFault]) -> _ScriptedStage:
     """The right scripted stage for ``backend``'s substrate."""
     if hasattr(backend, "on_cell"):
         return CellScriptedStage(events)
     if hasattr(backend, "nic"):
         return FrameScriptedStage(events)
+    if hasattr(backend, "frame_header_size"):
+        return DatagramScriptedStage(events, header_size=backend.frame_header_size)
     raise TypeError(f"no known substrate for backend {backend!r}")

@@ -1,0 +1,592 @@
+"""Active Messages over U-Net/OS: the wall-clock state machine.
+
+:class:`LiveAm` is the synchronous twin of the simulated
+:class:`~repro.am.am.AmEndpoint`.  Same wire format
+(:mod:`repro.am.protocol`), same go-back-N + cumulative-ack
+reliability, same opt-in adaptive RTO / AIMD / fast-retransmit and
+receiver-credit machinery, and the same observable-event vocabulary
+(``grant``, ``credit_stall``, ``tx``, ``rexmit``, ``timeout``,
+``dispatch``, ``reply``, ``dup_rx``) — which is what lets one
+:class:`~repro.conformance.observe.ObservationProbe` check the same
+online invariants against either implementation.
+
+The difference is purely structural: where the simulated endpoint
+blocks generator processes on events, LiveAm is *polled*.
+``start_request`` returns ``None`` instead of blocking when the window
+or credit gate refuses admission; :meth:`service` does one pass of
+ingress dispatch, delayed-ack deadlines, retransmission timers, and
+credit refresh against the injected :class:`~repro.core.clock.Clock`.
+Spec-critical decisions (the credit gate, the cumulative-ack horizon)
+are delegated to :mod:`repro.am.spec` — shared with the simulated
+endpoint — through the ``_credit_blocked`` / ``_acked_seqs`` seams the
+conformance bug library patches.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..am.am import AmConfig, AmError
+from ..am.protocol import (
+    CREDIT_SIZE,
+    HEADER_SIZE,
+    SEQ_MOD,
+    TYPE_ACK,
+    TYPE_REPLY,
+    TYPE_REQUEST,
+    Packet,
+    decode,
+    encode,
+    seq_add,
+    seq_lt,
+)
+from ..am.spec import credit_gate_blocks, cumulative_acked
+from ..core.errors import EndpointError
+from .backend import LiveUserEndpoint
+
+__all__ = ["LiveAm", "LiveRequestContext"]
+
+#: bounded busy-retry of a transport-backpressured send before giving up
+_SEND_RETRIES = 400
+_SEND_RETRY_SLEEP_US = 25.0
+
+
+class _LivePeer:
+    """Per-connection reliability state (no simulator events)."""
+
+    __slots__ = (
+        "node", "channel", "next_seq", "unacked", "expected_seq",
+        "ack_deadline", "deliveries_since_ack", "last_progress",
+        "retransmissions", "duplicates", "ooo_held", "stalled",
+        # adaptive reliability
+        "srtt", "rttvar", "rto_us", "backoff", "sent_at", "rexmit_seqs",
+        "cwnd", "last_ack", "dup_acks", "fast_done_seq", "timeouts",
+        "fast_retransmits", "rtt_samples",
+        # receiver-credit backpressure
+        "remote_credit", "credit_stalls", "last_advertised",
+    )
+
+    def __init__(self, node: int, channel: int, window: int, now: float) -> None:
+        self.node = node
+        self.channel = channel
+        self.next_seq = 0
+        self.unacked: Dict[int, Packet] = {}
+        self.expected_seq = 0
+        #: wall deadline of the pending delayed ack (None = none pending)
+        self.ack_deadline: Optional[float] = None
+        self.deliveries_since_ack = 0
+        self.last_progress = now
+        self.retransmissions = 0
+        self.duplicates = 0
+        self.ooo_held: Dict[int, Packet] = {}
+        #: in a credit-stall episode (count one stall per episode, not
+        #: one per poll of a gated sender)
+        self.stalled = False
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.rto_us = 0.0
+        self.backoff = 0
+        self.sent_at: Dict[int, float] = {}
+        self.rexmit_seqs = set()
+        self.cwnd = float(window)
+        self.last_ack: Optional[int] = None
+        self.dup_acks = 0
+        self.fast_done_seq: Optional[int] = None
+        self.timeouts = 0
+        self.fast_retransmits = 0
+        self.rtt_samples = 0
+        self.remote_credit: Optional[int] = None
+        self.credit_stalls = 0
+        self.last_advertised: Optional[int] = None
+
+
+class LiveRequestContext:
+    """Handed to request handlers; ``reply`` sends synchronously."""
+
+    __slots__ = ("am", "src_node", "args", "data", "_req_seq", "replied")
+
+    def __init__(self, am: "LiveAm", src_node: int, args, data: bytes, req_seq: int) -> None:
+        self.am = am
+        self.src_node = src_node
+        self.args = args
+        self.data = data
+        self._req_seq = req_seq
+        self.replied = False
+
+    def reply(self, args=(), data: bytes = b"") -> None:
+        self.replied = True
+        self.am._send_reply(self.src_node, self._req_seq, args, data)
+
+
+#: live handler signature: fn(ctx) -> None (synchronous)
+Handler = Callable[[LiveRequestContext], None]
+
+
+class LiveAm:
+    """An Active Messages endpoint bound to one live U-Net endpoint."""
+
+    def __init__(self, node_id: int, user: LiveUserEndpoint,
+                 config: Optional[AmConfig] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.node = node_id
+        self.user = user
+        self.clock = user.backend.clock
+        self.config = config or AmConfig()
+        self._rng = rng or random.Random(0x5EED ^ node_id)
+        self._peers_by_node: Dict[int, _LivePeer] = {}
+        self._peers_by_channel: Dict[int, _LivePeer] = {}
+        self._handlers: Dict[int, Handler] = {}
+        #: completed rpc replies keyed by (peer node, request seq)
+        self.rpc_results: Dict[Tuple[int, int], Tuple[tuple, bytes]] = {}
+        self._rpc_outstanding: set = set()
+        self.requests_sent = 0
+        self.replies_sent = 0
+        self.acks_sent = 0
+        self.requests_delivered = 0
+        #: same hook contract as the simulated endpoint:
+        #: ``observer(kind, fields)`` with kinds grant, credit_stall, tx,
+        #: rexmit, timeout, dispatch, reply, dup_rx
+        self.observer: Optional[Callable[[str, Dict], None]] = None
+        self._running = True
+        self._next_credit_refresh = (
+            self.clock.now_us() + self.config.credit_update_us)
+
+    # ------------------------------------------------------------- set-up
+    @property
+    def max_data(self) -> int:
+        overhead = HEADER_SIZE + (CREDIT_SIZE if self.config.credit_flow else 0)
+        return self.user.backend.max_pdu - overhead
+
+    def connect_peer(self, node_id: int, channel_id: int) -> None:
+        if node_id in self._peers_by_node:
+            raise AmError(f"peer {node_id} already connected")
+        peer = _LivePeer(node_id, channel_id, self.config.window,
+                         self.clock.now_us())
+        self._peers_by_node[node_id] = peer
+        self._peers_by_channel[channel_id] = peer
+
+    def register_handler(self, handler_id: int, fn: Handler) -> None:
+        if not 0 <= handler_id <= 0xFF:
+            raise AmError("handler id must fit one byte")
+        self._handlers[handler_id] = fn
+
+    def shutdown(self) -> None:
+        self._running = False
+
+    # ------------------------------------------------------- introspection
+    def _observe(self, kind: str, peer: _LivePeer, **fields) -> None:
+        if self.observer is not None:
+            fields["node"] = self.node
+            fields["peer"] = peer.node
+            fields["t"] = self.clock.now_us()
+            self.observer(kind, fields)
+
+    def snapshot(self) -> Dict[int, Dict]:
+        """Same introspection shape as the simulated endpoint."""
+        out: Dict[int, Dict] = {}
+        for node, p in self._peers_by_node.items():
+            out[node] = {
+                "next_seq": p.next_seq,
+                "expected_seq": p.expected_seq,
+                "unacked": len(p.unacked),
+                "window": self._effective_window(p),
+                "cwnd": p.cwnd,
+                "remote_credit": p.remote_credit,
+                "last_advertised": p.last_advertised,
+                "retransmissions": p.retransmissions,
+                "timeouts": p.timeouts,
+                "fast_retransmits": p.fast_retransmits,
+                "duplicates": p.duplicates,
+                "credit_stalls": p.credit_stalls,
+                "rtt_samples": p.rtt_samples,
+                "srtt_us": p.srtt,
+            }
+        return out
+
+    @property
+    def credit_stalls(self) -> int:
+        return sum(p.credit_stalls for p in self._peers_by_node.values())
+
+    @property
+    def idle(self) -> bool:
+        """Nothing in flight: every peer fully acknowledged."""
+        return all(not p.unacked for p in self._peers_by_node.values())
+
+    # ------------------------------------------------------------- sending
+    def start_request(self, dest: int, handler: int, args=(),
+                      data: bytes = b"") -> Optional[int]:
+        """Try to admit and transmit one request.
+
+        Returns the assigned sequence number, or None when the window
+        or credit gate refuses admission — the caller services the
+        world and retries (the polled analogue of blocking).
+        """
+        peer = self._peer(dest)
+        if len(data) > self.max_data:
+            raise AmError(f"data block of {len(data)} bytes exceeds "
+                          f"packet maximum {self.max_data}")
+        if not self._admit(peer):
+            return None
+        packet = Packet(type=TYPE_REQUEST, handler=handler, seq=peer.next_seq,
+                        args=tuple(args), data=data)
+        peer.next_seq = seq_add(peer.next_seq, 1)
+        self.requests_sent += 1
+        self._transmit(peer, packet, track=True)
+        return packet.seq
+
+    def start_rpc(self, dest: int, handler: int, args=(),
+                  data: bytes = b"") -> Optional[int]:
+        """Like :meth:`start_request`, but registers for the reply.
+
+        Poll :meth:`rpc_result` with the returned seq for completion.
+        """
+        seq = self.start_request(dest, handler, args=args, data=data)
+        if seq is not None:
+            self._rpc_outstanding.add((dest, seq))
+        return seq
+
+    def rpc_result(self, dest: int, seq: int) -> Optional[Tuple[tuple, bytes]]:
+        """The reply for request ``seq``, consumed, or None if pending."""
+        return self.rpc_results.pop((dest, seq), None)
+
+    def request(self, dest: int, handler: int, args=(), data: bytes = b"",
+                pump: Optional[Callable[[], None]] = None,
+                limit_us: float = 5_000_000.0) -> int:
+        """Blocking convenience: poll until the request is admitted."""
+        deadline = self.clock.now_us() + limit_us
+        while True:
+            seq = self.start_request(dest, handler, args=args, data=data)
+            if seq is not None:
+                return seq
+            if self.clock.now_us() >= deadline:
+                raise AmError(f"request to node {dest} not admitted "
+                              f"within {limit_us:.0f}us")
+            self._pump(pump)
+
+    def rpc(self, dest: int, handler: int, args=(), data: bytes = b"",
+            pump: Optional[Callable[[], None]] = None,
+            limit_us: float = 5_000_000.0) -> Tuple[tuple, bytes]:
+        """Blocking convenience: request + wait for the matching reply."""
+        deadline = self.clock.now_us() + limit_us
+        while True:
+            seq = self.start_rpc(dest, handler, args=args, data=data)
+            if seq is not None:
+                break
+            if self.clock.now_us() >= deadline:
+                raise AmError(f"rpc to node {dest} not admitted "
+                              f"within {limit_us:.0f}us")
+            self._pump(pump)
+        while True:
+            result = self.rpc_result(dest, seq)
+            if result is not None:
+                return result
+            if self.clock.now_us() >= deadline:
+                raise AmError(f"rpc {seq} to node {dest} got no reply "
+                              f"within {limit_us:.0f}us")
+            self._pump(pump)
+
+    def _pump(self, pump: Optional[Callable[[], None]]) -> None:
+        if pump is not None:
+            pump()
+        else:
+            self.user.backend.service()
+            self.service()
+
+    # -- admission (the gates the conformance probe watches) ---------------
+    def _admit(self, peer: _LivePeer) -> bool:
+        if len(peer.unacked) >= self._effective_window(peer):
+            return False
+        if self._credit_blocked(peer):
+            if not peer.stalled:
+                peer.stalled = True
+                peer.credit_stalls += 1
+                self._observe("credit_stall", peer,
+                              remote_credit=peer.remote_credit)
+            return False
+        peer.stalled = False
+        self._observe("grant", peer, unacked=len(peer.unacked),
+                      window=self._effective_window(peer),
+                      remote_credit=peer.remote_credit)
+        return True
+
+    def _credit_blocked(self, peer: _LivePeer) -> bool:
+        """Spec seam: the conformance bug library patches this."""
+        return self.config.credit_flow and credit_gate_blocks(peer.remote_credit)
+
+    def _acked_seqs(self, peer: _LivePeer, ack: int) -> List[int]:
+        """Spec seam: the conformance bug library patches this."""
+        return cumulative_acked(peer.unacked, ack)
+
+    def _effective_window(self, peer: _LivePeer) -> int:
+        if not self.config.adaptive_window:
+            return self.config.window
+        return max(self.config.min_window,
+                   min(self.config.window, int(peer.cwnd)))
+
+    def _local_credit(self) -> int:
+        endpoint = self.user.endpoint
+        room = min(
+            endpoint.recv_queue.capacity - len(endpoint.recv_queue),
+            len(endpoint.free_queue),
+        )
+        return room // max(1, len(self._peers_by_node))
+
+    def _send_reply(self, dest: int, req_seq: int, args, data: bytes) -> None:
+        # replies bypass the request window (deadlock avoidance) but are
+        # still sequenced, tracked, and retransmitted
+        peer = self._peer(dest)
+        packet = Packet(type=TYPE_REPLY, seq=peer.next_seq, req_seq=req_seq,
+                        args=tuple(args), data=data)
+        peer.next_seq = seq_add(peer.next_seq, 1)
+        self.replies_sent += 1
+        self._transmit(peer, packet, track=True)
+
+    def _send_ack(self, peer: _LivePeer) -> None:
+        self.acks_sent += 1
+        self._transmit(peer, Packet(type=TYPE_ACK), track=False)
+
+    def _transmit(self, peer: _LivePeer, packet: Packet, track: bool) -> None:
+        packet.ack = peer.expected_seq
+        if self.config.credit_flow:
+            advertised = self._local_credit()
+            packet.credit = advertised
+            peer.last_advertised = advertised
+        peer.ack_deadline = None
+        peer.deliveries_since_ack = 0
+        if track:
+            peer.unacked[packet.seq] = packet
+            peer.sent_at[packet.seq] = self.clock.now_us()
+            peer.last_progress = self.clock.now_us()
+            self._observe("tx", peer, seq=packet.seq, ptype=packet.type,
+                          unacked=len(peer.unacked),
+                          window=self._effective_window(peer),
+                          remote_credit=peer.remote_credit)
+            if self.config.credit_flow and peer.remote_credit is not None:
+                peer.remote_credit -= 1
+        self._push_wire(peer, encode(packet))
+
+    def _push_wire(self, peer: _LivePeer, wire: bytes) -> None:
+        """Hand one encoded packet to U-Net, riding out backpressure.
+
+        A full send queue here means the transport is refusing datagrams
+        (peer's kernel buffer full); kicking retries the syscall.  The
+        retry budget is the live stand-in for the simulated endpoint's
+        wait on send-queue space.
+        """
+        for attempt in range(_SEND_RETRIES):
+            try:
+                self.user.send(peer.channel, wire)
+                return
+            except EndpointError:
+                self.user.backend.kick(self.user.endpoint)
+                self.clock.sleep_us(_SEND_RETRY_SLEEP_US)
+        raise AmError(
+            f"node {self.node}: transport backpressure did not clear after "
+            f"{_SEND_RETRIES} retries sending to node {peer.node}")
+
+    def _peer(self, node: int) -> _LivePeer:
+        try:
+            return self._peers_by_node[node]
+        except KeyError:
+            raise AmError(f"node {node} is not a connected peer "
+                          f"of node {self.node}") from None
+
+    # ------------------------------------------------------------ receiving
+    def service(self, max_messages: int = 64) -> int:
+        """One polling pass: dispatch ingress, then run the timers.
+
+        Returns the number of AM packets consumed.  Call this (plus the
+        backend's ``service``) from the application's doorbell loop.
+        """
+        consumed = 0
+        for _ in range(max_messages):
+            message = self.user.poll()
+            if message is None:
+                break
+            consumed += 1
+            # charge the configured per-message receiver cost for real: a
+            # "slow receiver" conformance case must be slow on the wall
+            # clock too, or the credit machinery it exists to exercise
+            # never engages
+            if self.config.dispatch_overhead_us > 1.0:
+                self.clock.sleep_us(self.config.dispatch_overhead_us)
+            self._handle(message.channel_id, message.data)
+        self._run_timers()
+        return consumed
+
+    def _handle(self, channel_id: int, raw: bytes) -> None:
+        try:
+            packet = decode(raw)
+        except ValueError:
+            return  # malformed: reliability will retransmit
+        peer = self._peers_by_channel.get(channel_id)
+        if peer is None:
+            return
+        self._process_ack(peer, packet.ack)
+        if packet.credit is not None and self.config.credit_flow:
+            # absolute advertisement, charged with what it cannot know about
+            peer.remote_credit = packet.credit - len(peer.unacked)
+            if peer.remote_credit > 0:
+                peer.stalled = False
+        if packet.type == TYPE_ACK:
+            return
+        if packet.seq != peer.expected_seq:
+            in_window = seq_lt(peer.expected_seq, packet.seq) and (
+                (packet.seq - peer.expected_seq) % SEQ_MOD <= self.config.window * 2
+            )
+            if self.config.ooo_buffering and in_window:
+                peer.ooo_held.setdefault(packet.seq, packet)
+            else:
+                peer.duplicates += 1
+                self._observe("dup_rx", peer, seq=packet.seq,
+                              expected=peer.expected_seq)
+            self._note_delivery(peer, out_of_order=True)
+            return
+        self._deliver_in_order(peer, packet)
+        while peer.ooo_held:
+            held = peer.ooo_held.pop(peer.expected_seq, None)
+            if held is None:
+                break
+            self._deliver_in_order(peer, held)
+        self._note_delivery(peer)
+
+    def _deliver_in_order(self, peer: _LivePeer, packet: Packet) -> None:
+        peer.expected_seq = seq_add(peer.expected_seq, 1)
+        if packet.type == TYPE_REQUEST:
+            self.requests_delivered += 1
+            self._observe("dispatch", peer, seq=packet.seq,
+                          handler=packet.handler, msg=packet.args[0])
+            fn = self._handlers.get(packet.handler)
+            if fn is not None:
+                fn(LiveRequestContext(self, peer.node, packet.args,
+                                      packet.data, packet.seq))
+        elif packet.type == TYPE_REPLY:
+            self._observe("reply", peer, seq=packet.seq, req_seq=packet.req_seq)
+            key = (peer.node, packet.req_seq)
+            if key in self._rpc_outstanding:
+                self._rpc_outstanding.discard(key)
+                self.rpc_results[key] = (packet.args, packet.data)
+
+    def _process_ack(self, peer: _LivePeer, ack: int) -> None:
+        cfg = self.config
+        acked = self._acked_seqs(peer, ack)
+        if not acked:
+            if cfg.fast_retransmit and peer.unacked:
+                if peer.last_ack is None or peer.last_ack != ack:
+                    peer.last_ack = ack
+                    peer.dup_acks = 0
+                else:
+                    peer.dup_acks += 1
+                    if peer.dup_acks == cfg.dup_ack_threshold:
+                        self._fast_retransmit(peer)
+            return
+        peer.last_ack = ack
+        peer.dup_acks = 0
+        now = self.clock.now_us()
+        if cfg.adaptive_rto:
+            sample = None
+            for seq in acked:
+                sent = peer.sent_at.pop(seq, None)
+                if sent is not None and seq not in peer.rexmit_seqs:
+                    sample = now - sent
+                peer.rexmit_seqs.discard(seq)
+            if sample is not None:
+                self._update_rto(peer, sample)
+            peer.backoff = 0
+        else:
+            for seq in acked:
+                peer.sent_at.pop(seq, None)
+                peer.rexmit_seqs.discard(seq)
+        if cfg.adaptive_window:
+            peer.cwnd = min(float(cfg.window),
+                            peer.cwnd + len(acked) / max(peer.cwnd, 1.0))
+        for seq in acked:
+            peer.unacked.pop(seq, None)
+        peer.last_progress = now
+
+    def _update_rto(self, peer: _LivePeer, rtt: float) -> None:
+        cfg = self.config
+        if peer.srtt is None:
+            peer.srtt = rtt
+            peer.rttvar = rtt / 2.0
+        else:
+            peer.rttvar = 0.75 * peer.rttvar + 0.25 * abs(peer.srtt - rtt)
+            peer.srtt = 0.875 * peer.srtt + 0.125 * rtt
+        peer.rtt_samples += 1
+        peer.rto_us = min(max(peer.srtt + 4.0 * peer.rttvar, cfg.rto_min_us),
+                          cfg.rto_max_us)
+
+    def _fast_retransmit(self, peer: _LivePeer) -> None:
+        head_seq = next(iter(peer.unacked), None)
+        if head_seq is None or head_seq == peer.fast_done_seq:
+            return
+        peer.fast_done_seq = head_seq
+        peer.fast_retransmits += 1
+        if self.config.adaptive_window:
+            peer.cwnd = max(float(self.config.min_window), peer.cwnd / 2.0)
+        self._retransmit_head(peer)
+
+    def _note_delivery(self, peer: _LivePeer, out_of_order: bool = False) -> None:
+        peer.deliveries_since_ack += 1
+        if out_of_order and self.config.fast_retransmit:
+            # ack holes immediately so the sender's duplicate-ack counter
+            # can cross its threshold before the arrival stream dries up
+            self._send_ack(peer)
+            return
+        if peer.deliveries_since_ack >= self.config.ack_every:
+            self._send_ack(peer)
+            return
+        if peer.ack_deadline is None:
+            peer.ack_deadline = self.clock.now_us() + self.config.ack_delay_us
+
+    # ---------------------------------------------------------- timers
+    def _current_rto(self, peer: _LivePeer) -> float:
+        cfg = self.config
+        if not cfg.adaptive_rto:
+            return cfg.retransmit_timeout_us
+        rto = peer.rto_us if peer.srtt is not None else cfg.retransmit_timeout_us
+        if peer.backoff:
+            rto *= cfg.backoff_factor ** peer.backoff
+            if cfg.backoff_jitter > 0.0:
+                rto *= 1.0 + cfg.backoff_jitter * self._rng.random()
+        return min(max(rto, cfg.rto_min_us), cfg.rto_max_us)
+
+    def _run_timers(self) -> None:
+        if not self._running:
+            return
+        now = self.clock.now_us()
+        for peer in self._peers_by_node.values():
+            if peer.ack_deadline is not None and now >= peer.ack_deadline:
+                self._send_ack(peer)
+            if peer.unacked and now - peer.last_progress >= self._current_rto(peer):
+                peer.timeouts += 1
+                self._observe("timeout", peer, rto_us=self._current_rto(peer))
+                if self.config.adaptive_rto:
+                    peer.backoff += 1
+                if self.config.adaptive_window:
+                    peer.cwnd = max(float(self.config.min_window), peer.cwnd / 2.0)
+                self._retransmit_head(peer)
+        if self.config.credit_flow and now >= self._next_credit_refresh:
+            self._next_credit_refresh = now + self.config.credit_update_us
+            for peer in self._peers_by_node.values():
+                if peer.last_advertised is None:
+                    continue  # never talked to them; nothing to refresh
+                if self._local_credit() != peer.last_advertised:
+                    self._send_ack(peer)
+
+    def _retransmit_head(self, peer: _LivePeer) -> None:
+        # head-of-window only, exactly as the simulated endpoint
+        head_seq = next(iter(peer.unacked), None)
+        if head_seq is None:
+            return
+        head = peer.unacked[head_seq]
+        peer.retransmissions += 1
+        self._observe("rexmit", peer, seq=head_seq)
+        peer.rexmit_seqs.add(head_seq)
+        peer.last_progress = self.clock.now_us()
+        head.ack = peer.expected_seq
+        if self.config.credit_flow:
+            head.credit = self._local_credit()
+            peer.last_advertised = head.credit
+        self._push_wire(peer, encode(head))

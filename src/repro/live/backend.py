@@ -1,0 +1,459 @@
+"""U-Net/OS: the live backend — real sockets behind the U-Net API.
+
+One :class:`LiveBackend` is one node's "NIC plus kernel service": a
+single datagram socket (:mod:`repro.live.transport`), a
+:class:`~repro.core.mux.DemuxTable`, and the node's endpoints — which
+are the *same* :class:`~repro.core.endpoint.Endpoint` objects the
+simulated substrates serve (same buffer areas, same bounded
+send/recv/free rings, same descriptor validation, same drop
+vocabulary), timestamped through the :class:`~repro.core.clock.ClockShim`.
+
+The fast-trap analogue is the **polling doorbell loop**: where U-Net/FE
+trapped into the kernel to drain the send queue and U-Net/ATM had the
+i960 poll doorbell words in NI memory, U-Net/OS drains every endpoint's
+send queue and the socket's receive buffer from :meth:`service`, in
+user context, with plain non-blocking syscalls.  ``kick`` is therefore
+synchronous — by the time it returns, accepted descriptors have been
+handed to the kernel (and marked complete, since a datagram ``sendto``
+copies).  A send the kernel refuses (full peer buffer) stays on the
+send queue: backpressure, never silent loss.
+
+Wire format: a 6-byte frame header ``!HHH`` — destination port, source
+node id, source port — in front of the payload, the moral equivalent of
+U-Net/FE's MAC + U-Net-port header.  The (dst_port, src_node, src_port)
+triple is the demux tag; unknown tags are counted and dropped at this
+boundary, exactly as the NI firmware does.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.api import ReceivedMessage
+from ..core.channels import lookup_channel, register_channel
+from ..core.clock import Clock, ClockShim
+from ..core.descriptors import RecvDescriptor, SendDescriptor, SMALL_MESSAGE_MAX
+from ..core.endpoint import Endpoint, EndpointConfig
+from ..core.errors import EndpointError, MessageTooLarge
+from ..core.mux import DemuxTable
+from .transport import LiveTransport
+
+__all__ = ["LiveTag", "LiveBackend", "LiveUserEndpoint", "LiveCluster",
+           "FRAME_HEADER", "FRAME_HEADER_SIZE", "DEFAULT_MAX_PDU"]
+
+#: dst_port, src_node, src_port
+FRAME_HEADER = "!HHH"
+FRAME_HEADER_SIZE = struct.calcsize(FRAME_HEADER)
+
+#: largest U-Net message U-Net/OS carries in one datagram; comfortably
+#: above both simulated substrates' PDUs and far below any datagram limit
+DEFAULT_MAX_PDU = 4096
+
+
+class LiveTag:
+    """Message tag of one live channel (the EthernetTag analogue)."""
+
+    __slots__ = ("dest_address", "dst_port", "src_node", "src_port")
+
+    def __init__(self, dest_address, dst_port: int, src_node: int, src_port: int) -> None:
+        self.dest_address = dest_address
+        self.dst_port = dst_port
+        self.src_node = src_node
+        self.src_port = src_port
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<LiveTag dst={self.dest_address!r}:{self.dst_port} "
+                f"src=n{self.src_node}:{self.src_port}>")
+
+
+class LiveBackend:
+    """One node: transport socket + demux + endpoints + doorbell loop."""
+
+    name = "U-Net/OS"
+    #: lets :func:`repro.faults.scripted.scripted_stage_factory` pick the
+    #: datagram stage and skip the frame header when content-addressing
+    frame_header_size = FRAME_HEADER_SIZE
+
+    def __init__(self, transport: LiveTransport, clock: Clock,
+                 node_id: int = 0, node_name: str = "n0",
+                 max_pdu: int = DEFAULT_MAX_PDU) -> None:
+        self.transport = transport
+        self.clock = clock
+        self.sim = ClockShim(clock)
+        self.node_id = node_id
+        self.node_name = node_name
+        self._max_pdu = max_pdu
+        self.endpoints: List[Endpoint] = []
+        self._next_endpoint_id = 0
+        self._next_port = 1
+        self.demux = DemuxTable(name=f"{node_name}.demux")
+        #: optional ingress fault stage (conformance schedules interpose
+        #: here, at the framing layer): ``process(raw, now_us, emit)``
+        self._ingress_stage = None
+        #: (due_us, tiebreak, raw) — datagrams a fault stage delayed
+        self._held: List[Tuple[float, int, bytes]] = []
+        self._held_count = 0
+        # kernel-level drop accounting (shared DROP_COUNTERS vocabulary)
+        self.recv_queue_drops = 0
+        self.no_buffer_drops = 0
+        self.quarantine_drops = 0
+        self.closed = False
+
+    # -- endpoint lifecycle ------------------------------------------------
+    @property
+    def max_pdu(self) -> int:
+        return self._max_pdu
+
+    def create_endpoint(self, config: Optional[EndpointConfig] = None,
+                        owner: str = "") -> Endpoint:
+        endpoint = Endpoint(self.sim, self._next_endpoint_id,
+                            config or EndpointConfig(), owner=owner)
+        self._next_endpoint_id += 1
+        self.endpoints.append(endpoint)
+        return endpoint
+
+    def create_user_endpoint(self, config: Optional[EndpointConfig] = None,
+                             rx_buffers: int = 32, owner: str = "") -> "LiveUserEndpoint":
+        endpoint = self.create_endpoint(config, owner=owner or self.node_name)
+        user = LiveUserEndpoint(self, endpoint)
+        user.donate_rx_buffers(rx_buffers)
+        return user
+
+    def destroy_endpoint(self, endpoint: Endpoint) -> None:
+        """Teardown: stop demultiplexing to it; in-flight datagrams for
+        it die at the demux step as unknown tags (protection)."""
+        if endpoint not in self.endpoints:
+            raise EndpointError(
+                f"endpoint {endpoint.id} does not belong to {self.node_name}")
+        self.endpoints.remove(endpoint)
+        self.demux.unregister_endpoint(endpoint)
+
+    def allocate_port(self) -> int:
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    # -- doorbell / service loop -------------------------------------------
+    def kick(self, endpoint: Endpoint) -> int:
+        """Drain ``endpoint``'s send queue onto the socket (synchronous).
+
+        Returns the number of descriptors handed to the kernel.  A
+        would-block leaves the head descriptor queued for the next pass.
+        """
+        sent = 0
+        while True:
+            descriptor = endpoint.send_queue.peek()
+            if descriptor is None:
+                break
+            binding = endpoint.channels.get(descriptor.channel_id)
+            if binding is None:
+                # validated at post_send; a vanished channel means teardown
+                endpoint.take_send_descriptor()
+                continue
+            tag: LiveTag = binding.tag
+            payload = b"".join(
+                endpoint.buffers.buffer(idx).read(length)
+                for idx, length in descriptor.segments)
+            frame = struct.pack(FRAME_HEADER, tag.dst_port, tag.src_node,
+                                tag.src_port) + payload
+            if not self.transport.send(tag.dest_address, frame):
+                break  # backpressure: retry on the next doorbell pass
+            endpoint.take_send_descriptor()
+            endpoint.send_completed(descriptor)
+            binding.messages_sent += 1
+            sent += 1
+        return sent
+
+    def service(self) -> int:
+        """One doorbell-loop pass: egress drain, ingress drain, held
+        (fault-delayed) datagrams whose deadline passed.  Returns the
+        number of datagrams delivered toward endpoints."""
+        if self.closed:
+            return 0
+        for endpoint in self.endpoints:
+            if not endpoint.send_queue.is_empty:
+                self.kick(endpoint)
+        delivered = 0
+        now = self.clock.now_us()
+        for raw in self.transport.recv_batch():
+            delivered += self._ingress(raw, now)
+        while self._held and self._held[0][0] <= self.clock.now_us():
+            _due, _n, raw = heapq.heappop(self._held)
+            delivered += self._deliver(raw)
+        return delivered
+
+    def install_ingress_stage(self, stage) -> None:
+        """Interpose a fault stage at the framing layer (ingress side)."""
+        self._ingress_stage = stage
+
+    def _ingress(self, raw: bytes, now: float) -> int:
+        if self._ingress_stage is None:
+            return self._deliver(raw)
+        delivered = 0
+
+        def emit(pdu, delay_us: float = 0.0) -> None:
+            nonlocal delivered
+            if delay_us <= 0.0:
+                delivered += self._deliver(pdu)
+            else:
+                self._held_count += 1
+                heapq.heappush(self._held, (now + delay_us, self._held_count, pdu))
+
+        self._ingress_stage.process(raw, now, emit)
+        return delivered
+
+    def _deliver(self, raw: bytes) -> int:
+        """Demux one datagram to its endpoint's receive queue."""
+        if len(raw) < FRAME_HEADER_SIZE:
+            return 0
+        dst_port, src_node, src_port = struct.unpack(
+            FRAME_HEADER, raw[:FRAME_HEADER_SIZE])
+        payload = raw[FRAME_HEADER_SIZE:]
+        entry = self.demux.lookup((dst_port, src_node, src_port))
+        if entry is None:
+            return 0  # unknown tag: counted by the demux table
+        endpoint, channel_id = entry
+        if endpoint.quarantined:
+            self.quarantine_drops += 1
+            endpoint.note_drop("quarantine_drops")
+            return 0
+        if len(payload) <= SMALL_MESSAGE_MAX:
+            descriptor = RecvDescriptor(channel_id=channel_id,
+                                        length=len(payload), inline=payload)
+        else:
+            size = endpoint.buffers.buffer_size
+            needed = (len(payload) + size - 1) // size
+            indices: List[int] = []
+            for _ in range(needed):
+                index = endpoint.take_free_buffer()
+                if index is None:
+                    for idx in indices:  # partial claim: give them back
+                        endpoint.donate_free_buffer(idx)
+                    self.no_buffer_drops += 1
+                    endpoint.note_drop("no_buffer_drops")
+                    return 0
+                indices.append(index)
+            segments = []
+            for k, index in enumerate(indices):
+                chunk = payload[k * size:(k + 1) * size]
+                buf = endpoint.buffers.buffer(index)
+                buf.clear()
+                buf.write(chunk)
+                segments.append((index, len(chunk)))
+            descriptor = RecvDescriptor(channel_id=channel_id,
+                                        length=len(payload), segments=segments)
+        if not endpoint.deliver(descriptor):
+            # receive queue full: recycle the buffers we just claimed
+            for index, _length in descriptor.segments:
+                endpoint.donate_free_buffer(index)
+            self.recv_queue_drops += 1
+            return 0
+        return 1
+
+    # -- accounting ---------------------------------------------------------
+    def drop_stats(self) -> dict:
+        return {
+            "recv_queue_drops": self.recv_queue_drops,
+            "no_buffer_drops": self.no_buffer_drops,
+            "unknown_tag_drops": self.demux.unknown_tag_drops,
+            "quarantine_drops": self.quarantine_drops,
+        }
+
+    def close(self) -> None:
+        self.closed = True
+        self.transport.close()
+
+
+class LiveUserEndpoint:
+    """Synchronous application-side wrapper (the live ``UserEndpoint``).
+
+    Same contract as :class:`repro.core.api.UserEndpoint` — compose into
+    the buffer area, push a validated descriptor, ring the doorbell —
+    but blocking is explicit polling against the wall clock instead of
+    simulation events.
+    """
+
+    def __init__(self, backend: LiveBackend, endpoint: Endpoint) -> None:
+        self.backend = backend
+        self.endpoint = endpoint
+        self._tx_inflight: List[Tuple[SendDescriptor, List[int]]] = []
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.backend.destroy_endpoint(self.endpoint)
+
+    # -- sending -----------------------------------------------------------
+    def send(self, channel_id: int, payload: bytes, kick: bool = True) -> None:
+        if self._closed:
+            raise EndpointError(f"endpoint {self.endpoint.id} is closed")
+        if len(payload) > self.backend.max_pdu:
+            raise MessageTooLarge(
+                f"{len(payload)} bytes > max PDU {self.backend.max_pdu}")
+        lookup_channel(self.endpoint, channel_id)  # protection check
+        self._reclaim_completed()
+        buffers = self._compose_buffers(payload)
+        descriptor = SendDescriptor(
+            channel_id=channel_id,
+            segments=[(buf.index, length) for buf, length in buffers])
+        if self.endpoint.send_queue.is_full:
+            self.backend.kick(self.endpoint)  # drain in our own context
+        if self.endpoint.send_queue.is_full:
+            for buf, _length in buffers:
+                self.endpoint.buffers.free(buf)
+            raise EndpointError(
+                f"endpoint {self.endpoint.id}: send queue full "
+                f"(transport backpressure)")
+        self.endpoint.post_send(descriptor)
+        self.endpoint.messages_sent += 1
+        self.endpoint.bytes_sent += len(payload)
+        self._tx_inflight.append((descriptor, [buf.index for buf, _l in buffers]))
+        if kick:
+            self.backend.kick(self.endpoint)
+
+    def kick(self) -> None:
+        self.backend.kick(self.endpoint)
+
+    def _compose_buffers(self, payload: bytes):
+        size = self.endpoint.buffers.buffer_size
+        if not payload:
+            return [(self._alloc_tx_buffer(), 0)]
+        buffers = []
+        for start in range(0, len(payload), size):
+            chunk = payload[start:start + size]
+            buf = self._alloc_tx_buffer()
+            buf.write(chunk)
+            buffers.append((buf, len(chunk)))
+        return buffers
+
+    def _alloc_tx_buffer(self):
+        buf = self.endpoint.buffers.try_alloc()
+        if buf is None:
+            # live sends complete at kick time, so one reclaim pass is
+            # the whole backpressure story
+            self.backend.kick(self.endpoint)
+            self._reclaim_completed()
+            buf = self.endpoint.buffers.try_alloc()
+        if buf is None:
+            raise EndpointError(
+                f"endpoint {self.endpoint.id}: buffer area exhausted")
+        return buf
+
+    def _reclaim_completed(self) -> None:
+        still = []
+        for descriptor, indices in self._tx_inflight:
+            if descriptor.completed:
+                for idx in indices:
+                    self.endpoint.buffers.free(self.endpoint.buffers.buffer(idx))
+            else:
+                still.append((descriptor, indices))
+        self._tx_inflight[:] = still
+
+    # -- receiving ---------------------------------------------------------
+    def donate_rx_buffers(self, count: int) -> None:
+        for _ in range(count):
+            buf = self.endpoint.buffers.try_alloc()
+            if buf is None:
+                raise EndpointError(
+                    "buffer area exhausted while donating receive buffers")
+            self.endpoint.donate_free_buffer(buf.index)
+
+    def poll(self) -> Optional[ReceivedMessage]:
+        descriptor = self.endpoint.poll_receive()
+        if descriptor is None:
+            return None
+        return self._consume(descriptor)
+
+    def _consume(self, descriptor: RecvDescriptor) -> ReceivedMessage:
+        data = self.endpoint.read_message(descriptor)
+        self.endpoint.recycle(descriptor)
+        binding = self.endpoint.channels.get(descriptor.channel_id)
+        if binding is not None:
+            binding.messages_received += 1
+        return ReceivedMessage(descriptor.channel_id, data, descriptor.timestamp)
+
+
+class LiveCluster:
+    """N live nodes in one process, serviced by one polling loop.
+
+    The cluster is the live stand-in for a simulated network object:
+    it creates nodes (one transport socket each), wires channels (tags
+    plus demux rows on both sides — the OS-mediated channel service),
+    and pumps every node's doorbell loop from :meth:`step`.
+    """
+
+    def __init__(self, make_transport: Callable[[str], LiveTransport],
+                 clock: Clock, max_pdu: int = DEFAULT_MAX_PDU) -> None:
+        self._make_transport = make_transport
+        self.clock = clock
+        self.max_pdu = max_pdu
+        self.nodes: List[LiveBackend] = []
+
+    def add_node(self, name: Optional[str] = None) -> LiveBackend:
+        node_id = len(self.nodes)
+        node_name = name or f"n{node_id}"
+        backend = LiveBackend(self._make_transport(node_name), self.clock,
+                              node_id=node_id, node_name=node_name,
+                              max_pdu=self.max_pdu)
+        self.nodes.append(backend)
+        return backend
+
+    def connect(self, a: LiveUserEndpoint, b: LiveUserEndpoint) -> Tuple[int, int]:
+        """Create the channel pair between two live endpoints.
+
+        Returns ``(channel_on_a, channel_on_b)``, mirroring the
+        simulated networks' ``connect``.
+        """
+        node_a, node_b = a.backend, b.backend
+        port_a, port_b = node_a.allocate_port(), node_b.allocate_port()
+        ch_a = len(a.endpoint.channels)
+        ch_b = len(b.endpoint.channels)
+        register_channel(a.endpoint, ch_a,
+                         LiveTag(node_b.transport.address, port_b,
+                                 node_a.node_id, port_a),
+                         peer=node_b.node_name)
+        register_channel(b.endpoint, ch_b,
+                         LiveTag(node_a.transport.address, port_a,
+                                 node_b.node_id, port_b),
+                         peer=node_a.node_name)
+        node_a.demux.register((port_a, node_b.node_id, port_b), a.endpoint, ch_a)
+        node_b.demux.register((port_b, node_a.node_id, port_a), b.endpoint, ch_b)
+        return ch_a, ch_b
+
+    def step(self) -> int:
+        """Service every node once; returns datagrams delivered."""
+        return sum(node.service() for node in self.nodes)
+
+    def run_until(self, predicate: Callable[[], bool], limit_us: float,
+                  idle_sleep_us: float = 50.0) -> bool:
+        """Pump the cluster until ``predicate()`` or the wall deadline.
+
+        Sleeps briefly only when a full pass moved no data, so the loop
+        busy-polls under load (the doorbell model) without pinning a
+        CPU while idle.
+        """
+        deadline = self.clock.now_us() + limit_us
+        while self.clock.now_us() < deadline:
+            if predicate():
+                return True
+            if self.step() == 0 and idle_sleep_us > 0:
+                self.clock.sleep_us(idle_sleep_us)
+        return predicate()
+
+    def close(self) -> None:
+        for node in self.nodes:
+            node.close()
+
+    def __enter__(self) -> "LiveCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

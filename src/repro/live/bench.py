@@ -1,0 +1,399 @@
+"""Wall-clock benchmark rig: the paper's figures, rerun on U-Net/OS.
+
+Where :mod:`repro.analysis` regenerates Figure 5 (round-trip latency
+vs message size) and Figure 6 (bandwidth vs message size) inside the
+calibrated performance model, this module reruns the same *shapes* on
+the live substrate and real time: AM round trips over actual datagram
+sockets, a windowed bandwidth stream, and an N-senders-into-one-
+receiver incast — the live analogue of the overload soak.
+
+Wall-clock numbers are noisy by nature, so every latency row reports
+percentiles (p50/p95/p99), never a single average, and every row
+carries **syscalls per message** from the transport's own accounting —
+the OS-level cost metric that corresponds to the paper's obsession
+with traps and doorbells (U-Net's whole point was getting syscalls out
+of the fast path; U-Net/OS pays them and shows the bill).
+
+The output is one JSON document (``BENCH_live.json``), schema-checked
+by :func:`validate_bench` before it is written so downstream tooling
+can trust its shape.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..am.am import AmConfig
+from ..core import EndpointConfig
+from .am import LiveAm
+from .backend import LiveCluster
+from .clock import WallClock
+from .transport import make_transport
+
+__all__ = [
+    "BENCH_FORMAT",
+    "BENCH_SCHEMA",
+    "RTT_SIZES",
+    "BANDWIDTH_SIZES",
+    "bench_round_trip",
+    "bench_bandwidth",
+    "bench_incast",
+    "run_bench",
+    "validate_bench",
+    "write_bench",
+    "render_bench",
+    "percentile",
+]
+
+BENCH_FORMAT = "repro-bench-live/1"
+
+#: Figure 5's sweep, minus nothing: the live rig walks the same sizes
+RTT_SIZES = (0, 8, 16, 32, 40, 64, 128, 256, 512, 1024, 1498)
+#: Figure 6's sweep plus one multi-buffer size (> one 2 KB buffer)
+BANDWIDTH_SIZES = (16, 64, 128, 256, 512, 1024, 1498, 4000)
+
+#: hard wall ceiling per benchmark phase; a wedged transport must fail
+#: the phase, not hang the rig
+_PHASE_LIMIT_US = 30_000_000.0
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (q in 0..100)."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * len(ordered) + 0.5)) - 1))
+    return ordered[rank]
+
+
+# ------------------------------------------------------------------ plumbing
+def _make_pair(transport_kind: str, clock: WallClock,
+               config: Optional[AmConfig] = None) -> Tuple[LiveCluster, LiveAm, LiveAm, Callable[[], None]]:
+    """Two fresh nodes, one channel, AM endpoints, and their pump."""
+    cluster = LiveCluster(lambda name: make_transport(transport_kind, name), clock)
+    n0 = cluster.add_node("bench0")
+    n1 = cluster.add_node("bench1")
+    ep_cfg = EndpointConfig(num_buffers=96, buffer_size=2048,
+                            send_queue_depth=64, recv_queue_depth=64)
+    ep0 = n0.create_user_endpoint(config=ep_cfg, rx_buffers=48)
+    ep1 = n1.create_user_endpoint(config=ep_cfg, rx_buffers=48)
+    ch0, ch1 = cluster.connect(ep0, ep1)
+    am0 = LiveAm(0, ep0, config=config or AmConfig())
+    am1 = LiveAm(1, ep1, config=config or AmConfig())
+    am0.connect_peer(1, ch0)
+    am1.connect_peer(0, ch1)
+
+    def pump() -> None:
+        cluster.step()
+        am0.service()
+        am1.service()
+
+    return cluster, am0, am1, pump
+
+
+def _syscalls(cluster: LiveCluster) -> int:
+    return sum(node.transport.tx_syscalls + node.transport.rx_syscalls
+               for node in cluster.nodes)
+
+
+# ------------------------------------------------------- round-trip latency
+def bench_round_trip(transport_kind: str, sizes: Sequence[int] = RTT_SIZES,
+                     samples: int = 40, warmup: int = 8) -> List[Dict]:
+    """Figure 5's shape on the wall clock: AM echo RPC per size."""
+    rows: List[Dict] = []
+    clock = WallClock()
+    for size in sizes:
+        cluster, am0, am1, pump = _make_pair(transport_kind, clock)
+        try:
+            am1.register_handler(1, lambda ctx: ctx.reply(args=(ctx.args[0],),
+                                                          data=ctx.data))
+            payload = bytes(i % 256 for i in range(size))
+            for i in range(warmup):
+                am0.rpc(1, 1, args=(i,), data=payload, pump=pump,
+                        limit_us=_PHASE_LIMIT_US)
+            base_syscalls = _syscalls(cluster)
+            lat: List[float] = []
+            for i in range(samples):
+                t0 = clock.now_us()
+                am0.rpc(1, 1, args=(i,), data=payload, pump=pump,
+                        limit_us=_PHASE_LIMIT_US)
+                lat.append(clock.now_us() - t0)
+            syscalls = _syscalls(cluster) - base_syscalls
+            rows.append({
+                "size": size,
+                "samples": len(lat),
+                "min_us": min(lat),
+                "mean_us": sum(lat) / len(lat),
+                "p50_us": percentile(lat, 50),
+                "p95_us": percentile(lat, 95),
+                "p99_us": percentile(lat, 99),
+                "syscalls_per_message": syscalls / max(1, len(lat)),
+            })
+        finally:
+            cluster.close()
+    return rows
+
+
+# --------------------------------------------------------------- bandwidth
+def bench_bandwidth(transport_kind: str,
+                    sizes: Sequence[int] = BANDWIDTH_SIZES,
+                    messages: int = 200) -> List[Dict]:
+    """Figure 6's shape: windowed one-way stream, goodput in Mb/s."""
+    rows: List[Dict] = []
+    clock = WallClock()
+    for size in sizes:
+        cluster, am0, am1, pump = _make_pair(transport_kind, clock)
+        try:
+            received = [0]
+
+            def handler(ctx, _received=received) -> None:
+                _received[0] += 1
+
+            am1.register_handler(1, handler)
+            payload = bytes(i % 256 for i in range(size))
+            base_syscalls = _syscalls(cluster)
+            deadline = clock.now_us() + _PHASE_LIMIT_US
+            t0 = clock.now_us()
+            for i in range(messages):
+                while am0.start_request(1, 1, args=(i,), data=payload) is None:
+                    if clock.now_us() >= deadline:
+                        raise RuntimeError("bandwidth phase wedged")
+                    pump()
+            while not (am0.idle and received[0] >= messages):
+                if clock.now_us() >= deadline:
+                    break
+                pump()
+            elapsed_us = max(1.0, clock.now_us() - t0)
+            syscalls = _syscalls(cluster) - base_syscalls
+            snap = am0.snapshot()
+            rexmit = sum(p["retransmissions"] for p in snap.values())
+            rows.append({
+                "size": size,
+                "messages": messages,
+                "delivered": received[0],
+                "elapsed_us": elapsed_us,
+                # bits per microsecond == megabits per second
+                "goodput_mbps": received[0] * size * 8 / elapsed_us,
+                "rexmit": rexmit,
+                "syscalls_per_message": syscalls / max(1, received[0]),
+            })
+        finally:
+            cluster.close()
+    return rows
+
+
+# ------------------------------------------------------------------ incast
+def bench_incast(transport_kind: str, senders: int = 4,
+                 messages_per_sender: int = 100, size: int = 512) -> Dict:
+    """N senders into one credit-gated receiver: the live overload shape.
+
+    Receiver-credit flow is on, so the interesting outputs are the
+    aggregate goodput the receiver sustains, how often senders stalled
+    on credit, and whether anything was dropped at the receive queue —
+    on a healthy run backpressure (stalls) substitutes for loss.
+    """
+    clock = WallClock()
+    cluster = LiveCluster(lambda name: make_transport(transport_kind, name), clock)
+    try:
+        config = AmConfig(credit_flow=True)
+        recv_node = cluster.add_node("sink")
+        recv_ep = recv_node.create_user_endpoint(
+            config=EndpointConfig(num_buffers=96, buffer_size=2048,
+                                  send_queue_depth=64, recv_queue_depth=16),
+            rx_buffers=32)
+        recv_am = LiveAm(0, recv_ep, config=config)
+        received = [0]
+        recv_am.register_handler(1, lambda ctx: received.__setitem__(0, received[0] + 1))
+
+        sender_ams: List[LiveAm] = []
+        for s in range(senders):
+            node = cluster.add_node(f"src{s}")
+            ep = node.create_user_endpoint(
+                config=EndpointConfig(num_buffers=96, buffer_size=2048,
+                                      send_queue_depth=64, recv_queue_depth=64),
+                rx_buffers=48)
+            ch_sink, ch_src = cluster.connect(recv_ep, ep)
+            recv_am.connect_peer(s + 1, ch_sink)
+            am = LiveAm(s + 1, ep, config=config)
+            am.connect_peer(0, ch_src)
+            sender_ams.append(am)
+
+        def pump() -> None:
+            cluster.step()
+            recv_am.service()
+            for am in sender_ams:
+                am.service()
+
+        payload = bytes(i % 256 for i in range(size))
+        sent = [0] * senders
+        total = senders * messages_per_sender
+        base_syscalls = _syscalls(cluster)
+        deadline = clock.now_us() + _PHASE_LIMIT_US
+        t0 = clock.now_us()
+        while clock.now_us() < deadline:
+            progress = False
+            for s, am in enumerate(sender_ams):
+                if sent[s] >= messages_per_sender:
+                    continue
+                if am.start_request(0, 1, args=(sent[s],), data=payload) is not None:
+                    sent[s] += 1
+                    progress = True
+            pump()
+            if (sum(sent) >= total and received[0] >= total
+                    and all(am.idle for am in sender_ams)):
+                break
+            if not progress:
+                pump()
+        elapsed_us = max(1.0, clock.now_us() - t0)
+        syscalls = _syscalls(cluster) - base_syscalls
+        stalls = sum(am.credit_stalls for am in sender_ams)
+        rexmit = sum(p["retransmissions"] for am in sender_ams
+                     for p in am.snapshot().values())
+        drops = recv_node.drop_stats()
+        return {
+            "senders": senders,
+            "messages_per_sender": messages_per_sender,
+            "size": size,
+            "delivered": received[0],
+            "elapsed_us": elapsed_us,
+            "goodput_mbps": received[0] * size * 8 / elapsed_us,
+            "credit_stalls": stalls,
+            "rexmit": rexmit,
+            "recv_queue_drops": drops["recv_queue_drops"],
+            "no_buffer_drops": drops["no_buffer_drops"],
+            "syscalls_per_message": syscalls / max(1, received[0]),
+        }
+    finally:
+        cluster.close()
+
+
+# ------------------------------------------------------------------- driver
+def run_bench(transport_kind: str = "unix", rtt_samples: int = 40,
+              bw_messages: int = 200, incast_senders: int = 4,
+              incast_messages: int = 100,
+              rtt_sizes: Sequence[int] = RTT_SIZES,
+              bw_sizes: Sequence[int] = BANDWIDTH_SIZES,
+              progress: Optional[Callable[[str], None]] = None) -> Dict:
+    """The full rig: Fig 5 shape, Fig 6 shape, incast; one JSON payload."""
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    clock = WallClock()
+    t0 = clock.now_us()
+    note(f"round-trip latency over {transport_kind} "
+         f"({len(rtt_sizes)} sizes x {rtt_samples} samples)...")
+    round_trip = bench_round_trip(transport_kind, sizes=rtt_sizes,
+                                  samples=rtt_samples)
+    note(f"bandwidth ({len(bw_sizes)} sizes x {bw_messages} messages)...")
+    bandwidth = bench_bandwidth(transport_kind, sizes=bw_sizes,
+                                messages=bw_messages)
+    note(f"incast ({incast_senders} senders x {incast_messages} messages)...")
+    incast = bench_incast(transport_kind, senders=incast_senders,
+                          messages_per_sender=incast_messages)
+    payload = {
+        "format": BENCH_FORMAT,
+        "transport": transport_kind,
+        "elapsed_s": (clock.now_us() - t0) / 1e6,
+        "round_trip": round_trip,
+        "bandwidth": bandwidth,
+        "incast": incast,
+    }
+    errors = validate_bench(payload)
+    if errors:  # pragma: no cover - a rig bug, not an input condition
+        raise ValueError("benchmark payload failed its own schema:\n  "
+                         + "\n  ".join(errors))
+    return payload
+
+
+# ------------------------------------------------------------------- schema
+#: shape contract for BENCH_live.json: key -> type (or [row-template]);
+#: ``float`` accepts ints too, JSON has one number type
+_ROW_RTT = {"size": int, "samples": int, "min_us": float, "mean_us": float,
+            "p50_us": float, "p95_us": float, "p99_us": float,
+            "syscalls_per_message": float}
+_ROW_BW = {"size": int, "messages": int, "delivered": int, "elapsed_us": float,
+           "goodput_mbps": float, "rexmit": int, "syscalls_per_message": float}
+_ROW_INCAST = {"senders": int, "messages_per_sender": int, "size": int,
+               "delivered": int, "elapsed_us": float, "goodput_mbps": float,
+               "credit_stalls": int, "rexmit": int, "recv_queue_drops": int,
+               "no_buffer_drops": int, "syscalls_per_message": float}
+BENCH_SCHEMA = {
+    "format": str,
+    "transport": str,
+    "elapsed_s": float,
+    "round_trip": [_ROW_RTT],
+    "bandwidth": [_ROW_BW],
+    "incast": _ROW_INCAST,
+}
+
+
+def _check(value, spec, path: str, errors: List[str]) -> None:
+    if isinstance(spec, list):
+        if not isinstance(value, list) or not value:
+            errors.append(f"{path}: expected a non-empty list")
+            return
+        for i, item in enumerate(value):
+            _check(item, spec[0], f"{path}[{i}]", errors)
+    elif isinstance(spec, dict):
+        if not isinstance(value, dict):
+            errors.append(f"{path}: expected an object")
+            return
+        for key, sub in spec.items():
+            if key not in value:
+                errors.append(f"{path}.{key}: missing")
+            else:
+                _check(value[key], sub, f"{path}.{key}", errors)
+    elif spec is float:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{path}: expected a number, got {type(value).__name__}")
+    elif not isinstance(value, spec) or isinstance(value, bool) and spec is int:
+        errors.append(f"{path}: expected {spec.__name__}, got {type(value).__name__}")
+
+
+def validate_bench(payload: Dict) -> List[str]:
+    """Schema-check a BENCH_live payload; empty list means valid."""
+    errors: List[str] = []
+    _check(payload, BENCH_SCHEMA, "$", errors)
+    if not errors and payload["format"] != BENCH_FORMAT:
+        errors.append(f"$.format: {payload['format']!r} != {BENCH_FORMAT!r}")
+    return errors
+
+
+def write_bench(path: str, payload: Dict) -> None:
+    """Validate, then write ``BENCH_live.json``."""
+    errors = validate_bench(payload)
+    if errors:
+        raise ValueError("refusing to write an invalid benchmark payload:\n  "
+                         + "\n  ".join(errors))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_bench(payload: Dict) -> str:
+    """Terminal summary of a benchmark payload."""
+    lines = [f"U-Net/OS wall-clock benchmark over {payload['transport']} "
+             f"({payload['elapsed_s']:.1f}s)"]
+    lines.append("  round-trip latency (us):")
+    lines.append(f"    {'bytes':>6} {'p50':>9} {'p95':>9} {'p99':>9} "
+                 f"{'min':>9} {'sys/msg':>8}")
+    for row in payload["round_trip"]:
+        lines.append(f"    {row['size']:>6} {row['p50_us']:>9.1f} "
+                     f"{row['p95_us']:>9.1f} {row['p99_us']:>9.1f} "
+                     f"{row['min_us']:>9.1f} {row['syscalls_per_message']:>8.1f}")
+    lines.append("  bandwidth:")
+    lines.append(f"    {'bytes':>6} {'Mb/s':>9} {'rexmit':>7} {'sys/msg':>8}")
+    for row in payload["bandwidth"]:
+        lines.append(f"    {row['size']:>6} {row['goodput_mbps']:>9.1f} "
+                     f"{row['rexmit']:>7} {row['syscalls_per_message']:>8.1f}")
+    inc = payload["incast"]
+    lines.append(f"  incast: {inc['senders']} senders x "
+                 f"{inc['messages_per_sender']} x {inc['size']}B -> "
+                 f"{inc['goodput_mbps']:.1f} Mb/s aggregate, "
+                 f"{inc['credit_stalls']} credit stalls, "
+                 f"{inc['recv_queue_drops']} recv-queue drops, "
+                 f"{inc['rexmit']} rexmit")
+    return "\n".join(lines)

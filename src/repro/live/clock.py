@@ -1,0 +1,33 @@
+"""The wall-clock seam — the ONE module allowed to read real time.
+
+The determinism lint (``tests/test_determinism.py``) bans ambient
+``time``/``random`` calls across ``src/repro`` and allowlists exactly
+this file: every other live module receives a
+:class:`~repro.core.clock.Clock` instance and cannot tell (or care)
+whether it is wall time or a test's :class:`~repro.core.clock.ManualClock`.
+Keep any new wall-time need behind this seam.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.clock import Clock
+
+__all__ = ["WallClock"]
+
+_US_PER_S = 1_000_000.0
+
+
+class WallClock(Clock):
+    """Monotonic wall time, in microseconds."""
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def now_us(self) -> float:
+        return (time.monotonic() - self._origin) * _US_PER_S
+
+    def sleep_us(self, us: float) -> None:
+        if us > 0:
+            time.sleep(us / _US_PER_S)

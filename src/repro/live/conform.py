@@ -1,0 +1,235 @@
+"""Conformance execution on the live U-Net/OS substrate.
+
+``run_live_case`` drives the *same* workload and content-addressed
+fault schedule the simulated substrates run — faults applied at the
+live framing layer by a
+:class:`~repro.faults.scripted.DatagramScriptedStage` — and returns the
+same :class:`~repro.conformance.observe.ObservedTrace` shape, so the
+differential checker can diff ATM vs FE vs reference model vs wall
+clock in one report.
+
+Live executions register with ``relaxed_timing=True``: retransmission
+counts depend on when the OS scheduler ran the doorbell loop, so the
+checker compares them only loosely.  Everything semantic — dispatch
+order, reply sets, drop classes, occurrence-0 fault hits, the online
+window/credit/continuity invariants — is compared exactly; that is the
+point of the exercise.
+
+``inject_live_bug`` mirrors the checker's bug library onto
+:class:`~repro.live.am.LiveAm`'s spec seams, proving the harness
+catches the same semantic regressions on a wall-clock execution.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional
+
+from ..am.am import AmError
+from ..am.protocol import seq_add, seq_lt
+from ..conformance.observe import ObservationProbe, ObservedTrace
+from ..conformance.schedule import ConformanceCase
+from ..core import EndpointConfig
+from ..core.substrates import register_substrate
+from ..faults.scripted import scripted_stage_factory
+from .am import LiveAm
+from .backend import LiveCluster
+from .clock import WallClock
+from .transport import available_transport_kinds, make_transport, transport_available
+
+__all__ = ["run_live_case", "inject_live_bug", "LIVE_BUGS",
+           "WALL_LIMIT_US", "register_live_substrates"]
+
+#: hard wall-clock ceiling per live execution, whatever the case says
+WALL_LIMIT_US = 8_000_000.0
+#: wall-clock drain after the workload, so tail acks settle
+_DRAIN_US = 500_000.0
+
+
+# --------------------------------------------------------------- bug library
+def _buggy_credit_blocked(self, peer) -> bool:
+    """The classic off-by-one: sends while remote credit is exactly 0."""
+    return (self.config.credit_flow and peer.remote_credit is not None
+            and peer.remote_credit < 0)  # BUG: spec says <= 0
+
+
+def _buggy_acked_seqs(self, peer, ack: int):
+    """Cumulative-ack fencepost: also acks the packet the receiver is
+    still waiting for, so a dropped packet is never retransmitted."""
+    return [seq for seq in peer.unacked if seq_lt(seq, seq_add(ack, 1))]  # BUG
+
+
+#: same bug names as ``repro.conformance.checker.BUGS``, patched onto
+#: the live endpoint's spec seams
+LIVE_BUGS = {
+    "credit-gate": {"_credit_blocked": _buggy_credit_blocked},
+    "ack-horizon": {"_acked_seqs": _buggy_acked_seqs},
+}
+
+
+@contextmanager
+def inject_live_bug(name: Optional[str]):
+    """Temporarily install a named bug into :class:`LiveAm`."""
+    if name is None:
+        yield
+        return
+    if name not in LIVE_BUGS:
+        raise ValueError(f"bug {name!r} has no live patch; "
+                         f"choose from {sorted(LIVE_BUGS)}")
+    patches = LIVE_BUGS[name]
+    saved = {attr: getattr(LiveAm, attr) for attr in patches}
+    try:
+        for attr, fn in patches.items():
+            setattr(LiveAm, attr, fn)
+        yield
+    finally:
+        for attr, fn in saved.items():
+            setattr(LiveAm, attr, fn)
+
+
+# ------------------------------------------------------------------- running
+def _payload(i: int, size: int) -> bytes:
+    # must match the checker's workload payloads byte-for-byte
+    return bytes((i + j) % 256 for j in range(size))
+
+
+def run_live_case(case: ConformanceCase, transport_kind: str = "unix",
+                  bug: Optional[str] = None) -> ObservedTrace:
+    """Run ``case`` on U-Net/OS and collect its observable trace."""
+    clock = WallClock()
+    limit_us = min(case.time_limit_us, WALL_LIMIT_US)
+    with inject_live_bug(bug), LiveCluster(
+            lambda name: make_transport(transport_kind, name), clock) as cluster:
+        n0 = cluster.add_node("n0")
+        n1 = cluster.add_node("n1")
+        sender_cfg = EndpointConfig(num_buffers=64, buffer_size=2048,
+                                    send_queue_depth=64, recv_queue_depth=64)
+        receiver_cfg = EndpointConfig(num_buffers=case.rx_buffers + 24,
+                                      buffer_size=2048, send_queue_depth=64,
+                                      recv_queue_depth=case.recv_queue_depth)
+        ep0 = n0.create_user_endpoint(config=sender_cfg, rx_buffers=32)
+        ep1 = n1.create_user_endpoint(config=receiver_cfg,
+                                      rx_buffers=case.rx_buffers)
+        ch0, ch1 = cluster.connect(ep0, ep1)
+        am0 = LiveAm(0, ep0, config=case.am_config(receiver=False))
+        am1 = LiveAm(1, ep1, config=case.am_config(receiver=True))
+        am0.connect_peer(1, ch0)
+        am1.connect_peer(0, ch1)
+
+        name = f"live-{transport_kind}"
+        probe = ObservationProbe(name, requester_node=0,
+                                 config_window=am0.config.window)
+        probe.attach_am(am0)
+        probe.attach_am(am1)
+        probe.attach_endpoint(ep0.endpoint)
+        probe.attach_endpoint(ep1.endpoint)
+        probe.attach_demux(n0.demux)
+        probe.attach_demux(n1.demux)
+
+        # same keying as the simulated substrates: the stage at n1 sees
+        # the request path, the one at n0 the reply path
+        fwd_stage = scripted_stage_factory(n1, case.fwd_faults())
+        rev_stage = scripted_stage_factory(n0, case.rev_faults())
+        fwd_stage.reset()
+        rev_stage.reset()
+        n1.install_ingress_stage(fwd_stage)
+        n0.install_ingress_stage(rev_stage)
+
+        integrity_failures: List[int] = []
+        rpc_errors: List[str] = []
+
+        def handler(ctx) -> None:
+            i = ctx.args[0]
+            if (ctx.data != _payload(i, len(ctx.data))
+                    or len(ctx.data) != case.messages[i].size):
+                integrity_failures.append(i)
+
+        def rpc_handler(ctx) -> None:
+            handler(ctx)
+            ctx.reply(args=(ctx.args[0] * 2 + 1,))
+
+        am1.register_handler(1, handler)
+        am1.register_handler(2, rpc_handler)
+
+        def pump() -> None:
+            cluster.step()
+            am0.service()
+            am1.service()
+
+        deadline = clock.now_us() + limit_us
+        completed = True
+        try:
+            for i, message in enumerate(case.messages):
+                remaining = deadline - clock.now_us()
+                if remaining <= 0:
+                    raise AmError("wall-clock limit reached")
+                data = _payload(i, message.size)
+                if message.rpc:
+                    args, _d = am0.rpc(1, 2, args=(i,), data=data,
+                                       pump=pump, limit_us=remaining)
+                    if args[0] != i * 2 + 1:
+                        rpc_errors.append(
+                            f"rpc {i} returned {args[0]}, wanted {i * 2 + 1}")
+                else:
+                    am0.request(1, 1, args=(i,), data=data,
+                                pump=pump, limit_us=remaining)
+        except AmError:
+            completed = False
+        completion = clock.now_us() if completed else limit_us
+        if completed:
+            drain_deadline = min(deadline, clock.now_us() + _DRAIN_US)
+            while clock.now_us() < drain_deadline:
+                if am0.idle and am1.idle:
+                    break
+                pump()
+            am0.shutdown()
+            am1.shutdown()
+            pump()
+
+        for line in rpc_errors:
+            probe.violations.append(f"rpc: {line}")
+        if integrity_failures:
+            probe.violations.append(
+                f"integrity: corrupted payload reached the handler for ids "
+                f"{sorted(set(integrity_failures))[:8]}")
+
+        snapshots = {"am0": am0.snapshot(), "am1": am1.snapshot()}
+        trace = probe.finish(completed, completion,
+                             fired=fwd_stage.fired + rev_stage.fired,
+                             snapshots=snapshots)
+        trace.rexmit = sum(p["retransmissions"] for snap in snapshots.values()
+                           for p in snap.values())
+        trace.timeouts = sum(p["timeouts"] for snap in snapshots.values()
+                             for p in snap.values())
+        trace.dup_rx = sum(p["duplicates"] for snap in snapshots.values()
+                           for p in snap.values())
+        trace.credit_stalls = sum(p["credit_stalls"] for snap in snapshots.values()
+                                  for p in snap.values())
+        return trace
+
+
+# -------------------------------------------------------------- registration
+def _auto_kind() -> str:
+    kinds = available_transport_kinds()
+    if not kinds:
+        raise RuntimeError("no live transport available on this machine")
+    return kinds[0]  # prefer unix (SHM-like) when it exists
+
+
+def register_live_substrates() -> None:
+    """Install U-Net/OS runners in the global substrate registry."""
+    register_substrate(
+        "live", lambda case, bug=None: run_live_case(case, _auto_kind(), bug=bug),
+        available=lambda: bool(available_transport_kinds()),
+        relaxed_timing=True,
+        description="U-Net/OS on the best available local transport")
+    register_substrate(
+        "live-unix", lambda case, bug=None: run_live_case(case, "unix", bug=bug),
+        available=lambda: transport_available("unix"),
+        relaxed_timing=True,
+        description="U-Net/OS over AF_UNIX datagram sockets")
+    register_substrate(
+        "live-udp", lambda case, bug=None: run_live_case(case, "udp", bug=bug),
+        available=lambda: transport_available("udp"),
+        relaxed_timing=True,
+        description="U-Net/OS over UDP loopback")

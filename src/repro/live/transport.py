@@ -1,0 +1,257 @@
+"""Real OS datagram transports under the live U-Net/OS substrate.
+
+Two backends, mirroring the paper's two NIC mappings in spirit:
+
+* :class:`UnixDgramTransport` — ``AF_UNIX``/``SOCK_DGRAM``.  Same-host
+  only, kernel-buffer "SHM-like" path: no checksums, no protocol
+  headers, message boundaries preserved.  The closest a portable OS
+  primitive gets to the PCA-200's memory-mapped FIFOs.
+* :class:`UdpLoopbackTransport` — UDP on ``127.0.0.1``.  Crosses the
+  full IP stack the way U-Net/FE's frames crossed the DC21140, and
+  works between unrelated processes.
+
+One transport is one node's "NIC": a single bound non-blocking socket.
+All sends and receives are non-blocking; a send that would block
+(receiver's kernel buffer full — the OS analogue of a full receive
+ring) reports ``False`` so the backend can keep the descriptor queued
+and retry, which is real backpressure rather than silent loss.  Every
+syscall is counted: syscalls-per-message is one of the live benchmark's
+headline numbers, exactly as the paper counted traps and doorbells.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import socket
+import tempfile
+from typing import List, Optional, Tuple
+
+from ..core.errors import UNetError
+
+__all__ = [
+    "TransportError",
+    "LiveTransport",
+    "UnixDgramTransport",
+    "UdpLoopbackTransport",
+    "TRANSPORT_KINDS",
+    "transport_available",
+    "available_transport_kinds",
+    "make_transport",
+]
+
+#: datagrams drained from the socket per service-loop pass; bounding the
+#: batch keeps one busy peer from starving the doorbell loop (and models
+#: the bounded work a real interrupt handler does per invocation)
+RECV_BATCH = 64
+
+#: errnos that mean "the receiver's kernel buffer is full right now"
+_WOULD_BLOCK = {errno.EAGAIN, getattr(errno, "EWOULDBLOCK", errno.EAGAIN), errno.ENOBUFS}
+
+#: errnos that mean "the peer endpoint is gone" (teardown races)
+_PEER_GONE = {errno.ECONNREFUSED, errno.ENOENT, errno.ECONNRESET}
+
+
+class TransportError(UNetError):
+    """A live transport could not be created or used."""
+
+
+class LiveTransport:
+    """One node's datagram socket plus its syscall accounting."""
+
+    kind = "abstract"
+
+    def __init__(self) -> None:
+        self.sock: Optional[socket.socket] = None
+        self.tx_syscalls = 0
+        self.rx_syscalls = 0
+        self.tx_datagrams = 0
+        self.rx_datagrams = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        #: sends refused by a full kernel buffer (backpressure events)
+        self.tx_would_block = 0
+        #: sends to a peer that no longer exists (teardown races)
+        self.tx_peer_gone = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def address(self):
+        """The opaque, sendable address peers use to reach this node."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        if self.sock is not None:
+            self.sock.close()
+            self.sock = None
+
+    def __enter__(self) -> "LiveTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- data path ---------------------------------------------------------
+    def send(self, dest, payload: bytes) -> bool:
+        """Non-blocking datagram send.
+
+        Returns True when the kernel accepted the datagram (or the peer
+        is gone, in which case the datagram is charged as transmitted
+        and dropped exactly as a NIC drops frames for a dead endpoint).
+        Returns False when the send would block — the caller keeps the
+        descriptor queued and retries on its next doorbell pass.
+        """
+        if self.sock is None:
+            raise TransportError(f"{self.kind} transport is closed")
+        self.tx_syscalls += 1
+        try:
+            self.sock.sendto(payload, dest)
+        except (BlockingIOError, InterruptedError):
+            self.tx_would_block += 1
+            return False
+        except OSError as exc:
+            if exc.errno in _WOULD_BLOCK:
+                self.tx_would_block += 1
+                return False
+            if exc.errno in _PEER_GONE:
+                self.tx_peer_gone += 1
+                return True
+            raise
+        self.tx_datagrams += 1
+        self.tx_bytes += len(payload)
+        return True
+
+    def recv_batch(self, max_datagrams: int = RECV_BATCH) -> List[bytes]:
+        """Drain up to ``max_datagrams`` datagrams without blocking.
+
+        A partial drain is normal: the remainder stays in the kernel
+        buffer for the next pass, so a slow consumer backpressures the
+        socket instead of losing data.
+        """
+        if self.sock is None:
+            return []
+        out: List[bytes] = []
+        for _ in range(max_datagrams):
+            self.rx_syscalls += 1
+            try:
+                raw, _addr = self.sock.recvfrom(65536)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError as exc:
+                if exc.errno in _WOULD_BLOCK:
+                    break
+                if exc.errno in _PEER_GONE:
+                    # queued ICMP refusal from a torn-down UDP peer;
+                    # irrelevant to *our* ingress, keep draining
+                    continue
+                raise
+            out.append(raw)
+            self.rx_datagrams += 1
+            self.rx_bytes += len(raw)
+        return out
+
+    # -- accounting --------------------------------------------------------
+    def syscall_stats(self) -> dict:
+        return {
+            "tx_syscalls": self.tx_syscalls,
+            "rx_syscalls": self.rx_syscalls,
+            "tx_datagrams": self.tx_datagrams,
+            "rx_datagrams": self.rx_datagrams,
+            "tx_bytes": self.tx_bytes,
+            "rx_bytes": self.rx_bytes,
+            "tx_would_block": self.tx_would_block,
+            "tx_peer_gone": self.tx_peer_gone,
+        }
+
+    def _configure(self, sock: socket.socket,
+                   sndbuf: Optional[int], rcvbuf: Optional[int]) -> None:
+        sock.setblocking(False)
+        if sndbuf is not None:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, sndbuf)
+        if rcvbuf is not None:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+
+
+class UnixDgramTransport(LiveTransport):
+    """AF_UNIX SOCK_DGRAM: the same-host, SHM-like backend."""
+
+    kind = "unix"
+
+    def __init__(self, name: str = "node", sndbuf: Optional[int] = None,
+                 rcvbuf: Optional[int] = None) -> None:
+        super().__init__()
+        if not hasattr(socket, "AF_UNIX"):
+            raise TransportError("AF_UNIX is not available on this platform")
+        self._dir = tempfile.mkdtemp(prefix="unet-live-")
+        self.path = os.path.join(self._dir, f"{name}.sock")
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_DGRAM)
+        try:
+            sock.bind(self.path)
+            self._configure(sock, sndbuf, rcvbuf)
+        except OSError:
+            sock.close()
+            raise
+        self.sock = sock
+
+    @property
+    def address(self) -> str:
+        return self.path
+
+    def close(self) -> None:
+        super().close()
+        try:
+            os.unlink(self.path)
+            os.rmdir(self._dir)
+        except OSError:
+            pass
+
+
+class UdpLoopbackTransport(LiveTransport):
+    """UDP on 127.0.0.1: the cross-process backend."""
+
+    kind = "udp"
+
+    def __init__(self, name: str = "node", sndbuf: Optional[int] = None,
+                 rcvbuf: Optional[int] = None) -> None:
+        super().__init__()
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            sock.bind(("127.0.0.1", 0))
+            self._configure(sock, sndbuf, rcvbuf)
+        except OSError as exc:
+            sock.close()
+            raise TransportError(f"cannot bind UDP loopback: {exc}") from exc
+        self.sock = sock
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.sock.getsockname()
+
+
+TRANSPORT_KINDS = ("unix", "udp")
+
+
+def transport_available(kind: str) -> bool:
+    """Can a ``kind`` transport be created on this machine?"""
+    if kind == "unix":
+        if not hasattr(socket, "AF_UNIX"):
+            return False
+    elif kind != "udp":
+        return False
+    try:
+        make_transport(kind, name="probe").close()
+        return True
+    except (TransportError, OSError):
+        return False
+
+
+def available_transport_kinds() -> Tuple[str, ...]:
+    return tuple(k for k in TRANSPORT_KINDS if transport_available(k))
+
+
+def make_transport(kind: str, name: str = "node", **kwargs) -> LiveTransport:
+    if kind == "unix":
+        return UnixDgramTransport(name=name, **kwargs)
+    if kind == "udp":
+        return UdpLoopbackTransport(name=name, **kwargs)
+    raise TransportError(f"unknown transport kind {kind!r}; choose from {TRANSPORT_KINDS}")

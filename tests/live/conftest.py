@@ -1,0 +1,27 @@
+"""Shared fixtures for the live U-Net/OS substrate tests.
+
+Everything here needs a real datagram socket; modules declare which
+transport kinds they can run on and skip cleanly where the OS cannot
+provide one (the CI contract: skipped, never silently passed).
+"""
+
+import pytest
+
+from repro.live import available_transport_kinds
+
+
+@pytest.fixture
+def any_kind():
+    kinds = available_transport_kinds()
+    if not kinds:
+        pytest.skip("no live datagram transport available on this machine")
+    return kinds[0]
+
+
+def require(kind: str):
+    """Module-level skip marker for a specific transport kind."""
+    from repro.live import transport_available
+
+    return pytest.mark.skipif(
+        not transport_available(kind),
+        reason=f"{kind} datagram transport not available on this machine")
