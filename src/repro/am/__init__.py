@@ -3,14 +3,18 @@
 from .am import AmConfig, AmEndpoint, AmError, RequestContext
 from .bulk import BULK_FRAGMENT_HANDLER, BulkReceiver, BulkSender
 from .protocol import (
+    EPOCH_MOD,
     HEADER_SIZE,
     SEQ_MOD,
     TYPE_ACK,
+    TYPE_HELLO,
+    TYPE_HELLO_ACK,
     TYPE_REPLY,
     TYPE_REQUEST,
     Packet,
     decode,
     encode,
+    epoch_newer,
     seq_add,
     seq_leq,
     seq_lt,
@@ -29,10 +33,14 @@ __all__ = [
     "decode",
     "HEADER_SIZE",
     "SEQ_MOD",
+    "EPOCH_MOD",
     "TYPE_REQUEST",
     "TYPE_REPLY",
     "TYPE_ACK",
+    "TYPE_HELLO",
+    "TYPE_HELLO_ACK",
     "seq_lt",
     "seq_leq",
     "seq_add",
+    "epoch_newer",
 ]

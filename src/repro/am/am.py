@@ -33,12 +33,17 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from ..core.api import UserEndpoint
+from ..core.errors import PeerUnavailableError, StaleEpochError
 from ..sim import Event, Resource, Simulator
 from .protocol import (
     CREDIT_SIZE,
+    EPOCH_MOD,
+    EPOCH_SIZE,
     HEADER_SIZE,
     SEQ_MOD,
     TYPE_ACK,
+    TYPE_HELLO,
+    TYPE_HELLO_ACK,
     TYPE_REPLY,
     TYPE_REQUEST,
     Packet,
@@ -47,7 +52,15 @@ from .protocol import (
     seq_add,
     seq_lt,
 )
-from .spec import credit_gate_blocks, cumulative_acked
+from .spec import (
+    ack_epoch_applies,
+    credit_gate_blocks,
+    cumulative_acked,
+    effective_epoch,
+    epoch_advances,
+    epoch_is_stale,
+    reconnect_plan,
+)
 
 __all__ = ["AmConfig", "AmEndpoint", "RequestContext", "AmError"]
 
@@ -111,6 +124,26 @@ class AmConfig:
     #: period of the background credit-refresh process
     credit_update_us: float = 400.0
 
+    # -- crash recovery (off by default: endpoints live forever and the ----
+    # -- classic wire bytes are untouched) ---------------------------------
+    #: stamp every packet with the incarnation-epoch pair, fence stale
+    #: traffic, run the HELLO reconnect handshake after restart(), and
+    #: declare ack-starved peers dead instead of retransmitting forever
+    recovery: bool = False
+    #: starting incarnation (restarts increment it modulo EPOCH_MOD)
+    epoch: int = 0
+    #: consecutive ack-starved retransmission timeouts before the peer
+    #: is declared dead and its in-flight sends are abandoned
+    dead_after_timeouts: int = 6
+    #: HELLO retransmit period while a reconnect handshake is in flight
+    hello_retry_us: float = 2000.0
+    #: optional heartbeat period (0 = off): epoch-stamped explicit acks
+    #: on idle channels, so a peer's death or restart is detected even
+    #: with no data traffic to starve
+    heartbeat_us: float = 0.0
+    #: declare a peer dead after this many silent heartbeat periods
+    heartbeat_misses: int = 4
+
     @classmethod
     def adaptive(cls, **overrides) -> "AmConfig":
         """The full adaptive stack: estimated RTO + AIMD + fast retransmit."""
@@ -138,6 +171,16 @@ class AmConfig:
             raise ValueError("dup_ack_threshold must be >= 1")
         if not self.credit_update_us > 0:
             raise ValueError("credit_update_us must be positive")
+        if not 0 <= self.epoch < EPOCH_MOD:
+            raise ValueError(f"epoch must be in [0, {EPOCH_MOD}), got {self.epoch!r}")
+        if self.dead_after_timeouts < 1:
+            raise ValueError("dead_after_timeouts must be >= 1")
+        if not self.hello_retry_us > 0:
+            raise ValueError("hello_retry_us must be positive")
+        if self.heartbeat_us < 0:
+            raise ValueError("heartbeat_us must be >= 0 (0 disables)")
+        if self.heartbeat_misses < 1:
+            raise ValueError("heartbeat_misses must be >= 1")
 
 
 class _PeerState:
@@ -177,6 +220,14 @@ class _PeerState:
         "credit_waiters",
         "credit_stalls",
         "last_advertised",
+        # -- crash recovery --
+        "remote_epoch",
+        "alive",
+        "starved_timeouts",
+        "reconnecting",
+        "hello_waiters",
+        "abandoned",
+        "last_heard",
     )
 
     def __init__(self, node: int, channel: int, sim: Simulator, window: int) -> None:
@@ -229,6 +280,22 @@ class _PeerState:
         self.credit_stalls = 0
         #: last credit value advertised *to* this peer
         self.last_advertised: Optional[int] = None
+        #: the peer incarnation this endpoint believes it is talking to
+        self.remote_epoch = 0
+        #: False once the liveness detector declared the peer dead;
+        #: any valid packet from the peer (usually its HELLO) revives it
+        self.alive = True
+        #: consecutive RTO firings without any cumulative-ack progress
+        self.starved_timeouts = 0
+        #: True between restart() and the peer's HELLO-ACK: new sends
+        #: queue on ``hello_waiters`` until the channel is re-established
+        self.reconnecting = False
+        self.hello_waiters: List[Event] = []
+        #: sends abandoned under the at-most-once contract (peer died
+        #: or returned as a new incarnation)
+        self.abandoned = 0
+        #: sim time of the last packet accepted from this peer
+        self.last_heard = sim.now
 
 
 class RequestContext:
@@ -287,15 +354,29 @@ class AmEndpoint:
         #: reference model without reaching into private state.
         self.observer: Optional[Callable[[str, Dict], None]] = None
         self._running = True
+        #: this endpoint's incarnation (stamped into every packet when
+        #: the recovery extension is on; restarts increment it)
+        self.epoch = self.config.epoch
+        self._crashed = False
+        self.restarts = 0
+        #: sends abandoned under the at-most-once contract, all peers
+        self.abandoned_sends = 0
+        #: optional HealthMonitor fed peer_dead/peer_alive verdicts by
+        #: the liveness detector (see attach_health)
+        self.health = None
         self.sim.process(self._dispatch_loop(), name=f"am{node_id}.dispatch")
         if self.config.credit_flow:
             self.sim.process(self._credit_refresh_loop(), name=f"am{node_id}.credit")
+        if self.config.recovery and self.config.heartbeat_us > 0:
+            self.sim.process(self._heartbeat_loop(), name=f"am{node_id}.hb")
 
     # ------------------------------------------------------------- set-up
     @property
     def max_data(self) -> int:
         """Largest data block one packet can carry on this substrate."""
-        overhead = HEADER_SIZE + (CREDIT_SIZE if self.config.credit_flow else 0)
+        overhead = (HEADER_SIZE
+                    + (CREDIT_SIZE if self.config.credit_flow else 0)
+                    + (EPOCH_SIZE if self.config.recovery else 0))
         return self.user.host.backend.max_pdu - overhead
 
     def connect_peer(self, node_id: int, channel_id: int) -> None:
@@ -313,6 +394,198 @@ class AmEndpoint:
     def shutdown(self) -> None:
         """Stop background activity so the simulation can drain."""
         self._running = False
+
+    def attach_health(self, monitor) -> None:
+        """Feed the liveness detector's peer_dead/peer_alive verdicts
+        into a :class:`~repro.core.health.HealthMonitor`."""
+        self.health = monitor
+        monitor.watch(self.user.endpoint)
+
+    # ------------------------------------------------------ crash recovery
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Abrupt death of this incarnation: all protocol state is lost.
+
+        The dispatch loop keeps draining the U-Net endpoint — the NI
+        does not stop delivering into a dead process's rings — but
+        nothing is processed or acknowledged until :meth:`restart`.
+        Local waiters (blocked senders, pending RPCs) belong to the dead
+        incarnation and fail with :class:`StaleEpochError`.
+        """
+        if not self.config.recovery:
+            raise AmError("crash()/restart() require AmConfig.recovery")
+        if self._crashed:
+            return
+        self._crashed = True
+        for peer in self._peers_by_node.values():
+            peer.unacked.clear()  # armed timers find nothing and exit
+            peer.sent_at.clear()
+            peer.rexmit_seqs.clear()
+            peer.ooo_held.clear()
+            self._fail_waiters(peer, StaleEpochError(
+                f"node {self.node} epoch {self.epoch} crashed"))
+        waiters, self._rpc_waiters = self._rpc_waiters, {}
+        for (dest, seq), event in waiters.items():
+            event.fail(StaleEpochError(
+                f"rpc seq {seq} to node {dest} was issued by the dead "
+                f"incarnation {self.epoch} of node {self.node}"))
+
+    def restart(self) -> int:
+        """Return as a new incarnation and re-establish every channel.
+
+        Per-peer go-back-N state is rebuilt from scratch (a restarted
+        process remembers nothing) and a HELLO handshake announces the
+        new epoch on each channel; sends issued before the peer's
+        HELLO-ACK arrives queue behind the handshake.  Returns the new
+        epoch.
+        """
+        if not self.config.recovery:
+            raise AmError("crash()/restart() require AmConfig.recovery")
+        self.epoch = (self.epoch + 1) % EPOCH_MOD
+        self.restarts += 1
+        self._crashed = False
+        for node, old in list(self._peers_by_node.items()):
+            fresh = _PeerState(old.node, old.channel, self.sim, self.config.window)
+            fresh.reconnecting = True
+            self._peers_by_node[node] = fresh
+            self._peers_by_channel[old.channel] = fresh
+            self._observe("reconnect", fresh, epoch=self.epoch)
+            self.sim.process(self._hello_loop(fresh), name=f"am{self.node}.hello")
+        return self.epoch
+
+    def _hello_loop(self, peer: _PeerState) -> Generator:
+        """Retransmit HELLO until the peer's HELLO-ACK closes the loop."""
+        my_epoch = self.epoch
+        while (self._running and not self._crashed and peer.reconnecting
+               and self.epoch == my_epoch
+               and self._peers_by_node.get(peer.node) is peer):
+            yield from self._send_hello(peer, TYPE_HELLO)
+            yield self.sim.timeout(self.config.hello_retry_us)
+
+    def _send_hello(self, peer: _PeerState, ptype: int) -> Generator:
+        # ack carries this side's receive horizon: the next sequence
+        # number it will accept from the peer
+        packet = Packet(type=ptype, ack=peer.expected_seq)
+        yield from self._transmit(peer, packet, track=False)
+
+    def _fail_waiters(self, peer: _PeerState, exc: Exception) -> None:
+        for event in (peer.window_waiters + peer.credit_waiters
+                      + peer.hello_waiters):
+            event.fail(exc)
+        peer.window_waiters = []
+        peer.credit_waiters = []
+        peer.hello_waiters = []
+
+    def _abandon(self, peer: _PeerState, seqs, reason: str) -> None:
+        """Give the listed in-flight sends their ``abandoned`` fate."""
+        for seq in seqs:
+            peer.unacked.pop(seq, None)
+            peer.sent_at.pop(seq, None)
+            peer.rexmit_seqs.discard(seq)
+            peer.abandoned += 1
+            self.abandoned_sends += 1
+            self.user.endpoint.note_drop("peer_dead_drops")
+            self._observe("abandon", peer, seq=seq, reason=reason)
+            waiter = self._rpc_waiters.pop((peer.node, seq), None)
+            if waiter is not None:
+                waiter.fail(PeerUnavailableError(
+                    f"send seq {seq} to node {peer.node} abandoned: {reason}",
+                    peer=peer.node, seq=seq))
+
+    def _declare_peer_dead(self, peer: _PeerState, reason: str) -> None:
+        if not peer.alive:
+            return
+        peer.alive = False
+        self._observe("peer_dead", peer, reason=reason)
+        self._abandon(peer, list(peer.unacked), reason)
+        self._fail_waiters(peer, PeerUnavailableError(
+            f"node {peer.node} declared dead: {reason}", peer=peer.node))
+        if self.health is not None:
+            self.health.report_peer_dead(self.user.endpoint, peer.node)
+
+    def _mark_alive(self, peer: _PeerState) -> None:
+        peer.last_heard = self.sim.now
+        peer.starved_timeouts = 0
+        if not peer.alive:
+            peer.alive = True
+            self._observe("peer_alive", peer)
+            if self.health is not None:
+                self.health.report_peer_alive(self.user.endpoint, peer.node)
+
+    # -- patchable spec seams (the conformance bug library targets these) --
+    def _epoch_stale(self, claimed: Optional[int], current: int) -> bool:
+        """Seam for the epoch fence; healthy = :func:`epoch_is_stale`."""
+        return epoch_is_stale(claimed, current)
+
+    def _reconnect_plan(self, peer: _PeerState, horizon: int,
+                        restarted: bool):
+        """Seam for the at-most-once reconnect split; healthy =
+        :func:`reconnect_plan`.  Whatever lands in neither list stays in
+        ``unacked`` and is *replayed* — which is exactly what the
+        ``replay-horizon`` injected bug arranges."""
+        return reconnect_plan(peer.unacked, horizon, restarted)
+
+    def _peer_restarted(self, peer: _PeerState, new_epoch: int,
+                        horizon: int) -> None:
+        """The peer came back as incarnation ``new_epoch``: apply the
+        reconnect plan to our in-flight sends and rebuild both
+        directions' go-back-N state for the fresh numbering."""
+        completed, abandoned = self._reconnect_plan(peer, horizon, True)
+        for seq in completed:
+            peer.unacked.pop(seq, None)
+            peer.sent_at.pop(seq, None)
+            peer.rexmit_seqs.discard(seq)
+        self._abandon(peer, abandoned,
+                      f"peer restarted as epoch {new_epoch}")
+        # anything still unacked is being replayed (bug injection only):
+        # renumber new sends after it so tracking keys cannot collide
+        remaining = list(peer.unacked)
+        peer.next_seq = seq_add(remaining[-1], 1) if remaining else 0
+        # receive side: the new incarnation numbers from zero
+        peer.expected_seq = 0
+        peer.ooo_held.clear()
+        peer.pending_ack = False
+        peer.deliveries_since_ack = 0
+        # sender-side estimator state tied to the dead conversation
+        peer.last_ack = None
+        peer.dup_acks = 0
+        peer.fast_done_seq = None
+        peer.backoff = 0
+        peer.remote_credit = None
+        peer.remote_epoch = new_epoch
+        # abandoning the old window freed send slots (and forgot the old
+        # credit picture): wake blocked senders, or a window-full sender
+        # at restart time would wait for an ack that can never ack
+        # anything and hang for good
+        while (peer.window_waiters
+               and len(peer.unacked) < self._effective_window(peer)):
+            peer.window_waiters.pop(0).succeed()
+        while peer.credit_waiters:
+            peer.credit_waiters.pop(0).succeed()
+        self._observe("peer_restart", peer, epoch=new_epoch, horizon=horizon)
+
+    def _heartbeat_loop(self) -> Generator:
+        """Epoch-stamped keepalives + silent-peer detection (opt-in)."""
+        cfg = self.config
+        while self._running:
+            yield self.sim.timeout(cfg.heartbeat_us)
+            if not self._running:
+                break
+            if self._crashed:
+                continue
+            for peer in list(self._peers_by_node.values()):
+                if not peer.alive:
+                    continue
+                silent = self.sim.now - peer.last_heard
+                if silent >= cfg.heartbeat_misses * cfg.heartbeat_us:
+                    self._declare_peer_dead(
+                        peer, f"silent for {silent:.0f}us")
+                elif not peer.reconnecting:
+                    self.sim.process(self._send_ack(peer),
+                                     name=f"am{self.node}.hb.ack")
 
     # ------------------------------------------------------- introspection
     def _observe(self, kind: str, peer: _PeerState, **fields) -> None:
@@ -345,12 +618,18 @@ class AmEndpoint:
                 "credit_stalls": p.credit_stalls,
                 "rtt_samples": p.rtt_samples,
                 "srtt_us": p.srtt,
+                "epoch": self.epoch,
+                "remote_epoch": p.remote_epoch,
+                "alive": p.alive,
+                "reconnecting": p.reconnecting,
+                "abandoned": p.abandoned,
             }
         return out
 
     # ------------------------------------------------------------- sending
     def request(self, dest: int, handler: int, args=(), data: bytes = b"") -> Generator:
         """Process: send a request (reliable, flow controlled)."""
+        self._check_incarnation()
         peer = self._peer(dest)
         if len(data) > self.max_data:
             raise AmError(f"data block of {len(data)} bytes exceeds packet maximum {self.max_data}")
@@ -372,6 +651,7 @@ class AmEndpoint:
         Returns ``(args, data)`` from the reply.  Must not be called from
         inside a handler (the dispatch loop would deadlock).
         """
+        self._check_incarnation()
         peer = self._peer(dest)
         done = self.sim.event(name=f"am{self.node}.rpc")
         yield from self._acquire_window(peer)
@@ -408,8 +688,17 @@ class AmEndpoint:
         self.acks_sent += 1
         yield from self._transmit(peer, packet, track=False)
 
+    def _check_incarnation(self) -> None:
+        if self._crashed:
+            raise StaleEpochError(
+                f"node {self.node} epoch {self.epoch} has crashed; "
+                f"restart() before sending")
+
     def _transmit(self, peer: _PeerState, packet: Packet, track: bool) -> Generator:
         packet.ack = peer.expected_seq
+        if self.config.recovery:
+            packet.epoch = self.epoch
+            packet.peer_epoch = peer.remote_epoch
         if self.config.credit_flow:
             # piggyback our current receive capacity on everything we send
             advertised = self._local_credit()
@@ -442,6 +731,18 @@ class AmEndpoint:
 
     def _acquire_window(self, peer: _PeerState) -> Generator:
         while True:
+            if self.config.recovery:
+                if not peer.alive:
+                    raise PeerUnavailableError(
+                        f"node {peer.node} is dead; send refused",
+                        peer=peer.node)
+                if peer.reconnecting:
+                    # queue behind the HELLO handshake: the channel has
+                    # no established numbering to send on yet
+                    event = self.sim.event(name=f"am{self.node}.hello")
+                    peer.hello_waiters.append(event)
+                    yield event
+                    continue
             if len(peer.unacked) >= self._effective_window(peer):
                 event = self.sim.event(name=f"am{self.node}.window")
                 peer.window_waiters.append(event)
@@ -506,7 +807,11 @@ class AmEndpoint:
     def _dispatch_loop(self) -> Generator:
         while self._running:
             message = yield from self.user.recv()
+            if self._crashed:
+                continue  # a dead process neither dispatches nor acks
             yield self.sim.timeout(self.config.dispatch_overhead_us)
+            if self._crashed:
+                continue
             try:
                 packet = decode(message.data)
             except ValueError:
@@ -514,9 +819,27 @@ class AmEndpoint:
             peer = self._peers_by_channel.get(message.channel_id)
             if peer is None:
                 continue
-            self._process_ack(peer, packet.ack)
+            if self.config.recovery and not self._admit(peer, packet):
+                continue  # fenced: a dead incarnation's traffic
+            if ack_epoch_applies(packet.epoch, peer.remote_epoch):
+                self._process_ack(peer, packet.ack)
             if packet.credit is not None and self.config.credit_flow:
                 self._process_credit(peer, packet.credit)
+            if packet.type == TYPE_HELLO:
+                # answer every HELLO (idempotent): the HELLO-ACK may be
+                # lost and the retransmitted HELLO must be re-answered
+                self.sim.process(self._send_hello(peer, TYPE_HELLO_ACK),
+                                 name=f"am{self.node}.helloack")
+                continue
+            if packet.type == TYPE_HELLO_ACK:
+                if peer.reconnecting:
+                    peer.reconnecting = False
+                    self._observe("reconnected", peer,
+                                  peer_epoch=peer.remote_epoch)
+                    waiters, peer.hello_waiters = peer.hello_waiters, []
+                    for event in waiters:
+                        event.succeed()
+                continue
             if packet.type == TYPE_ACK:
                 continue
             if packet.seq != peer.expected_seq:
@@ -541,6 +864,35 @@ class AmEndpoint:
                     break
                 yield from self._deliver_in_order(peer, held)
             self._note_delivery(peer)
+
+    def _admit(self, peer: _PeerState, packet: Packet) -> bool:
+        """Epoch fence + restart detection.  False = packet fenced.
+
+        Both halves of the epoch field are checked through the
+        ``_epoch_stale`` seam: the sender half against our memory of the
+        peer, and (for everything but the handshake itself, which cannot
+        know our epoch yet) the destination echo against our own epoch.
+        """
+        if self._epoch_stale(packet.epoch, peer.remote_epoch):
+            self.user.endpoint.note_drop("stale_epoch_drops")
+            self._observe("stale_epoch", peer, seq=packet.seq,
+                          ptype=packet.type,
+                          epoch=effective_epoch(packet.epoch))
+            return False
+        if (packet.type not in (TYPE_HELLO, TYPE_HELLO_ACK)
+                and self._epoch_stale(packet.peer_epoch, self.epoch)):
+            self.user.endpoint.note_drop("stale_epoch_drops")
+            self._observe("stale_epoch", peer, seq=packet.seq,
+                          ptype=packet.type,
+                          epoch=effective_epoch(packet.peer_epoch), echo=1)
+            return False
+        if epoch_advances(packet.epoch, peer.remote_epoch):
+            # the packet's ack field is the new incarnation's receive
+            # horizon (its HELLO says so explicitly; data says it too)
+            self._peer_restarted(peer, effective_epoch(packet.epoch),
+                                 packet.ack)
+        self._mark_alive(peer)
+        return True
 
     def _deliver_in_order(self, peer: _PeerState, packet: Packet) -> Generator:
         peer.expected_seq = seq_add(peer.expected_seq, 1)
@@ -603,6 +955,7 @@ class AmEndpoint:
         for seq in acked:
             del peer.unacked[seq]
         peer.last_progress = self.sim.now
+        peer.starved_timeouts = 0  # forward progress: not a corpse
         while peer.window_waiters and len(peer.unacked) < self._effective_window(peer):
             peer.window_waiters.pop(0).succeed()
 
@@ -688,6 +1041,10 @@ class AmEndpoint:
             yield self.sim.timeout(timeout / 2)
             if not peer.unacked or not self._running:
                 break
+            if self._crashed or not peer.alive:
+                break  # a corpse neither sends nor is worth sending to
+            if self._peers_by_node.get(peer.node) is not peer:
+                break  # superseded by a restart's fresh peer state
             if self.sim.now - peer.last_progress >= timeout:
                 peer.timeouts += 1
                 self._observe("timeout", peer, rto_us=timeout)
@@ -696,6 +1053,13 @@ class AmEndpoint:
                 if self.config.adaptive_window:
                     # multiplicative decrease: the medium is losing packets
                     peer.cwnd = max(float(self.config.min_window), peer.cwnd / 2.0)
+                if self.config.recovery:
+                    peer.starved_timeouts += 1
+                    if peer.starved_timeouts >= self.config.dead_after_timeouts:
+                        self._declare_peer_dead(
+                            peer, f"ack-starved for "
+                                  f"{peer.starved_timeouts} timeouts")
+                        break
                 yield from self._retransmit_head(peer)
         peer.timer_running = False
 
@@ -715,6 +1079,11 @@ class AmEndpoint:
             peer.rexmit_seqs.add(head_seq)
             peer.last_progress = self.sim.now
             head.ack = peer.expected_seq
+            if self.config.recovery:
+                # re-stamp: the peer may have restarted since first
+                # transmission (replay happens only under bug injection)
+                head.epoch = self.epoch
+                head.peer_epoch = peer.remote_epoch
             if self.config.credit_flow:
                 head.credit = self._local_credit()
                 peer.last_advertised = head.credit

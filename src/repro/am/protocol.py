@@ -12,6 +12,22 @@ The advertisement rides behind a flag bit in the type byte plus a
 two-byte credit word between header and data, so the classic wire
 format — and every byte the calibrated benchmarks see — is unchanged
 when the extension is off.
+
+The crash-recovery extension (``AmConfig.recovery``) follows the same
+pattern: an :data:`EPOCH_FLAG` bit in the type byte announces a
+four-byte *incarnation epoch* field (after the credit word when both
+are present) holding two 16-bit values — the sender's own epoch and an
+echo of the destination's epoch as the sender knows it.  Both halves
+are needed to fence sequence-number aliasing across a restart: the
+sender half rejects traffic *from* a dead incarnation, and the echo
+half rejects traffic *addressed to* a dead incarnation (a surviving
+peer's epoch never changes, so only the echo distinguishes its
+pre-crash in-flight packets from post-reconnect ones).  Receivers count
+fenced packets as the typed ``stale_epoch`` drop class.  Two handshake
+packet types, :data:`TYPE_HELLO` and :data:`TYPE_HELLO_ACK`, let a
+restarted endpoint re-establish a channel: both carry the epoch pair
+plus the sender's receive horizon (the next sequence number it will
+accept) in the ``ack`` field.
 """
 
 from __future__ import annotations
@@ -28,9 +44,15 @@ __all__ = [
     "CREDIT_FLAG",
     "CREDIT_SIZE",
     "MAX_CREDIT",
+    "EPOCH_FLAG",
+    "EPOCH_SIZE",
+    "EPOCH_MOD",
+    "epoch_newer",
     "TYPE_REQUEST",
     "TYPE_REPLY",
     "TYPE_ACK",
+    "TYPE_HELLO",
+    "TYPE_HELLO_ACK",
     "SEQ_MOD",
     "seq_lt",
     "seq_leq",
@@ -45,12 +67,26 @@ HEADER_SIZE = struct.calcsize(_HEADER_FMT)
 TYPE_REQUEST = 1
 TYPE_REPLY = 2
 TYPE_ACK = 3
+#: reconnect handshake: "I am incarnation E; my receive horizon is A"
+TYPE_HELLO = 4
+#: handshake answer, same payload semantics as TYPE_HELLO
+TYPE_HELLO_ACK = 5
 
 #: type-byte flag: a two-byte credit advertisement follows the header
 CREDIT_FLAG = 0x80
 CREDIT_SIZE = struct.calcsize("!H")
 #: largest advertisable credit (the wire word is 16 bits)
 MAX_CREDIT = 0xFFFF
+
+#: type-byte flag: a four-byte incarnation-epoch field follows the
+#: header (after the credit word when both extensions are on): sender
+#: epoch then destination-epoch echo, two 16-bit words
+EPOCH_FLAG = 0x40
+EPOCH_SIZE = struct.calcsize("!HH")
+#: 16-bit epoch space; compared circularly like sequence numbers
+EPOCH_MOD = 1 << 16
+
+_FLAG_MASK = CREDIT_FLAG | EPOCH_FLAG
 
 #: 16-bit sequence space; windows must stay below half of it
 SEQ_MOD = 1 << 16
@@ -70,6 +106,21 @@ def seq_leq(a: int, b: int) -> bool:
     return a == b or seq_lt(a, b)
 
 
+def epoch_newer(a: int, b: int) -> bool:
+    """True if incarnation ``a`` is strictly newer than ``b``.
+
+    Epochs live in the same 16-bit circular space as sequence numbers;
+    an endpoint would have to restart 32767 times within one peer's
+    memory of it to alias.
+
+    >>> epoch_newer(1, 0), epoch_newer(0, 1), epoch_newer(3, 3)
+    (True, False, False)
+    >>> epoch_newer(0, EPOCH_MOD - 1)
+    True
+    """
+    return seq_lt(b % EPOCH_MOD, a % EPOCH_MOD)
+
+
 @dataclass
 class Packet:
     """One Active Messages packet."""
@@ -85,6 +136,13 @@ class Packet:
     data: bytes = b""
     #: receive-capacity advertisement (credit extension); None = absent
     credit: Optional[int] = None
+    #: sender incarnation epoch (recovery extension); None = absent,
+    #: semantically equivalent to epoch 0 (the first incarnation)
+    epoch: Optional[int] = None
+    #: echo of the destination's incarnation epoch as the sender knows
+    #: it ("this packet is addressed to incarnation E"); only on the
+    #: wire when ``epoch`` is, as the second half of the epoch field
+    peer_epoch: Optional[int] = None
 
     def __post_init__(self) -> None:
         if len(self.args) != 4:
@@ -107,12 +165,26 @@ def encode(packet: Packet) -> bytes:
     (3, 9)
     >>> len(encode(Packet(type=TYPE_ACK, credit=9))) - len(encode(Packet(type=TYPE_ACK)))
     2
+
+    So does an incarnation-epoch pair, alone or combined with credit:
+
+    >>> e = decode(encode(Packet(type=TYPE_HELLO, ack=5, epoch=2, peer_epoch=1)))
+    >>> (e.type, e.ack, e.epoch, e.peer_epoch)
+    (4, 5, 2, 1)
+    >>> both = decode(encode(Packet(type=TYPE_REQUEST, credit=7, epoch=1)))
+    >>> (both.credit, both.epoch, both.peer_epoch)
+    (7, 1, 0)
     """
     wire_type = packet.type
     credit = b""
     if packet.credit is not None:
         wire_type |= CREDIT_FLAG
         credit = struct.pack("!H", min(max(packet.credit, 0), MAX_CREDIT))
+    epoch = b""
+    if packet.epoch is not None:
+        wire_type |= EPOCH_FLAG
+        epoch = struct.pack("!HH", packet.epoch % EPOCH_MOD,
+                            (packet.peer_epoch or 0) % EPOCH_MOD)
     header = struct.pack(
         _HEADER_FMT,
         wire_type,
@@ -123,7 +195,7 @@ def encode(packet: Packet) -> bytes:
         *(a & 0xFFFFFFFF for a in packet.args),
         len(packet.data),
     )
-    return header + credit + packet.data
+    return header + credit + epoch + packet.data
 
 
 def peek_type_seq(raw: bytes) -> Optional[Tuple[int, int]]:
@@ -132,13 +204,13 @@ def peek_type_seq(raw: bytes) -> Optional[Tuple[int, int]]:
     Needs only the first ``HEADER_SIZE`` bytes, so it works on the first
     cell of a segmented AAL5 PDU (the AM header always fits one cell) —
     that is what lets a fault schedule identify a packet on either
-    substrate without reassembling it.  The credit flag is stripped.
+    substrate without reassembling it.  Extension flags are stripped.
     Returns None when ``raw`` is too short to hold a header.
     """
     if len(raw) < HEADER_SIZE:
         return None
     ptype, _handler, seq = struct.unpack("!BBH", raw[:4])
-    return ptype & ~CREDIT_FLAG, seq
+    return ptype & ~_FLAG_MASK, seq
 
 
 def decode(raw: bytes) -> Packet:
@@ -151,13 +223,21 @@ def decode(raw: bytes) -> Packet:
     offset = HEADER_SIZE
     credit: Optional[int] = None
     if ptype & CREDIT_FLAG:
-        ptype &= ~CREDIT_FLAG
         if len(raw) < offset + CREDIT_SIZE:
             raise ValueError("AM packet credit word truncated")
         (credit,) = struct.unpack("!H", raw[offset : offset + CREDIT_SIZE])
         offset += CREDIT_SIZE
+    epoch: Optional[int] = None
+    peer_epoch: Optional[int] = None
+    if ptype & EPOCH_FLAG:
+        if len(raw) < offset + EPOCH_SIZE:
+            raise ValueError("AM packet epoch field truncated")
+        epoch, peer_epoch = struct.unpack("!HH", raw[offset : offset + EPOCH_SIZE])
+        offset += EPOCH_SIZE
+    ptype &= ~_FLAG_MASK
     data = raw[offset : offset + dlen]
     if len(data) != dlen:
         raise ValueError("AM packet data truncated")
     return Packet(type=ptype, handler=handler, seq=seq, ack=ack, req_seq=req_seq,
-                  args=(a0, a1, a2, a3), data=data, credit=credit)
+                  args=(a0, a1, a2, a3), data=data, credit=credit,
+                  epoch=epoch, peer_epoch=peer_epoch)

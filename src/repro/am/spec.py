@@ -11,7 +11,19 @@ here, once, and both endpoints call them:
   stall (``<= 0``, not ``< 0`` — the classic injected bug);
 * the **cumulative-ack horizon**: an ack of ``n`` acknowledges every
   sequence number strictly before ``n`` (``seq_lt``, not ``seq_leq`` —
-  the other classic).
+  the other classic);
+* the **epoch fence**: a packet stamped with an incarnation epoch
+  strictly older than the receiver's memory of that peer must be
+  dropped (``stale_epoch``), or a restarted peer's fresh sequence
+  numbers alias the dead incarnation's and dispatch duplicates;
+* the **epoch ack gate**: only an ack from the *current* known remote
+  incarnation may move the go-back-N window — an old incarnation's ack
+  says nothing about what the new incarnation has seen;
+* the **reconnect plan**: when a peer returns with a new epoch, every
+  in-flight send not already covered by the peer's advertised receive
+  horizon is *abandoned*, never replayed — replaying a message that may
+  have been dispatched just before the crash would violate the
+  at-most-once contract.
 
 Keeping these shared means a fix (or a bug) lands in both substrates at
 once, and the conformance bug library can patch each implementation's
@@ -20,11 +32,19 @@ seam knowing the healthy behavior is identical by construction.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
-from .protocol import seq_lt
+from .protocol import epoch_newer, seq_lt
 
-__all__ = ["credit_gate_blocks", "cumulative_acked"]
+__all__ = [
+    "credit_gate_blocks",
+    "cumulative_acked",
+    "effective_epoch",
+    "epoch_is_stale",
+    "epoch_advances",
+    "ack_epoch_applies",
+    "reconnect_plan",
+]
 
 
 def credit_gate_blocks(remote_credit: Optional[int]) -> bool:
@@ -45,3 +65,69 @@ def cumulative_acked(outstanding: Iterable[int], ack: int) -> List[int]:
     never the packet the receiver is still waiting for.
     """
     return [seq for seq in outstanding if seq_lt(seq, ack)]
+
+
+def effective_epoch(epoch: Optional[int]) -> int:
+    """The incarnation a packet claims.  An absent epoch word (classic
+    framing, recovery off) means the first incarnation, epoch 0, so the
+    two framings interoperate."""
+    return 0 if epoch is None else epoch
+
+
+def epoch_is_stale(packet_epoch: Optional[int], known_remote_epoch: int) -> bool:
+    """Must the receiver fence this packet as ``stale_epoch``?
+
+    True when the packet's claimed incarnation is strictly older than
+    the current one.  Applied twice per packet: to the sender half of
+    the epoch field against the receiver's memory of the peer (traffic
+    *from* a dead incarnation), and to the destination echo against the
+    receiver's own epoch (traffic *addressed to* a dead incarnation —
+    the only thing separating a surviving peer's pre-crash in-flight
+    packets from post-reconnect ones, since the survivor's own epoch
+    never changed).  Equal epochs pass (normal traffic); newer epochs
+    pass too — they are the restarted peer announcing itself, handled
+    by :func:`epoch_advances`.
+    """
+    return epoch_newer(known_remote_epoch, effective_epoch(packet_epoch))
+
+
+def epoch_advances(packet_epoch: Optional[int], known_remote_epoch: int) -> bool:
+    """Does this packet reveal that the peer restarted?
+
+    True when the packet's incarnation is strictly newer than the
+    receiver's memory.  The receiver must then discard per-peer
+    go-back-N state (expected seq, out-of-order buffer, outstanding
+    acks) before processing anything from the new incarnation.
+    """
+    return epoch_newer(effective_epoch(packet_epoch), known_remote_epoch)
+
+
+def ack_epoch_applies(packet_epoch: Optional[int], known_remote_epoch: int) -> bool:
+    """May this packet's cumulative ack move the go-back-N window?
+
+    Only an ack from the *current* known remote incarnation counts: a
+    stale incarnation's ack describes a receive horizon that no longer
+    exists, and a newer incarnation's ack field describes *its* fresh
+    numbering, not the window the sender kept for the old one.
+    """
+    return effective_epoch(packet_epoch) == known_remote_epoch
+
+
+def reconnect_plan(outstanding: Iterable[int],
+                   peer_horizon: int,
+                   peer_restarted: bool) -> Tuple[List[int], List[int]]:
+    """Split in-flight sends into ``(completed, abandoned)`` at reconnect.
+
+    ``peer_horizon`` is the receive horizon the peer advertised in its
+    HELLO/HELLO-ACK (the next sequence number it will accept).  When the
+    peer did *not* restart, everything the horizon covers was delivered
+    and the rest stays in flight — nothing is abandoned.  When the peer
+    *did* restart, its new incarnation has no memory of the old
+    numbering: nothing can be confirmed, and every outstanding send is
+    abandoned rather than replayed, because a message dispatched moments
+    before the crash would be dispatched twice.  This is the at-most-once
+    contract; the ``replay-horizon`` injected bug violates exactly it.
+    """
+    if peer_restarted:
+        return [], list(outstanding)
+    return cumulative_acked(outstanding, peer_horizon), []

@@ -281,6 +281,8 @@ def _cmd_soak(args) -> int:
 
     if args.suite == "overload":
         return _cmd_soak_overload(args)
+    if args.suite == "crash":
+        return _cmd_soak_crash(args)
     names = args.scenario or [n for n in SCENARIOS if n != "bursty-atm"]
     unknown = [n for n in names if n not in SCENARIOS]
     if unknown:
@@ -358,6 +360,41 @@ def _cmd_soak_overload(args) -> int:
     return 0 if all(r.ok for r in (contained or results)) else 1
 
 
+def _cmd_soak_crash(args) -> int:
+    import dataclasses
+
+    from .faults.crashsoak import (
+        CRASH_SCENARIOS,
+        render_crash_table,
+        run_crash_scenario,
+        write_crash_report,
+    )
+
+    names = args.scenario or list(CRASH_SCENARIOS)
+    unknown = [n for n in names if n not in CRASH_SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s) {unknown}; choose from {sorted(CRASH_SCENARIOS)}",
+              file=sys.stderr)
+        return 2
+    scenarios = [CRASH_SCENARIOS[n] for n in names]
+    if args.messages is not None:
+        if args.messages <= 0:
+            print("--messages must be positive", file=sys.stderr)
+            return 2
+        scenarios = [dataclasses.replace(s, messages=args.messages) for s in scenarios]
+    results = [run_crash_scenario(s, seed=args.seed,
+                                  progress=lambda m: print(f"  {m}"))
+               for s in scenarios]
+    print(render_crash_table(results))
+    for r in results:
+        for violation in r.violations:
+            print(f"  !! {r.scenario}: {violation}")
+    if args.output:
+        write_crash_report(args.output, results)
+        print(f"wrote {args.output}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 def _cmd_bench(args) -> int:
     """Wall-clock benchmark rig on the live U-Net/OS substrate."""
     if not args.live:
@@ -431,7 +468,8 @@ def _cmd_conformance(args) -> int:
         print(f"cannot sweep: {exc}", file=sys.stderr)
         return 2
 
-    configs = tuple(args.config) if args.config else ("fixed", "adaptive", "credit")
+    configs = tuple(args.config) if args.config else ("fixed", "adaptive",
+                                                      "credit", "crash")
     if args.bug:
         # a bug only shows where its machinery is engaged
         configs = tuple(c for c in configs if c in BUGS[args.bug]["configs"]) or configs
@@ -557,9 +595,10 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--stats", action="store_true", help="dump simulation counters")
     ps.set_defaults(func=_cmd_splitc)
     pk = sub.add_parser("soak", help=_EXPERIMENTS["soak"])
-    pk.add_argument("--suite", default="chaos", choices=("chaos", "overload"),
+    pk.add_argument("--suite", default="chaos", choices=("chaos", "overload", "crash"),
                     help="chaos soaks the wire; overload soaks the receiver's "
-                         "service capacity (incast, sick endpoints)")
+                         "service capacity (incast, sick endpoints); crash "
+                         "kills and restarts the receiver mid-stream")
     pk.add_argument("--scenario", action="append",
                     help="scenario name (repeatable; default: every scenario of the suite)")
     pk.add_argument("--mode", default="compare", choices=("compare", "adaptive", "fixed"),
@@ -574,6 +613,8 @@ def build_parser() -> argparse.ArgumentParser:
     pk.add_argument("--seed", type=int, default=0xC0FFEE, help="fault-pattern master seed")
     pk.add_argument("--stats", action="store_true",
                     help="dump fault-pipeline / per-endpoint telemetry")
+    pk.add_argument("--output", metavar="FILE", default=None,
+                    help="crash suite: write the message-fate JSON artifact here")
     pk.set_defaults(func=_cmd_soak)
     pn = sub.add_parser("bench", help=_EXPERIMENTS["bench"])
     pn.add_argument("--live", action="store_true",
@@ -599,8 +640,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="number of generated cases per config preset")
     pc.add_argument("--seed-base", type=int, default=0, help="first seed of the sweep")
     pc.add_argument("--messages", type=int, default=12, help="workload length per case")
-    pc.add_argument("--config", action="append", choices=("fixed", "adaptive", "credit"),
-                    help="config preset (repeatable; default: all three)")
+    pc.add_argument("--config", action="append",
+                    choices=("fixed", "adaptive", "credit", "crash"),
+                    help="config preset (repeatable; default: all four)")
     from .core.substrates import substrate_names
 
     pc.add_argument("--substrate", action="append", choices=substrate_names(),

@@ -31,7 +31,9 @@ from typing import Dict, Generator, List, Optional, Sequence
 from ..am import AmEndpoint
 from ..am.am import _PeerState  # typing/introspection only
 from ..core import EndpointConfig
+from ..core.errors import UNetError
 from ..core.substrates import get_substrate, register_substrate
+from ..faults.crash import EndpointLifecycle, lifecycle_stage_factory
 from ..faults.inject import attach_pipeline
 from ..faults.scripted import scripted_stage_factory
 from ..sim import Simulator
@@ -152,6 +154,25 @@ def _buggy_ack_horizon(self, peer: _PeerState, ack: int) -> None:
         peer.window_waiters.pop(0).succeed()
 
 
+def _buggy_epoch_fence(self, claimed, current) -> bool:
+    """Epoch fence off by one: a packet exactly one incarnation stale is
+    accepted, so the dead incarnation's last retransmissions reach the
+    fresh one's sequence space."""
+    from ..am.protocol import EPOCH_MOD
+    from ..am.spec import epoch_is_stale
+
+    if claimed is not None and (current - claimed) % EPOCH_MOD == 1:
+        return False  # BUG: one-stale traffic admitted
+    return epoch_is_stale(claimed, current)
+
+
+def _buggy_reconnect_plan(self, peer, horizon, restarted):
+    """At-most-once violated: nothing is completed *or* abandoned at
+    reconnect, so every outstanding send stays unacked and is replayed
+    into the new incarnation's numbering."""
+    return [], []  # BUG: spec abandons everything when the peer restarted
+
+
 #: named, intentionally broken protocol variants the harness must catch
 BUGS: Dict[str, dict] = {
     "credit-gate": {
@@ -166,6 +187,20 @@ BUGS: Dict[str, dict] = {
                        "dropped packet is never retransmitted",
         "patches": {"_process_ack": _buggy_ack_horizon},
         "configs": ("fixed", "adaptive", "credit"),
+    },
+    "epoch-fence": {
+        "description": "epoch fence accepts traffic exactly one "
+                       "incarnation stale, so a restarted receiver "
+                       "processes the dead incarnation's retransmissions",
+        "patches": {"_epoch_stale": _buggy_epoch_fence},
+        "configs": ("crash",),
+    },
+    "replay-horizon": {
+        "description": "reconnect plan neither completes nor abandons "
+                       "outstanding sends, replaying them into the new "
+                       "incarnation instead of honoring at-most-once",
+        "patches": {"_reconnect_plan": _buggy_reconnect_plan},
+        "configs": ("crash",),
     },
 }
 
@@ -245,8 +280,19 @@ def run_substrate(case: ConformanceCase, substrate: str,
         # the reply path — keyed by packet identity, not arrival index
         fwd_stage = scripted_stage_factory(h1.backend, case.fwd_faults())
         rev_stage = scripted_stage_factory(h0.backend, case.rev_faults())
+        # lifecycle triggers ride the same ingress, after the scripted
+        # stage: a scripted drop never reaches the victim, so it must
+        # not fire a crash either
+        lifecycle = EndpointLifecycle(crash=am1.crash, restart=am1.restart)
+        fwd_life = None
+        fwd_events = case.fwd_lifecycle()
+        if fwd_events:
+            fwd_life = lifecycle_stage_factory(h1.backend, fwd_events,
+                                               lifecycle.fire)
         pipelines = [
-            attach_pipeline(h1.backend, [fwd_stage], prefix="conformance.fwd"),
+            attach_pipeline(h1.backend,
+                            [s for s in (fwd_stage, fwd_life) if s is not None],
+                            prefix="conformance.fwd"),
             attach_pipeline(h0.backend, [rev_stage], prefix="conformance.rev"),
         ]
 
@@ -266,20 +312,42 @@ def run_substrate(case: ConformanceCase, substrate: str,
 
         rpc_errors: List[str] = []
 
+        def settled() -> bool:
+            """Crash cases end at *fate resolution*, not last send: every
+            lifecycle event fired, the reconnect handshake closed, and no
+            send is still awaiting an ack or the abandon verdict."""
+            if fwd_life is not None and len(fwd_life.fired) < len(fwd_events):
+                return False
+            snap0 = am0.snapshot().get(1, {})
+            snap1 = am1.snapshot().get(0, {})
+            return (not snap0.get("unacked") and not snap0.get("reconnecting")
+                    and not snap1.get("reconnecting"))
+
+        aborted: List[str] = []
+
         def traffic():
-            for i, message in enumerate(case.messages):
-                data = _payload(i, message.size)
-                if message.rpc:
-                    args, _d = yield from am0.rpc(1, 2, args=(i,), data=data)
-                    if args[0] != i * 2 + 1:
-                        rpc_errors.append(f"rpc {i} returned {args[0]}, wanted {i * 2 + 1}")
-                else:
-                    yield from am0.request(1, 1, args=(i,), data=data)
+            try:
+                for i, message in enumerate(case.messages):
+                    data = _payload(i, message.size)
+                    if message.rpc:
+                        args, _d = yield from am0.rpc(1, 2, args=(i,), data=data)
+                        if args[0] != i * 2 + 1:
+                            rpc_errors.append(f"rpc {i} returned {args[0]}, wanted {i * 2 + 1}")
+                    else:
+                        yield from am0.request(1, 1, args=(i,), data=data)
+            except UNetError as exc:
+                # the sender declared the peer dead: the remaining sends
+                # are refused and the run did not complete — an outcome
+                # the diff reports, not a harness failure
+                aborted.append(str(exc))
+                return sim.now
+            while case.lifecycle and not settled():
+                yield sim.timeout(200.0)
             return sim.now
 
         process = sim.process(traffic(), name="conformance.traffic")
         sim.run(until=case.time_limit_us)
-        completed = bool(process.triggered) and process.ok
+        completed = bool(process.triggered) and process.ok and not aborted
         completion = process.value if completed else case.time_limit_us
         if completed:
             am0.shutdown()
@@ -296,7 +364,9 @@ def run_substrate(case: ConformanceCase, substrate: str,
         snapshots = {"am0": am0.snapshot(), "am1": am1.snapshot()}
         trace = probe.finish(completed, completion,
                              fired=fwd_stage.fired + rev_stage.fired,
-                             snapshots=snapshots)
+                             snapshots=snapshots,
+                             lifecycle_fired=(fwd_life.fired
+                                              if fwd_life is not None else ()))
         trace.rexmit = sum(p["retransmissions"] for snap in snapshots.values()
                            for p in snap.values())
         trace.timeouts = sum(p["timeouts"] for snap in snapshots.values()
@@ -311,6 +381,68 @@ def run_substrate(case: ConformanceCase, substrate: str,
 
 
 # ------------------------------------------------------------------- diffing
+def _diff_crash(case: ConformanceCase, ref: RefTrace, obs: ObservedTrace,
+                name: str) -> List[Divergence]:
+    """The crash-recovery delivery contract, checked per substrate.
+
+    A message may legally be *both* dispatched and abandoned (it reached
+    the victim's handler an instant before the crash, but its ack died
+    with the incarnation — the sender cannot know, and at-most-once says
+    it must assume the worst).  What it may never be is neither.
+    """
+    out: List[Divergence] = []
+    ids = set(range(len(case.messages)))
+    fates = set(obs.dispatched) | set(obs.abandoned)
+    if fates != ids:
+        missing = sorted(ids - fates)
+        phantom = sorted(fates - ids)
+        out.append(Divergence(
+            "fate", name,
+            f"every send must resolve to dispatched or abandoned: "
+            f"unaccounted ids {missing}, phantom ids {phantom} "
+            f"(dispatched={sorted(set(obs.dispatched))}, "
+            f"abandoned={sorted(set(obs.abandoned))})"))
+    if obs.dispatched != sorted(set(obs.dispatched)):
+        out.append(Divergence(
+            "dispatch-order", name,
+            f"dispatches must be strictly increasing message ids across "
+            f"the incarnation boundary, got {obs.dispatched}"))
+    if obs.lifecycle_keys() != ref.lifecycle_keys():
+        out.append(Divergence(
+            "lifecycle-schedule", name,
+            f"lifecycle faults hit {obs.lifecycle_keys()} on the substrate "
+            f"but {ref.lifecycle_keys()} in the model — the kill schedule "
+            f"was not substrate-invariant"))
+    if obs.fired_keys(0) != ref.fired_keys(0):
+        out.append(Divergence(
+            "fired-schedule", name,
+            f"occurrence-0 faults hit {obs.fired_keys(0)} on the substrate "
+            f"but {ref.fired_keys(0)} in the model"))
+    allowed = (set(ref.drop_classes)
+               | {"stale_epoch_drops", "peer_dead_drops"})
+    if case.overrun_possible():
+        allowed |= {"recv_queue_drops", "no_buffer_drops"}
+    observed = {k for k, v in obs.drop_classes.items() if v}
+    illegal = observed - allowed
+    if illegal:
+        out.append(Divergence(
+            "drop-class", name,
+            f"drop classes {sorted(illegal)} observed but the recovery "
+            f"semantics allow only {sorted(allowed)}"))
+    ref_stale = ref.drop_classes.get("stale_epoch_drops", 0)
+    obs_stale = obs.drop_classes.get("stale_epoch_drops", 0)
+    if obs_stale < ref_stale:
+        # the retransmission that triggers the restart is stamped for
+        # the dead incarnation and must ALWAYS be fenced; fewer stale
+        # drops than the model means the fence let one through
+        out.append(Divergence(
+            "stale-fence", name,
+            f"only {obs_stale} stale-epoch fence drops observed; the "
+            f"reference run fences at least {ref_stale} (the restart "
+            f"trigger itself is always one of them)"))
+    return out
+
+
 def diff_case(case: ConformanceCase, ref: RefTrace,
               traces: Dict[str, ObservedTrace],
               relaxed: Sequence[str] = ()) -> List[Divergence]:
@@ -324,6 +456,7 @@ def diff_case(case: ConformanceCase, ref: RefTrace,
     online invariants — is still compared exactly.
     """
     relaxed = set(relaxed)
+    crash = bool(case.lifecycle)
     out: List[Divergence] = []
     for name, obs in traces.items():
         for violation in obs.violations:
@@ -337,6 +470,17 @@ def diff_case(case: ConformanceCase, ref: RefTrace,
                 f"({len(obs.dispatched)}/{len(case.messages)} dispatched "
                 f"by t={obs.completion_time_us:.0f}us)"))
             continue  # downstream diffs are noise on a hung run
+        if crash:
+            # Crash cases diff on *invariants*, not the exact dispatch
+            # prefix: which in-flight sends were already dispatched when
+            # the victim died is honest timing, different on every
+            # substrate.  What is substrate-invariant: each id resolves
+            # to a fate, nothing dispatches twice or out of order, the
+            # lifecycle schedule lands on the same packets, and the
+            # restart-triggering retransmission is always fenced.
+            if obs.completed and ref.completed:
+                out.extend(_diff_crash(case, ref, obs, name))
+            continue
         if obs.dispatched != ref.dispatched:
             index = next((i for i, (a, b) in enumerate(zip(obs.dispatched, ref.dispatched))
                           if a != b), min(len(obs.dispatched), len(ref.dispatched)))
@@ -379,7 +523,10 @@ def diff_case(case: ConformanceCase, ref: RefTrace,
     names = [n for n, t in traces.items() if t.completed]
     for i in range(1, len(names)):
         a, b = traces[names[0]], traces[names[i]]
-        if a.dispatched != b.dispatched:
+        if not crash and a.dispatched != b.dispatched:
+            # crash cases legitimately disagree on the dispatch prefix
+            # (how far the victim got before dying is timing); their
+            # cross-substrate contract is the per-substrate fate check
             out.append(Divergence(
                 "substrate-mismatch", f"{names[0]}/{names[i]}",
                 "the two substrates disagree on dispatch order"))

@@ -27,6 +27,21 @@ Fault schedules address packets by ``(direction, seq, occurrence)``
 exactly as :mod:`repro.faults.scripted` does on a real link, so the
 same :class:`~repro.conformance.schedule.ConformanceCase` drives the
 model and both substrates.
+
+**Crash recovery.**  A case's ``lifecycle`` events kill and revive the
+receiver at content-addressed points, and the model interprets the
+recovery contract: a crashed incarnation silently drains arrivals (no
+acks, no drops recorded — the NI keeps delivering into a dead process's
+rings); a restart starts a fresh incarnation whose sequence space
+begins at zero and whose HELLO (carrying the new epoch) reaches the
+sender one link time later; traffic still stamped for the dead
+incarnation is fenced as ``stale_epoch_drops`` — including, always, the
+head retransmission whose arrival triggered the restart; and on HELLO
+the sender *abandons* every outstanding send (``peer_dead_drops``,
+listed in :attr:`RefTrace.abandoned`) rather than replaying into the
+new numbering — the at-most-once contract.  Crash cases are
+request-only and fence on the forward path only; the model refuses
+anything wider rather than guess at semantics it does not define.
 """
 
 from __future__ import annotations
@@ -73,6 +88,10 @@ class RefTrace:
     #: drops the model itself incurred, by class
     drop_classes: Dict[str, int] = field(default_factory=dict)
     ticks: int = 0
+    #: request ids abandoned at reconnect (their at-most-once fate)
+    abandoned: List[int] = field(default_factory=list)
+    #: lifecycle faults that fired, in hit order
+    lifecycle_fired: List = field(default_factory=list)
 
     def fired_keys(self, occurrence: int = 0) -> List[Tuple[str, int, int, str]]:
         """Canonical (direction, seq, occurrence, action) tuples for the
@@ -80,6 +99,13 @@ class RefTrace:
         part of the fired log (later occurrences depend on timing)."""
         return sorted((f.direction, f.seq, f.occurrence, f.action)
                       for f in self.fired if f.occurrence == occurrence)
+
+    def lifecycle_keys(self) -> List[Tuple[str, int, int]]:
+        """Canonical (kind, seq, occurrence) tuples of the fired
+        lifecycle events — every occurrence, because a lifecycle
+        address is an exact contract on every substrate."""
+        return sorted((e.kind, e.seq, e.occurrence)
+                      for e in self.lifecycle_fired)
 
 
 class _Sender:
@@ -130,9 +156,28 @@ def run_reference(case: ConformanceCase) -> RefTrace:
     credit_flow = config.credit_flow
     consume_period = max(1, round(case.dispatch_overhead_us / TICK_US))
 
+    if case.lifecycle:
+        if any(e.direction != "fwd" for e in case.lifecycle):
+            raise ValueError(
+                "the reference model defines lifecycle faults on the "
+                "request path only ('fwd': the victim is the receiver)")
+        if any(m.rpc for m in case.messages):
+            raise ValueError(
+                "crash cases must be request-only: a reply in flight at "
+                "the crash has no substrate-invariant fate")
+
     fwd = _Sender(case.fwd_faults())
     rev = _Sender(case.rev_faults())
     remote_credit: Optional[int] = None  # node0's view of node1's capacity
+
+    # --- crash recovery state ---------------------------------------
+    life_events = {(e.seq, e.occurrence): e for e in case.fwd_lifecycle()}
+    life_seen: Dict[int, int] = {}  # per-seq arrivals at node1's ingress
+    life_fired: List = []
+    crashed1 = False
+    restarts1 = 0    # node1's incarnation count (its epoch)
+    sender_gen = 0   # node0's view of node1's incarnation
+    abandoned: List[int] = []
 
     # node1: the receiver of requests
     expected1 = 0
@@ -162,7 +207,37 @@ def run_reference(case: ConformanceCase) -> RefTrace:
         # 1. arrivals scheduled for this tick, in posting order
         for kind, data in agenda.pop(t, ()):  # noqa: B020 - consumed once
             if kind == "fwd_data":
-                seq, msg_id, rpc, needs_buffer = data
+                seq, msg_id, rpc, needs_buffer, gen = data
+                occ = life_seen.get(seq, 0)
+                life_seen[seq] = occ + 1
+                event = life_events.get((seq, occ))
+                if event is not None:
+                    life_fired.append(event)
+                    if event.kind == "crash":
+                        # the victim dies before the trigger is delivered;
+                        # whatever sat undispatched in its receive queue
+                        # dies with it (buffers recycle as the crashed
+                        # dispatch loop drains the rings)
+                        crashed1 = True
+                        free1 += sum(1 for (_m, _r, hb) in queue1 if hb)
+                        queue1.clear()
+                        continue
+                    # restart: a fresh incarnation numbering from zero;
+                    # its HELLO carries the new epoch + horizon 0.  The
+                    # trigger itself reaches the NEW incarnation still
+                    # stamped for the dead one and falls to the fence.
+                    crashed1 = False
+                    restarts1 += 1
+                    expected1 = 0
+                    post(t + LINK_TICKS, "hello_to_fwd", restarts1)
+                if crashed1:
+                    continue  # drained unprocessed by the dead incarnation
+                if gen < restarts1:
+                    # two-sided epoch fence: traffic stamped by (or for)
+                    # a dead incarnation never reaches a handler
+                    drop_classes["stale_epoch_drops"] = (
+                        drop_classes.get("stale_epoch_drops", 0) + 1)
+                    continue
                 if seq == expected1:
                     if len(queue1) >= case.recv_queue_depth:
                         drop_classes["recv_queue_drops"] = drop_classes.get("recv_queue_drops", 0) + 1
@@ -171,9 +246,17 @@ def run_reference(case: ConformanceCase) -> RefTrace:
                         drop_classes["no_buffer_drops"] = drop_classes.get("no_buffer_drops", 0) + 1
                         continue
                     expected1 += 1
-                    if needs_buffer:
-                        free1 -= 1
-                    queue1.append((msg_id, rpc, needs_buffer))
+                    if life_events:
+                        # crash cases: dispatch eagerly, because the ack
+                        # posted below implies dispatch — ack_every=1
+                        # acknowledges only *dispatched* requests, which
+                        # is what makes acked/unacked at crash time the
+                        # exact delivered/abandoned fate split
+                        dispatched.append(msg_id)
+                    else:
+                        if needs_buffer:
+                            free1 -= 1
+                        queue1.append((msg_id, rpc, needs_buffer))
                 # in-order, old, and future packets all re-ack (go-back-N)
                 post(t + LINK_TICKS, "ack_to_fwd", expected1, capacity1())
             elif kind == "rev_data":
@@ -188,6 +271,21 @@ def run_reference(case: ConformanceCase) -> RefTrace:
                     fwd.last_progress = t
                 if credit_flow:
                     remote_credit = advertised - len(fwd.unacked)
+            elif kind == "hello_to_fwd":
+                (gen,) = data
+                if gen > sender_gen:
+                    sender_gen = gen
+                    # at-most-once: a memoryless incarnation can confirm
+                    # nothing outstanding — abandon, never replay
+                    ids = [mid for (mid, _m) in fwd.unacked.values()]
+                    abandoned.extend(ids)
+                    if ids:
+                        drop_classes["peer_dead_drops"] = (
+                            drop_classes.get("peer_dead_drops", 0) + len(ids))
+                    fwd.unacked.clear()
+                    fwd.next_seq = 0
+                    fwd.last_progress = t
+                    remote_credit = None
             elif kind == "ack_to_rev":
                 (ack_value,) = data
                 if rev.ack(ack_value):
@@ -233,7 +331,8 @@ def run_reference(case: ConformanceCase) -> RefTrace:
             message = case.messages[op_index]
             seq = fwd.next_seq
             fwd.next_seq += 1
-            fwd.unacked[seq] = message
+            # seq is not the message id once a restart resets numbering
+            fwd.unacked[seq] = (op_index, message)
             fwd.last_progress = t
             if credit_flow and remote_credit is not None:
                 remote_credit -= 1
@@ -243,9 +342,11 @@ def run_reference(case: ConformanceCase) -> RefTrace:
             needs_buffer = message.size > INLINE_DATA_MAX
             if sent is not None:
                 delay, dup = sent
-                post(t + delay, "fwd_data", seq, op_index, message.rpc, needs_buffer)
+                post(t + delay, "fwd_data", seq, op_index, message.rpc,
+                     needs_buffer, sender_gen)
                 if dup:
-                    post(t + delay + 1, "fwd_data", seq, op_index, message.rpc, needs_buffer)
+                    post(t + delay + 1, "fwd_data", seq, op_index, message.rpc,
+                         needs_buffer, sender_gen)
             op_index += 1
 
         # 5. go-back-N: retransmit a stalled window's head
@@ -258,12 +359,13 @@ def run_reference(case: ConformanceCase) -> RefTrace:
                 if sent is not None:
                     delay, dup = sent
                     if kind_args == "fwd":
-                        message = sender.unacked[head]
-                        post(t + delay, "fwd_data", head, head, message.rpc,
-                             message.size > INLINE_DATA_MAX)
+                        msg_id, message = sender.unacked[head]
+                        post(t + delay, "fwd_data", head, msg_id, message.rpc,
+                             message.size > INLINE_DATA_MAX, sender_gen)
                         if dup:
-                            post(t + delay + 1, "fwd_data", head, head, message.rpc,
-                                 message.size > INLINE_DATA_MAX)
+                            post(t + delay + 1, "fwd_data", head, msg_id,
+                                 message.rpc,
+                                 message.size > INLINE_DATA_MAX, sender_gen)
                     else:
                         req_seq = sender.unacked[head]
                         post(t + delay, "rev_data", head, req_seq)
@@ -286,4 +388,6 @@ def run_reference(case: ConformanceCase) -> RefTrace:
         fired=fwd.fired + rev.fired,
         drop_classes=drop_classes,
         ticks=t,
+        abandoned=abandoned,
+        lifecycle_fired=life_fired,
     )

@@ -15,7 +15,12 @@ conforming implementation regardless of timing:
 * **credit gate** — a window grant never happens while the known remote
   credit is exhausted (``<= 0``);
 * **dispatch continuity** — requests dispatch with consecutive sequence
-  numbers (exactly-once, FIFO).
+  numbers (FIFO); a receiver restart legitimately resets the numbering,
+  so the continuity baseline resets on its ``reconnect`` event;
+* **exactly-once dispatch** — no message id ever reaches a handler
+  twice, whatever crashes and reconnects happened in between (the
+  at-most-once delivery contract, checked at the dispatch event where a
+  replay would break it).
 
 These catch semantic bugs (e.g. an off-by-one in the credit gate)
 deterministically, at the precise event where the state machine breaks
@@ -50,6 +55,10 @@ class ObservedTrace:
     fired: List = field(default_factory=list)
     completion_time_us: float = 0.0
     snapshots: Dict[str, dict] = field(default_factory=dict)
+    #: request ids whose sends the requester abandoned at reconnect
+    abandoned: List[int] = field(default_factory=list)
+    #: lifecycle faults that fired on the wire, in hit order
+    lifecycle_fired: List = field(default_factory=list)
     #: last observable events before the end of the run (context only)
     event_tail: List[tuple] = field(default_factory=list)
     #: last substrate service steps (context only; needs a trace feed)
@@ -58,6 +67,10 @@ class ObservedTrace:
     def fired_keys(self, occurrence: int = 0) -> List[Tuple[str, int, int, str]]:
         return sorted((f.direction, f.seq, f.occurrence, f.action)
                       for f in self.fired if f.occurrence == occurrence)
+
+    def lifecycle_keys(self) -> List[Tuple[str, int, int]]:
+        return sorted((e.kind, e.seq, e.occurrence)
+                      for e in self.lifecycle_fired)
 
 
 class ObservationProbe:
@@ -74,10 +87,12 @@ class ObservationProbe:
         self.violations: List[str] = []
         self.dispatched: List[int] = []
         self.replies: List[int] = []
+        self.abandoned: List[int] = []
         self.drop_classes: Dict[str, int] = {}
         self.events: Deque[tuple] = deque(maxlen=tail)
         self.substrate_steps: Deque[str] = deque(maxlen=tail)
         self._last_dispatch_seq: Optional[int] = None
+        self._dispatched_ids: set = set()
 
     # -------------------------------------------------------------- attach
     def attach_am(self, am) -> None:
@@ -129,9 +144,26 @@ class ObservationProbe:
                     f"after seq {self._last_dispatch_seq}"
                 )
             self._last_dispatch_seq = seq
-            self.dispatched.append(fields["msg"])
+            msg = fields["msg"]
+            if msg in self._dispatched_ids:
+                self._violate(
+                    f"invariant:exactly-once: node {node} dispatched message "
+                    f"id {msg} twice (seq {seq}) — a send was replayed "
+                    f"across an incarnation boundary"
+                )
+            self._dispatched_ids.add(msg)
+            self.dispatched.append(msg)
         elif kind == "reply" and node == self.requester_node:
             self.replies.append(fields["req_seq"])
+        elif kind == "reconnect" and node != self.requester_node:
+            # the receiver restarted: its fresh incarnation numbers from
+            # zero, so the continuity baseline resets with it
+            self._last_dispatch_seq = None
+        elif kind == "abandon" and node == self.requester_node:
+            # forward seq == message id while the requester itself never
+            # restarts (its numbering only resets on *its* restart,
+            # which conformance cases never schedule)
+            self.abandoned.append(fields["seq"])
 
     def _on_drop(self, kind: str, endpoint) -> None:
         self.drop_classes[kind] = self.drop_classes.get(kind, 0) + 1
@@ -151,7 +183,8 @@ class ObservationProbe:
 
     # -------------------------------------------------------------- result
     def finish(self, completed: bool, completion_time_us: float,
-               fired, snapshots: Dict[str, dict]) -> ObservedTrace:
+               fired, snapshots: Dict[str, dict],
+               lifecycle_fired=()) -> ObservedTrace:
         return ObservedTrace(
             substrate=self.substrate,
             completed=completed,
@@ -162,6 +195,8 @@ class ObservationProbe:
             fired=list(fired),
             completion_time_us=completion_time_us,
             snapshots=snapshots,
+            abandoned=list(self.abandoned),
+            lifecycle_fired=list(lifecycle_fired),
             event_tail=list(self.events),
             substrate_tail=list(self.substrate_steps),
         )

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..am import AmConfig
+from ..faults.crash import CrashFault, LifecycleFault, RestartFault
 from ..faults.scripted import ScheduledFault
 from ..sim import RngRegistry
 
@@ -35,6 +36,13 @@ CONFIG_PRESETS: Dict[str, dict] = {
     "fixed": {"recv_queue_depth": 64, "rx_buffers": 32, "dispatch_overhead_us": 1.0},
     "adaptive": {"recv_queue_depth": 64, "rx_buffers": 32, "dispatch_overhead_us": 1.0},
     "credit": {"recv_queue_depth": 4, "rx_buffers": 6, "dispatch_overhead_us": 40.0},
+    # recovery on, window=1, ack-per-delivery: each send fully resolves
+    # (dispatch + ack) before the next leaves, which pins the sender's
+    # go-back-N head to the crash seq on every substrate — the invariant
+    # that makes a lifecycle fault land on the same packet everywhere
+    # (with a wider window, how far the receiver's dispatch loop lags
+    # the wire at crash time decides the head, and that is pure timing)
+    "crash": {"recv_queue_depth": 64, "rx_buffers": 32, "dispatch_overhead_us": 1.0},
 }
 
 
@@ -61,6 +69,9 @@ class ConformanceCase:
     config_name: str
     messages: List[Message]
     faults: List[ScheduledFault] = field(default_factory=list)
+    #: endpoint lifecycle events (crash/restart of the receiver),
+    #: content-addressed exactly like scripted faults
+    lifecycle: List[LifecycleFault] = field(default_factory=list)
     recv_queue_depth: int = 64
     rx_buffers: int = 32
     dispatch_overhead_us: float = 1.0
@@ -73,7 +84,7 @@ class ConformanceCase:
     @property
     def size(self) -> int:
         """Case size for shrinking: workload events + fault events."""
-        return len(self.messages) + len(self.faults)
+        return len(self.messages) + len(self.faults) + len(self.lifecycle)
 
     @property
     def n_replies(self) -> int:
@@ -90,6 +101,8 @@ class ConformanceCase:
             return AmConfig(credit_flow=True, **kwargs)
         if self.config_name == "fixed":
             return AmConfig(**kwargs)
+        if self.config_name == "crash":
+            return AmConfig(recovery=True, window=1, ack_every=1, **kwargs)
         raise ValueError(f"unknown config preset {self.config_name!r}")
 
     def fwd_faults(self) -> List[ScheduledFault]:
@@ -97,6 +110,13 @@ class ConformanceCase:
 
     def rev_faults(self) -> List[ScheduledFault]:
         return [f for f in self.faults if f.direction == "rev"]
+
+    def fwd_lifecycle(self) -> List[LifecycleFault]:
+        return [e for e in self.lifecycle if e.direction == "fwd"]
+
+    @property
+    def has_crash(self) -> bool:
+        return bool(self.lifecycle)
 
     def overrun_possible(self) -> bool:
         """Can the sender legally outrun the receiver's capacity?
@@ -123,6 +143,9 @@ class ConformanceCase:
             extra = f" +{f.delay_us:.0f}us" if f.action in ("delay", "dup") and f.delay_us else ""
             lines.append(f"  fault: {f.direction} seq={f.seq} occurrence={f.occurrence} "
                          f"{f.action}{extra}")
+        for e in self.lifecycle:
+            lines.append(f"  lifecycle: {e.direction} seq={e.seq} "
+                         f"occurrence={e.occurrence} {e.kind}")
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -131,6 +154,7 @@ class ConformanceCase:
             "config_name": self.config_name,
             "messages": [m.to_dict() for m in self.messages],
             "faults": [f.to_dict() for f in self.faults],
+            "lifecycle": [e.to_dict() for e in self.lifecycle],
             "recv_queue_depth": self.recv_queue_depth,
             "rx_buffers": self.rx_buffers,
             "dispatch_overhead_us": self.dispatch_overhead_us,
@@ -144,6 +168,8 @@ class ConformanceCase:
             config_name=d["config_name"],
             messages=[Message.from_dict(m) for m in d["messages"]],
             faults=[ScheduledFault.from_dict(f) for f in d["faults"]],
+            lifecycle=[LifecycleFault.from_dict(e)
+                       for e in d.get("lifecycle", [])],
             recv_queue_depth=int(d["recv_queue_depth"]),
             rx_buffers=int(d["rx_buffers"]),
             dispatch_overhead_us=float(d["dispatch_overhead_us"]),
@@ -161,6 +187,8 @@ def generate_case(seed: int, config_name: str = "fixed", n_messages: int = 12) -
     if config_name not in CONFIG_PRESETS:
         raise ValueError(f"unknown config preset {config_name!r}; "
                          f"choose from {sorted(CONFIG_PRESETS)}")
+    if config_name == "crash":
+        return _generate_crash_case(seed, n_messages)
     scoped = RngRegistry(seed).scoped(f"conformance.{config_name}")
     wl = scoped.stream("workload")
     messages = [Message(size=wl.choice(_SIZES), rpc=wl.random() < 0.25)
@@ -188,3 +216,30 @@ def generate_case(seed: int, config_name: str = "fixed", n_messages: int = 12) -
     preset = CONFIG_PRESETS[config_name]
     return ConformanceCase(seed=seed, config_name=config_name, messages=messages,
                            faults=faults, **preset)
+
+
+def _generate_crash_case(seed: int, n_messages: int) -> ConformanceCase:
+    """A kill/restart case: the receiver dies mid-stream and comes back.
+
+    Crash cases are deliberately narrower than wire-fault cases so the
+    reference semantics stay substrate-invariant:
+
+    * request-only (a reply in flight at the crash would drag the
+      reply channel's fate into the contract);
+    * the whole workload fits in one go-back-N window, so every send
+      leaves before the crash can reorder the picture;
+    * the restart triggers on a head *retransmission* (occurrence >= 1)
+      and strictly before the sender's ack-starvation watchdog would
+      declare the peer dead.
+    """
+    scoped = RngRegistry(seed).scoped("conformance.crash")
+    wl = scoped.stream("workload")
+    n = max(2, min(n_messages, 8))
+    messages = [Message(size=wl.choice(_SIZES), rpc=False) for _ in range(n)]
+    lr = scoped.stream("lifecycle")
+    crash_seq = lr.randrange(n)
+    restart_occurrence = 1 + lr.randrange(2)
+    lifecycle = [CrashFault("fwd", crash_seq, 0),
+                 RestartFault("fwd", crash_seq, restart_occurrence)]
+    return ConformanceCase(seed=seed, config_name="crash", messages=messages,
+                           lifecycle=lifecycle, **CONFIG_PRESETS["crash"])

@@ -7,11 +7,14 @@ kind* (so it never trades the bug under investigation for an unrelated
 one).  Passes, applied to fixpoint:
 
 1. drop scheduled faults one at a time (most schedules are bystanders);
-2. shrink the receiver's capacity (reproduces capacity bugs with less
+2. drop endpoint lifecycle events (a divergence that survives without
+   the crash schedule was never a crash bug);
+3. shrink the receiver's capacity (reproduces capacity bugs with less
    traffic, unlocking further workload deletion);
-3. truncate the workload tail (the bug usually manifests early);
-4. delete individual messages (renumbering fault seqs past the gap);
-5. simplify messages (RPC -> plain request, shrink payload size).
+4. truncate the workload tail (the bug usually manifests early);
+5. delete individual messages (renumbering fault and lifecycle seqs
+   past the gap);
+6. simplify messages (RPC -> plain request, shrink payload size).
 
 Candidates are accepted only when they strictly decrease a
 lexicographic measure (event count, receiver capacity, workload
@@ -74,6 +77,7 @@ def _drop_message(case: ConformanceCase, index: int) -> ConformanceCase:
 
     Forward seq == message id, so faults aimed beyond the deleted
     message slide down by one; a fault aimed *at* it goes with it.
+    Lifecycle events are forward-addressed and renumber the same way.
     Reverse faults are conservatively kept only while still in range.
     """
     messages = case.messages[:index] + case.messages[index + 1:]
@@ -87,7 +91,13 @@ def _drop_message(case: ConformanceCase, index: int) -> ConformanceCase:
         else:
             if f.seq < n_replies:
                 faults.append(f)
-    return replace(case, messages=messages, faults=faults)
+    lifecycle = []
+    for e in case.lifecycle:
+        if e.seq == index:
+            continue
+        lifecycle.append(replace(e, seq=e.seq - 1) if e.seq > index else e)
+    return replace(case, messages=messages, faults=faults,
+                   lifecycle=lifecycle)
 
 
 def _candidates(case: ConformanceCase):
@@ -97,13 +107,23 @@ def _candidates(case: ConformanceCase):
         faults = case.faults[:i] + case.faults[i + 1:]
         yield (f"remove fault {case.faults[i]}",
                replace(case, faults=faults))
+    # 1b. remove lifecycle events (a bare crash or bare restart is
+    #     still a valid, meaningful schedule; candidates that change
+    #     the divergence kind are rejected like any other)
+    for i in range(len(case.lifecycle)):
+        lifecycle = case.lifecycle[:i] + case.lifecycle[i + 1:]
+        yield (f"remove lifecycle {case.lifecycle[i]}",
+               replace(case, lifecycle=lifecycle))
     # 2. shrink the receiver (often lets later passes delete messages:
     #    a tighter receiver reproduces capacity bugs with less traffic)
-    for depth in sorted({case.recv_queue_depth // 2, case.recv_queue_depth - 1}, reverse=True):
+    # halving before the -1 step: each acceptance restarts the pass, so
+    # a timid candidate first would walk wide receivers down one slot
+    # per round and eat the whole budget before later passes run
+    for depth in sorted({case.recv_queue_depth // 2, case.recv_queue_depth - 1}):
         if 1 <= depth < case.recv_queue_depth:
             yield (f"shrink receive queue depth {case.recv_queue_depth} -> {depth}",
                    replace(case, recv_queue_depth=depth))
-    for buffers in sorted({case.rx_buffers // 2, case.rx_buffers - 1}, reverse=True):
+    for buffers in sorted({case.rx_buffers // 2, case.rx_buffers - 1}):
         if 1 <= buffers < case.rx_buffers:
             yield (f"shrink receive buffers {case.rx_buffers} -> {buffers}",
                    replace(case, rx_buffers=buffers))
@@ -118,6 +138,7 @@ def _candidates(case: ConformanceCase):
             trimmed.faults = [f for f in trimmed.faults
                               if (f.direction == "fwd" and f.seq < keep)
                               or (f.direction == "rev" and f.seq < n_replies)]
+            trimmed.lifecycle = [e for e in trimmed.lifecycle if e.seq < keep]
             yield f"truncate workload to {keep} messages", trimmed
     # 4. delete single messages
     for i in range(len(case.messages)):

@@ -93,6 +93,8 @@ class UNetBackend(abc.ABC):
             "no_buffer_drops": getattr(self, "no_buffer_drops", 0),
             "unknown_tag_drops": 0,
             "quarantine_drops": getattr(self, "quarantine_drops", 0),
+            "stale_epoch_drops": getattr(self, "stale_epoch_drops", 0),
+            "peer_dead_drops": getattr(self, "peer_dead_drops", 0),
         }
         demux = getattr(self, "demux", None)
         if demux is not None:

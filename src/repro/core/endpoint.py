@@ -23,7 +23,7 @@ __all__ = ["Endpoint", "EndpointConfig", "DROP_COUNTERS"]
 #: message (endpoint, demux, either substrate backend) reports these
 #: counter names from its ``drop_stats()`` so reports can merge them
 DROP_COUNTERS = ("recv_queue_drops", "no_buffer_drops", "unknown_tag_drops",
-                 "quarantine_drops")
+                 "quarantine_drops", "stale_epoch_drops", "peer_dead_drops")
 
 
 class EndpointConfig:
@@ -85,6 +85,10 @@ class Endpoint:
         self.no_buffer_drops = 0
         #: messages shed while the endpoint was quarantined
         self.quarantine_drops = 0
+        #: packets fenced because they carried a dead incarnation's epoch
+        self.stale_epoch_drops = 0
+        #: sends abandoned because the peer was declared dead
+        self.peer_dead_drops = 0
         #: set by the health layer (see :mod:`repro.core.health`): the
         #: NI/kernel sheds this endpoint's traffic at the demux step so a
         #: misbehaving process cannot consume service time that other
@@ -232,6 +236,10 @@ class Endpoint:
             self.no_buffer_drops += 1
         elif kind == "quarantine_drops":
             self.quarantine_drops += 1
+        elif kind == "stale_epoch_drops":
+            self.stale_epoch_drops += 1
+        elif kind == "peer_dead_drops":
+            self.peer_dead_drops += 1
         else:
             raise ValueError(f"unknown drop class {kind!r}; expected one of {DROP_COUNTERS}")
         if self.observer is not None:
@@ -258,6 +266,8 @@ class Endpoint:
             "no_buffer_drops": self.no_buffer_drops,
             "unknown_tag_drops": 0,
             "quarantine_drops": self.quarantine_drops,
+            "stale_epoch_drops": self.stale_epoch_drops,
+            "peer_dead_drops": self.peer_dead_drops,
         }
 
     def _wake_receivers(self) -> None:

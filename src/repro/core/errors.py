@@ -9,6 +9,8 @@ __all__ = [
     "InvalidDescriptorError",
     "ProtectionError",
     "MessageTooLarge",
+    "PeerUnavailableError",
+    "StaleEpochError",
 ]
 
 
@@ -39,3 +41,23 @@ class ProtectionError(EndpointError):
 
 class MessageTooLarge(UNetError):
     """Message exceeds the substrate's maximum PDU."""
+
+
+class PeerUnavailableError(UNetError):
+    """The remote endpoint is dead or restarted: an in-flight or queued
+    send cannot complete under the at-most-once contract.  Carries the
+    message fate — the send was *abandoned*, not silently dropped — so
+    callers can account for it rather than retry blindly."""
+
+    def __init__(self, message: str = "peer unavailable", *,
+                 peer: object = None, seq: object = None) -> None:
+        super().__init__(message)
+        self.peer = peer
+        self.seq = seq
+
+
+class StaleEpochError(UNetError):
+    """An operation referenced a dead incarnation of an endpoint (e.g.
+    completing a handle issued before the local endpoint crashed and
+    restarted).  Wire-level stale traffic is fenced silently as the
+    ``stale_epoch`` drop class; this error is for local API misuse."""

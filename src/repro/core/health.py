@@ -44,6 +44,7 @@ __all__ = [
     "STATE_OVERLOADED",
     "STATE_SHED",
     "STATE_QUARANTINED",
+    "STATE_PEER_DEAD",
     "HealthConfig",
     "EndpointHealth",
     "HealthMonitor",
@@ -61,6 +62,10 @@ STATE_OVERLOADED = "overloaded"
 STATE_SHED = "shed"
 #: shed under the ``quarantine`` policy (latched until release)
 STATE_QUARANTINED = "quarantined"
+#: verdict fed by the AM liveness detector: one or more of this
+#: endpoint's peers is dead (the endpoint itself is served normally;
+#: the state surfaces the condition in telemetry and reports)
+STATE_PEER_DEAD = "peer_dead"
 
 
 @dataclass
@@ -110,6 +115,7 @@ class EndpointHealth:
         "shed_at",
         "shed_episodes",
         "recovered_at",
+        "dead_peers",
         "_last_service_drops",
     )
 
@@ -123,6 +129,8 @@ class EndpointHealth:
         self.shed_at: Optional[float] = None
         self.shed_episodes = 0
         self.recovered_at: Optional[float] = None
+        #: peer nodes the AM liveness detector has declared dead
+        self.dead_peers: set = set()
         self._last_service_drops = self._service_drops()
 
     def _service_drops(self) -> int:
@@ -152,6 +160,7 @@ class EndpointHealth:
             occupancy_ewma=self.occupancy_ewma,
             shed_episodes=self.shed_episodes,
             messages_received=self.endpoint.messages_received,
+            dead_peers=sorted(self.dead_peers),
         )
         return stats
 
@@ -206,11 +215,32 @@ class HealthMonitor:
         if record is None:
             return
         endpoint.quarantined = False
-        record.state = STATE_HEALTHY
+        record.state = STATE_PEER_DEAD if record.dead_peers else STATE_HEALTHY
         record.unhealthy_checks = 0
         record.drop_ewma = 0.0
         record.occupancy_ewma = 0.0
         record.recovered_at = self.sim.now
+
+    # ------------------------------------------------------ peer liveness
+    def report_peer_dead(self, endpoint: Endpoint, peer_node) -> None:
+        """Verdict from the AM liveness detector: ``endpoint`` has lost
+        its peer ``peer_node`` (ack starvation or missed heartbeats).
+        The endpoint itself keeps being served — the state is a signal,
+        not a containment action — but overload states take precedence
+        in ``state`` if both conditions hold."""
+        record = self.health_of(endpoint) or self.watch(endpoint)
+        record.dead_peers.add(peer_node)
+        if record.state == STATE_HEALTHY:
+            record.state = STATE_PEER_DEAD
+
+    def report_peer_alive(self, endpoint: Endpoint, peer_node) -> None:
+        """The peer came back (its HELLO arrived): clear the verdict."""
+        record = self.health_of(endpoint)
+        if record is None:
+            return
+        record.dead_peers.discard(peer_node)
+        if record.state == STATE_PEER_DEAD and not record.dead_peers:
+            record.state = STATE_HEALTHY
 
     # -------------------------------------------------------------- watchdog
     def _watchdog(self) -> Generator:
@@ -228,18 +258,19 @@ class HealthMonitor:
             return  # latched: only release() exits
         overloaded = (record.drop_ewma >= cfg.drop_rate_high
                       or record.occupancy_ewma >= cfg.occupancy_high)
+        baseline = STATE_PEER_DEAD if record.dead_peers else STATE_HEALTHY
         if record.state == STATE_SHED:
             if (record.drop_ewma <= cfg.drop_rate_low
                     and record.occupancy_ewma <= cfg.occupancy_low):
                 record.endpoint.quarantined = False
-                record.state = STATE_HEALTHY
+                record.state = baseline
                 record.unhealthy_checks = 0
                 record.recovered_at = self.sim.now
             return
         if not overloaded:
             record.unhealthy_checks = 0
             if record.state == STATE_OVERLOADED:
-                record.state = STATE_HEALTHY
+                record.state = baseline
             return
         record.unhealthy_checks += 1
         if record.unhealthy_checks < cfg.min_unhealthy_checks:

@@ -61,4 +61,6 @@ class DemuxTable:
             "no_buffer_drops": 0,
             "unknown_tag_drops": self.unknown_tag_drops,
             "quarantine_drops": 0,
+            "stale_epoch_drops": 0,
+            "peer_dead_drops": 0,
         }

@@ -44,8 +44,20 @@ from .overload import (
     render_overload_table,
     run_overload,
 )
+from .crash import (
+    CellLifecycleStage,
+    ChainedStage,
+    CrashFault,
+    DatagramLifecycleStage,
+    EndpointLifecycle,
+    FrameLifecycleStage,
+    LifecycleFault,
+    RestartFault,
+    lifecycle_stage_factory,
+)
 from .scripted import (
     CellScriptedStage,
+    DatagramScriptedStage,
     FrameScriptedStage,
     ScheduledFault,
     scripted_stage_factory,
@@ -103,7 +115,17 @@ __all__ = [
     "ScheduledFault",
     "FrameScriptedStage",
     "CellScriptedStage",
+    "DatagramScriptedStage",
     "scripted_stage_factory",
+    "LifecycleFault",
+    "CrashFault",
+    "RestartFault",
+    "EndpointLifecycle",
+    "FrameLifecycleStage",
+    "CellLifecycleStage",
+    "DatagramLifecycleStage",
+    "ChainedStage",
+    "lifecycle_stage_factory",
     "ReceiverFault",
     "SlowReceiver",
     "StalledReceiver",

@@ -4,10 +4,14 @@
 :class:`~repro.am.am.AmEndpoint`.  Same wire format
 (:mod:`repro.am.protocol`), same go-back-N + cumulative-ack
 reliability, same opt-in adaptive RTO / AIMD / fast-retransmit and
-receiver-credit machinery, and the same observable-event vocabulary
+receiver-credit machinery, the same crash-recovery extension
+(incarnation epochs, the HELLO reconnect handshake, the ack-starvation
+liveness detector), and the same observable-event vocabulary
 (``grant``, ``credit_stall``, ``tx``, ``rexmit``, ``timeout``,
-``dispatch``, ``reply``, ``dup_rx``) — which is what lets one
-:class:`~repro.conformance.observe.ObservationProbe` check the same
+``dispatch``, ``reply``, ``dup_rx``, plus the recovery kinds
+``reconnect``, ``reconnected``, ``stale_epoch``, ``abandon``,
+``peer_dead``, ``peer_alive``, ``peer_restart``) — which is what lets
+one :class:`~repro.conformance.observe.ObservationProbe` check the same
 online invariants against either implementation.
 
 The difference is purely structural: where the simulated endpoint
@@ -16,10 +20,11 @@ blocks generator processes on events, LiveAm is *polled*.
 or credit gate refuses admission; :meth:`service` does one pass of
 ingress dispatch, delayed-ack deadlines, retransmission timers, and
 credit refresh against the injected :class:`~repro.core.clock.Clock`.
-Spec-critical decisions (the credit gate, the cumulative-ack horizon)
-are delegated to :mod:`repro.am.spec` — shared with the simulated
-endpoint — through the ``_credit_blocked`` / ``_acked_seqs`` seams the
-conformance bug library patches.
+Spec-critical decisions (the credit gate, the cumulative-ack horizon,
+the epoch fence, the at-most-once reconnect split) are delegated to
+:mod:`repro.am.spec` — shared with the simulated endpoint — through the
+``_credit_blocked`` / ``_acked_seqs`` / ``_epoch_stale`` /
+``_reconnect_plan`` seams the conformance bug library patches.
 """
 
 from __future__ import annotations
@@ -30,9 +35,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..am.am import AmConfig, AmError
 from ..am.protocol import (
     CREDIT_SIZE,
+    EPOCH_MOD,
+    EPOCH_SIZE,
     HEADER_SIZE,
     SEQ_MOD,
     TYPE_ACK,
+    TYPE_HELLO,
+    TYPE_HELLO_ACK,
     TYPE_REPLY,
     TYPE_REQUEST,
     Packet,
@@ -41,8 +50,16 @@ from ..am.protocol import (
     seq_add,
     seq_lt,
 )
-from ..am.spec import credit_gate_blocks, cumulative_acked
-from ..core.errors import EndpointError
+from ..am.spec import (
+    ack_epoch_applies,
+    credit_gate_blocks,
+    cumulative_acked,
+    effective_epoch,
+    epoch_advances,
+    epoch_is_stale,
+    reconnect_plan,
+)
+from ..core.errors import EndpointError, PeerUnavailableError, StaleEpochError
 from .backend import LiveUserEndpoint
 
 __all__ = ["LiveAm", "LiveRequestContext"]
@@ -65,6 +82,9 @@ class _LivePeer:
         "fast_retransmits", "rtt_samples",
         # receiver-credit backpressure
         "remote_credit", "credit_stalls", "last_advertised",
+        # crash recovery
+        "remote_epoch", "alive", "starved_timeouts", "reconnecting",
+        "next_hello_at", "abandoned", "last_heard",
     )
 
     def __init__(self, node: int, channel: int, window: int, now: float) -> None:
@@ -99,6 +119,20 @@ class _LivePeer:
         self.remote_credit: Optional[int] = None
         self.credit_stalls = 0
         self.last_advertised: Optional[int] = None
+        #: last incarnation epoch seen from (or HELLO'd by) the peer
+        self.remote_epoch = 0
+        #: any valid packet from the peer (usually its HELLO) revives it
+        self.alive = True
+        #: consecutive retransmission timeouts without cumulative-ack progress
+        self.starved_timeouts = 0
+        #: True between restart() and the peer's HELLO-ACK; new sends
+        #: are refused admission until the channel is re-established
+        self.reconnecting = False
+        #: wall deadline of the next HELLO retransmit (reconnecting only)
+        self.next_hello_at = now
+        #: sends abandoned under the at-most-once contract
+        self.abandoned = 0
+        self.last_heard = now
 
 
 class LiveRequestContext:
@@ -151,11 +185,26 @@ class LiveAm:
         self._running = True
         self._next_credit_refresh = (
             self.clock.now_us() + self.config.credit_update_us)
+        #: current incarnation (stamped into every packet when the
+        #: recovery extension is on; restarts increment it)
+        self.epoch = self.config.epoch
+        self._crashed = False
+        self.restarts = 0
+        #: sends abandoned under the at-most-once contract, all peers
+        self.abandoned_sends = 0
+        #: rpc keys whose request was abandoned; polled out as
+        #: PeerUnavailableError by rpc_result
+        self._rpc_failed: Dict[Tuple[int, int], str] = {}
+        self._next_heartbeat = (
+            self.clock.now_us() + self.config.heartbeat_us
+            if self.config.recovery and self.config.heartbeat_us > 0 else None)
 
     # ------------------------------------------------------------- set-up
     @property
     def max_data(self) -> int:
-        overhead = HEADER_SIZE + (CREDIT_SIZE if self.config.credit_flow else 0)
+        overhead = (HEADER_SIZE
+                    + (CREDIT_SIZE if self.config.credit_flow else 0)
+                    + (EPOCH_SIZE if self.config.recovery else 0))
         return self.user.backend.max_pdu - overhead
 
     def connect_peer(self, node_id: int, channel_id: int) -> None:
@@ -173,6 +222,135 @@ class LiveAm:
 
     def shutdown(self) -> None:
         self._running = False
+
+    # ------------------------------------------------------ crash recovery
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """The process dies abruptly: all AM state is gone.
+
+        The live endpoint object survives (so the test/soak harness can
+        restart it) but nothing is sent, processed, or acknowledged
+        until :meth:`restart`; ingress is consumed and discarded, as the
+        kernel does for a process that is no longer reading.
+        """
+        if not self.config.recovery:
+            raise AmError("crash()/restart() require AmConfig.recovery")
+        if self._crashed:
+            return
+        self._crashed = True
+        for peer in self._peers_by_node.values():
+            peer.unacked.clear()
+            peer.sent_at.clear()
+            peer.rexmit_seqs.clear()
+            peer.ooo_held.clear()
+        for key in list(self._rpc_outstanding):
+            self._rpc_outstanding.discard(key)
+            self._rpc_failed[key] = (
+                f"incarnation {self.epoch} of node {self.node} crashed")
+
+    def restart(self) -> int:
+        """Come back as a fresh incarnation: epoch+1, empty state.
+
+        Per-peer go-back-N state is rebuilt from scratch (a restarted
+        process remembers nothing) and a HELLO handshake announces the
+        new epoch on each channel; sends attempted before the peer's
+        HELLO-ACK arrives are refused admission (``start_request``
+        returns None).  Returns the new epoch.
+        """
+        if not self.config.recovery:
+            raise AmError("crash()/restart() require AmConfig.recovery")
+        self.epoch = (self.epoch + 1) % EPOCH_MOD
+        self.restarts += 1
+        self._crashed = False
+        now = self.clock.now_us()
+        for node, old in list(self._peers_by_node.items()):
+            fresh = _LivePeer(old.node, old.channel, self.config.window, now)
+            fresh.reconnecting = True
+            self._peers_by_node[node] = fresh
+            self._peers_by_channel[old.channel] = fresh
+            self._observe("reconnect", fresh, epoch=self.epoch)
+            self._send_hello(fresh, TYPE_HELLO)
+            fresh.next_hello_at = now + self.config.hello_retry_us
+        return self.epoch
+
+    def _send_hello(self, peer: _LivePeer, ptype: int) -> None:
+        # _transmit stamps the epoch pair and the receive horizon (ack)
+        self._transmit(peer, Packet(type=ptype), track=False)
+
+    def _abandon(self, peer: _LivePeer, seqs, reason: str) -> None:
+        """Give the listed in-flight sends their ``abandoned`` fate."""
+        for seq in list(seqs):
+            peer.unacked.pop(seq, None)
+            peer.sent_at.pop(seq, None)
+            peer.rexmit_seqs.discard(seq)
+            peer.abandoned += 1
+            self.abandoned_sends += 1
+            self.user.endpoint.note_drop("peer_dead_drops")
+            self._observe("abandon", peer, seq=seq, reason=reason)
+            key = (peer.node, seq)
+            if key in self._rpc_outstanding:
+                self._rpc_outstanding.discard(key)
+                self._rpc_failed[key] = (
+                    f"send seq {seq} to node {peer.node} abandoned: {reason}")
+
+    def _declare_peer_dead(self, peer: _LivePeer, reason: str) -> None:
+        if not peer.alive:
+            return
+        peer.alive = False
+        self._observe("peer_dead", peer, reason=reason)
+        self._abandon(peer, list(peer.unacked), reason)
+
+    def _mark_alive(self, peer: _LivePeer) -> None:
+        peer.last_heard = self.clock.now_us()
+        peer.starved_timeouts = 0
+        if not peer.alive:
+            peer.alive = True
+            self._observe("peer_alive", peer)
+
+    def _epoch_stale(self, claimed: Optional[int], current: int) -> bool:
+        """Seam for the epoch fence; healthy = :func:`epoch_is_stale`."""
+        return epoch_is_stale(claimed, current)
+
+    def _reconnect_plan(self, peer: _LivePeer, horizon: int, restarted: bool):
+        """Seam for the at-most-once reconnect split; healthy =
+        :func:`reconnect_plan`.  Whatever lands in neither list stays in
+        ``unacked`` and is replayed."""
+        return reconnect_plan(peer.unacked, horizon, restarted)
+
+    def _peer_restarted(self, peer: _LivePeer, new_epoch: int,
+                        horizon: int) -> None:
+        """The peer came back as incarnation ``new_epoch``: apply the
+        reconnect plan to our in-flight sends and rebuild both
+        directions of the channel."""
+        completed, abandoned = self._reconnect_plan(peer, horizon, True)
+        for seq in completed:
+            peer.unacked.pop(seq, None)
+            peer.sent_at.pop(seq, None)
+            peer.rexmit_seqs.discard(seq)
+        self._abandon(peer, abandoned,
+                      f"peer restarted as epoch {new_epoch}")
+        remaining = list(peer.unacked)
+        peer.next_seq = seq_add(remaining[-1], 1) if remaining else 0
+        peer.expected_seq = 0
+        peer.ooo_held.clear()
+        peer.ack_deadline = None
+        peer.deliveries_since_ack = 0
+        peer.last_ack = None
+        peer.dup_acks = 0
+        peer.fast_done_seq = None
+        peer.backoff = 0
+        peer.remote_credit = None
+        peer.remote_epoch = new_epoch
+        self._observe("peer_restart", peer, epoch=new_epoch, horizon=horizon)
+
+    def _check_incarnation(self) -> None:
+        if self._crashed:
+            raise StaleEpochError(
+                f"node {self.node} epoch {self.epoch} has crashed; "
+                f"restart() before sending")
 
     # ------------------------------------------------------- introspection
     def _observe(self, kind: str, peer: _LivePeer, **fields) -> None:
@@ -201,6 +379,11 @@ class LiveAm:
                 "credit_stalls": p.credit_stalls,
                 "rtt_samples": p.rtt_samples,
                 "srtt_us": p.srtt,
+                "epoch": self.epoch,
+                "remote_epoch": p.remote_epoch,
+                "alive": p.alive,
+                "reconnecting": p.reconnecting,
+                "abandoned": p.abandoned,
             }
         return out
 
@@ -222,10 +405,19 @@ class LiveAm:
         or credit gate refuses admission — the caller services the
         world and retries (the polled analogue of blocking).
         """
+        if self.config.recovery:
+            self._check_incarnation()
         peer = self._peer(dest)
         if len(data) > self.max_data:
             raise AmError(f"data block of {len(data)} bytes exceeds "
                           f"packet maximum {self.max_data}")
+        if self.config.recovery:
+            if not peer.alive:
+                raise PeerUnavailableError(
+                    f"node {peer.node} is dead (liveness detector)",
+                    peer=peer.node)
+            if peer.reconnecting:
+                return None  # queue behind the HELLO handshake
         if not self._admit(peer):
             return None
         packet = Packet(type=TYPE_REQUEST, handler=handler, seq=peer.next_seq,
@@ -247,7 +439,15 @@ class LiveAm:
         return seq
 
     def rpc_result(self, dest: int, seq: int) -> Optional[Tuple[tuple, bytes]]:
-        """The reply for request ``seq``, consumed, or None if pending."""
+        """The reply for request ``seq``, consumed, or None if pending.
+
+        Raises :class:`PeerUnavailableError` when the request was
+        abandoned (peer declared dead or restarted) — the polled
+        analogue of the simulated endpoint failing the rpc waiter.
+        """
+        reason = self._rpc_failed.pop((dest, seq), None)
+        if reason is not None:
+            raise PeerUnavailableError(reason, peer=dest, seq=seq)
         return self.rpc_results.pop((dest, seq), None)
 
     def request(self, dest: int, handler: int, args=(), data: bytes = b"",
@@ -348,6 +548,9 @@ class LiveAm:
 
     def _transmit(self, peer: _LivePeer, packet: Packet, track: bool) -> None:
         packet.ack = peer.expected_seq
+        if self.config.recovery:
+            packet.epoch = self.epoch
+            packet.peer_epoch = peer.remote_epoch
         if self.config.credit_flow:
             advertised = self._local_credit()
             packet.credit = advertised
@@ -374,6 +577,8 @@ class LiveAm:
         retry budget is the live stand-in for the simulated endpoint's
         wait on send-queue space.
         """
+        if self.user.backend.closed:
+            return  # teardown race: an armed timer fired after close()
         for attempt in range(_SEND_RETRIES):
             try:
                 self.user.send(peer.channel, wire)
@@ -399,12 +604,16 @@ class LiveAm:
         Returns the number of AM packets consumed.  Call this (plus the
         backend's ``service``) from the application's doorbell loop.
         """
+        if self.user.backend.closed:
+            return 0  # teardown: never touch a closed transport
         consumed = 0
         for _ in range(max_messages):
             message = self.user.poll()
             if message is None:
                 break
             consumed += 1
+            if self._crashed:
+                continue  # the process is gone: drain and discard
             # charge the configured per-message receiver cost for real: a
             # "slow receiver" conformance case must be slow on the wall
             # clock too, or the credit machinery it exists to exercise
@@ -423,12 +632,26 @@ class LiveAm:
         peer = self._peers_by_channel.get(channel_id)
         if peer is None:
             return
-        self._process_ack(peer, packet.ack)
+        if self.config.recovery and not self._fence(peer, packet):
+            return
+        if ack_epoch_applies(packet.epoch, peer.remote_epoch):
+            self._process_ack(peer, packet.ack)
         if packet.credit is not None and self.config.credit_flow:
             # absolute advertisement, charged with what it cannot know about
             peer.remote_credit = packet.credit - len(peer.unacked)
             if peer.remote_credit > 0:
                 peer.stalled = False
+        if packet.type == TYPE_HELLO:
+            # answer every HELLO (idempotent): the HELLO-ACK may be
+            # lost and the retransmitted HELLO must be re-answered
+            self._send_hello(peer, TYPE_HELLO_ACK)
+            return
+        if packet.type == TYPE_HELLO_ACK:
+            if peer.reconnecting:
+                peer.reconnecting = False
+                self._observe("reconnected", peer,
+                              peer_epoch=peer.remote_epoch)
+            return
         if packet.type == TYPE_ACK:
             return
         if packet.seq != peer.expected_seq:
@@ -450,6 +673,35 @@ class LiveAm:
                 break
             self._deliver_in_order(peer, held)
         self._note_delivery(peer)
+
+    def _fence(self, peer: _LivePeer, packet: Packet) -> bool:
+        """Epoch fence + restart detection.  False = packet fenced.
+
+        Both halves of the epoch field are checked through the
+        ``_epoch_stale`` seam: the sender half against our memory of the
+        peer, and (except for HELLO traffic, whose sender cannot yet
+        know our epoch) the destination echo against our own epoch.
+        """
+        if self._epoch_stale(packet.epoch, peer.remote_epoch):
+            self.user.endpoint.note_drop("stale_epoch_drops")
+            self._observe("stale_epoch", peer, seq=packet.seq,
+                          ptype=packet.type,
+                          epoch=effective_epoch(packet.epoch))
+            return False
+        if (packet.type not in (TYPE_HELLO, TYPE_HELLO_ACK)
+                and self._epoch_stale(packet.peer_epoch, self.epoch)):
+            self.user.endpoint.note_drop("stale_epoch_drops")
+            self._observe("stale_epoch", peer, seq=packet.seq,
+                          ptype=packet.type,
+                          epoch=effective_epoch(packet.peer_epoch), echo=1)
+            return False
+        if epoch_advances(packet.epoch, peer.remote_epoch):
+            # the peer restarted; its ack field is its fresh receive
+            # horizon (its HELLO says so explicitly; data says it too)
+            self._peer_restarted(peer, effective_epoch(packet.epoch),
+                                 packet.ack)
+        self._mark_alive(peer)
+        return True
 
     def _deliver_in_order(self, peer: _LivePeer, packet: Packet) -> None:
         peer.expected_seq = seq_add(peer.expected_seq, 1)
@@ -504,6 +756,7 @@ class LiveAm:
         for seq in acked:
             peer.unacked.pop(seq, None)
         peer.last_progress = now
+        peer.starved_timeouts = 0  # forward progress: not a corpse
 
     def _update_rto(self, peer: _LivePeer, rtt: float) -> None:
         cfg = self.config
@@ -553,20 +806,44 @@ class LiveAm:
         return min(max(rto, cfg.rto_min_us), cfg.rto_max_us)
 
     def _run_timers(self) -> None:
-        if not self._running:
+        if not self._running or self._crashed:
             return
         now = self.clock.now_us()
+        cfg = self.config
         for peer in self._peers_by_node.values():
+            if cfg.recovery and peer.reconnecting and now >= peer.next_hello_at:
+                self._send_hello(peer, TYPE_HELLO)
+                peer.next_hello_at = now + cfg.hello_retry_us
+            if cfg.recovery and not peer.alive:
+                continue  # no acks, no retransmits toward a corpse
             if peer.ack_deadline is not None and now >= peer.ack_deadline:
                 self._send_ack(peer)
             if peer.unacked and now - peer.last_progress >= self._current_rto(peer):
                 peer.timeouts += 1
                 self._observe("timeout", peer, rto_us=self._current_rto(peer))
-                if self.config.adaptive_rto:
+                if cfg.recovery:
+                    peer.starved_timeouts += 1
+                    if peer.starved_timeouts >= cfg.dead_after_timeouts:
+                        self._declare_peer_dead(
+                            peer, f"ack starvation: {peer.starved_timeouts} "
+                                  f"consecutive retransmission timeouts")
+                        continue
+                if cfg.adaptive_rto:
                     peer.backoff += 1
-                if self.config.adaptive_window:
-                    peer.cwnd = max(float(self.config.min_window), peer.cwnd / 2.0)
+                if cfg.adaptive_window:
+                    peer.cwnd = max(float(cfg.min_window), peer.cwnd / 2.0)
                 self._retransmit_head(peer)
+        if (self._next_heartbeat is not None and now >= self._next_heartbeat):
+            self._next_heartbeat = now + cfg.heartbeat_us
+            for peer in self._peers_by_node.values():
+                if not peer.alive:
+                    continue
+                silent = now - peer.last_heard
+                if silent >= cfg.heartbeat_misses * cfg.heartbeat_us:
+                    self._declare_peer_dead(
+                        peer, f"heartbeat: silent for {silent:.0f}us")
+                elif not peer.reconnecting:
+                    self._send_ack(peer)
         if self.config.credit_flow and now >= self._next_credit_refresh:
             self._next_credit_refresh = now + self.config.credit_update_us
             for peer in self._peers_by_node.values():
@@ -586,6 +863,9 @@ class LiveAm:
         peer.rexmit_seqs.add(head_seq)
         peer.last_progress = self.clock.now_us()
         head.ack = peer.expected_seq
+        if self.config.recovery:
+            head.epoch = self.epoch
+            head.peer_epoch = peer.remote_epoch
         if self.config.credit_flow:
             head.credit = self._local_credit()
             peer.last_advertised = head.credit

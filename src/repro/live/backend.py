@@ -142,6 +142,8 @@ class LiveBackend:
         Returns the number of descriptors handed to the kernel.  A
         would-block leaves the head descriptor queued for the next pass.
         """
+        if self.closed:
+            return 0  # teardown: queued descriptors die with the node
         sent = 0
         while True:
             descriptor = endpoint.send_queue.peek()
@@ -259,9 +261,16 @@ class LiveBackend:
             "no_buffer_drops": self.no_buffer_drops,
             "unknown_tag_drops": self.demux.unknown_tag_drops,
             "quarantine_drops": self.quarantine_drops,
+            "stale_epoch_drops": sum(ep.stale_epoch_drops for ep in self.endpoints),
+            "peer_dead_drops": sum(ep.peer_dead_drops for ep in self.endpoints),
         }
 
     def close(self) -> None:
+        """Idempotent teardown: the socket FD is released exactly once,
+        no matter what state the doorbell loop or any armed AM
+        retransmission timer was in when the node went down."""
+        if self.closed:
+            return
         self.closed = True
         self.transport.close()
 
@@ -449,8 +458,22 @@ class LiveCluster:
         return predicate()
 
     def close(self) -> None:
+        """Close every node's transport, even when one close raises.
+
+        An abrupt teardown (a soak aborting mid-crash-fault, a test
+        failing with retransmit timers armed) must not leak the
+        remaining nodes' socket FDs because the first node's close blew
+        up; the first error is re-raised after all sockets are released.
+        """
+        first_error: Optional[BaseException] = None
         for node in self.nodes:
-            node.close()
+            try:
+                node.close()
+            except Exception as exc:  # pragma: no cover - defensive
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
     def __enter__(self) -> "LiveCluster":
         return self

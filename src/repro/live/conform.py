@@ -26,11 +26,14 @@ from contextlib import contextmanager
 from typing import List, Optional
 
 from ..am.am import AmError
-from ..am.protocol import seq_add, seq_lt
+from ..am.protocol import EPOCH_MOD, seq_add, seq_lt
+from ..am.spec import epoch_is_stale
 from ..conformance.observe import ObservationProbe, ObservedTrace
 from ..conformance.schedule import ConformanceCase
 from ..core import EndpointConfig
+from ..core.errors import UNetError
 from ..core.substrates import register_substrate
+from ..faults.crash import ChainedStage, EndpointLifecycle, lifecycle_stage_factory
 from ..faults.scripted import scripted_stage_factory
 from .am import LiveAm
 from .backend import LiveCluster
@@ -59,11 +62,27 @@ def _buggy_acked_seqs(self, peer, ack: int):
     return [seq for seq in peer.unacked if seq_lt(seq, seq_add(ack, 1))]  # BUG
 
 
+def _buggy_epoch_stale(self, claimed, current) -> bool:
+    """Epoch fence off by one incarnation: traffic stamped with the
+    immediately previous epoch is admitted instead of fenced."""
+    if claimed is not None and (current - claimed) % EPOCH_MOD == 1:
+        return False  # BUG: one-stale traffic admitted
+    return epoch_is_stale(claimed, current)
+
+
+def _buggy_reconnect_plan(self, peer, horizon, restarted):
+    """Reconnect ignores the restart flag: nothing is abandoned, so the
+    old window replays into the fresh incarnation."""
+    return [], []  # BUG: spec abandons everything when the peer restarted
+
+
 #: same bug names as ``repro.conformance.checker.BUGS``, patched onto
 #: the live endpoint's spec seams
 LIVE_BUGS = {
     "credit-gate": {"_credit_blocked": _buggy_credit_blocked},
     "ack-horizon": {"_acked_seqs": _buggy_acked_seqs},
+    "epoch-fence": {"_epoch_stale": _buggy_epoch_stale},
+    "replay-horizon": {"_reconnect_plan": _buggy_reconnect_plan},
 }
 
 
@@ -132,7 +151,15 @@ def run_live_case(case: ConformanceCase, transport_kind: str = "unix",
         rev_stage = scripted_stage_factory(n0, case.rev_faults())
         fwd_stage.reset()
         rev_stage.reset()
-        n1.install_ingress_stage(fwd_stage)
+        fwd_events = case.fwd_lifecycle()
+        fwd_life = None
+        if fwd_events:
+            lifecycle = EndpointLifecycle(crash=am1.crash, restart=am1.restart)
+            fwd_life = lifecycle_stage_factory(n1, fwd_events, lifecycle.fire)
+            fwd_life.reset()
+        # one ingress slot on the live backend: chain scripted faults
+        # first so a scripted drop never fires a lifecycle trigger
+        n1.install_ingress_stage(ChainedStage(fwd_stage, fwd_life))
         n0.install_ingress_stage(rev_stage)
 
         integrity_failures: List[int] = []
@@ -173,8 +200,27 @@ def run_live_case(case: ConformanceCase, transport_kind: str = "unix",
                 else:
                     am0.request(1, 1, args=(i,), data=data,
                                 pump=pump, limit_us=remaining)
-        except AmError:
+        except (AmError, UNetError):
+            # wall-clock limit, or the sender declared the peer dead and
+            # refused the remaining sends: either way, incomplete
             completed = False
+
+        def settled() -> bool:
+            """Crash cases end at fate resolution, not at the last send:
+            every lifecycle event fired, no send still awaiting a fate,
+            and neither side mid-handshake."""
+            if fwd_life is not None and len(fwd_life.fired) < len(fwd_events):
+                return False
+            s0 = am0.snapshot().get(1)
+            if s0 and (s0["unacked"] or s0["reconnecting"]):
+                return False
+            s1 = am1.snapshot().get(0)
+            return not (s1 and s1["reconnecting"])
+
+        if completed and case.lifecycle:
+            while clock.now_us() < deadline and not settled():
+                pump()
+            completed = settled()
         completion = clock.now_us() if completed else limit_us
         if completed:
             drain_deadline = min(deadline, clock.now_us() + _DRAIN_US)
@@ -196,7 +242,9 @@ def run_live_case(case: ConformanceCase, transport_kind: str = "unix",
         snapshots = {"am0": am0.snapshot(), "am1": am1.snapshot()}
         trace = probe.finish(completed, completion,
                              fired=fwd_stage.fired + rev_stage.fired,
-                             snapshots=snapshots)
+                             snapshots=snapshots,
+                             lifecycle_fired=(fwd_life.fired
+                                              if fwd_life is not None else ()))
         trace.rexmit = sum(p["retransmissions"] for snap in snapshots.values()
                            for p in snap.values())
         trace.timeouts = sum(p["timeouts"] for snap in snapshots.values()

@@ -1,0 +1,120 @@
+"""Epoch x sequence wrap-around properties of the shared AM spec.
+
+The crash-recovery predicates in :mod:`repro.am.spec` operate in two
+circular spaces at once: incarnation epochs (mod ``EPOCH_MOD``) and
+go-back-N sequence numbers (mod ``SEQ_MOD``).  Both wrap, and both
+substrates call the same predicates, so an off-by-one here would be a
+protocol bug everywhere at once.  These properties pin the half-space
+semantics down, with hypothesis driving the wrap boundaries.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.am.protocol import EPOCH_MOD, SEQ_MOD, epoch_newer, seq_lt
+from repro.am.spec import (
+    ack_epoch_applies,
+    cumulative_acked,
+    effective_epoch,
+    epoch_advances,
+    epoch_is_stale,
+    reconnect_plan,
+)
+
+_EPOCH_HALF = EPOCH_MOD // 2
+_SEQ_HALF = SEQ_MOD // 2
+
+epochs = st.integers(min_value=0, max_value=EPOCH_MOD - 1)
+seqs = st.integers(min_value=0, max_value=SEQ_MOD - 1)
+# strictly within the comparable half-space (distance 0 is equality)
+epoch_steps = st.integers(min_value=1, max_value=_EPOCH_HALF - 1)
+
+
+# ------------------------------------------------------------- epoch fence
+@given(known=epochs, step=epoch_steps)
+def test_older_epoch_is_stale_across_wrap(known, step):
+    packet = (known - step) % EPOCH_MOD
+    assert epoch_is_stale(packet, known)
+    assert not epoch_advances(packet, known)
+    assert not ack_epoch_applies(packet, known)
+
+
+@given(known=epochs, step=epoch_steps)
+def test_newer_epoch_advances_across_wrap(known, step):
+    packet = (known + step) % EPOCH_MOD
+    assert epoch_advances(packet, known)
+    assert not epoch_is_stale(packet, known)
+    assert not ack_epoch_applies(packet, known)
+
+
+@given(known=epochs)
+def test_equal_epoch_is_current(known):
+    assert not epoch_is_stale(known, known)
+    assert not epoch_advances(known, known)
+    assert ack_epoch_applies(known, known)
+
+
+@given(a=epochs, b=epochs)
+def test_stale_and_advances_are_mutually_exclusive(a, b):
+    # a packet can never be both older and newer than the known epoch
+    assert not (epoch_is_stale(a, b) and epoch_advances(a, b))
+
+
+@given(a=epochs, b=epochs)
+def test_epoch_newer_is_a_strict_half_space_order(a, b):
+    assert not epoch_newer(a, a)
+    if epoch_newer(a, b):
+        assert not epoch_newer(b, a)
+
+
+def test_wrap_boundary_single_step():
+    """The restart that wraps the epoch counter is still 'one newer'."""
+    top = EPOCH_MOD - 1
+    assert epoch_advances(0, top)        # wrapped restart announces itself
+    assert epoch_is_stale(top, 0)        # the dead incarnation is fenced
+    assert not epoch_is_stale(0, top)
+    assert not epoch_advances(top, 0)
+
+
+# ------------------------------------------------- classic-framing interop
+def test_absent_epoch_means_first_incarnation():
+    assert effective_epoch(None) == 0
+    assert effective_epoch(7) == 7
+    # a classic (no-epoch-word) packet from a never-restarted peer passes
+    assert not epoch_is_stale(None, 0)
+    assert ack_epoch_applies(None, 0)
+    # ...but is fenced the moment the receiver knows a later incarnation
+    assert epoch_is_stale(None, 1)
+    assert not ack_epoch_applies(None, 1)
+
+
+# --------------------------------------------------------- reconnect plan
+@given(start=seqs, n=st.integers(min_value=0, max_value=32),
+       covered=st.integers(min_value=0, max_value=32))
+def test_reconnect_plan_partitions_outstanding(start, n, covered):
+    """Every outstanding send gets exactly one fate, even when the
+    window straddles the sequence wrap point."""
+    outstanding = [(start + i) % SEQ_MOD for i in range(n)]
+    horizon = (start + min(covered, n)) % SEQ_MOD
+
+    completed, abandoned = reconnect_plan(outstanding, horizon, True)
+    assert completed == []
+    assert abandoned == outstanding  # at-most-once: never replay
+
+    completed, abandoned = reconnect_plan(outstanding, horizon, False)
+    assert abandoned == []
+    assert completed == outstanding[:min(covered, n)]
+    # partition: fate assignment covers the window with no leftovers
+    assert set(outstanding) - set(completed) == set(outstanding[min(covered, n):])
+
+
+@given(start=seqs, n=st.integers(min_value=0, max_value=48),
+       ack_at=st.integers(min_value=0, max_value=48))
+def test_cumulative_ack_horizon_across_wrap(start, n, ack_at):
+    outstanding = [(start + i) % SEQ_MOD for i in range(n)]
+    ack = (start + ack_at) % SEQ_MOD
+    acked = cumulative_acked(outstanding, ack)
+    # strictly-before: exactly the prefix up to (not including) the ack
+    assert acked == outstanding[:min(ack_at, n)]
+    for seq in acked:
+        assert seq_lt(seq, ack)

@@ -1,0 +1,182 @@
+"""Content-addressed lifecycle faults: triggers, ordering, composition."""
+
+import pytest
+
+from repro.am.protocol import TYPE_ACK, TYPE_HELLO, TYPE_REQUEST, Packet, encode
+from repro.faults.crash import (
+    ChainedStage,
+    CrashFault,
+    DatagramLifecycleStage,
+    EndpointLifecycle,
+    LifecycleFault,
+    RestartFault,
+)
+
+
+def _wire(ptype: int, seq: int) -> bytes:
+    return encode(Packet(type=ptype, seq=seq))
+
+
+# ----------------------------------------------------------- fault objects
+def test_lifecycle_fault_validation():
+    with pytest.raises(ValueError):
+        LifecycleFault("explode", "fwd", 0, 0)
+    with pytest.raises(ValueError):
+        LifecycleFault("crash", "sideways", 0, 0)
+    with pytest.raises(ValueError):
+        LifecycleFault("crash", "fwd", -1, 0)
+    with pytest.raises(ValueError):
+        LifecycleFault("restart", "rev", 0, -2)
+
+
+def test_fault_dict_round_trip():
+    for fault in (CrashFault("fwd", 3), RestartFault("fwd", 3, 2),
+                  CrashFault("rev", 7, 1)):
+        assert LifecycleFault.from_dict(fault.to_dict()) == fault
+
+
+def test_crash_fault_defaults_to_first_occurrence():
+    assert CrashFault("fwd", 5).occurrence == 0
+    assert RestartFault("fwd", 5, 1).occurrence == 1
+
+
+def test_duplicate_addresses_rejected():
+    with pytest.raises(ValueError):
+        DatagramLifecycleStage(
+            [CrashFault("fwd", 2), RestartFault("fwd", 2, 0)], lambda f, t: None)
+
+
+# ---------------------------------------------------------------- triggers
+def test_trigger_addresses_seq_and_occurrence():
+    fired = []
+    stage = DatagramLifecycleStage(
+        [CrashFault("fwd", 1, occurrence=1)],
+        lambda fault, now: fired.append((fault.kind, now)))
+    out = []
+    emit = lambda pdu, delay=0.0: out.append(pdu)
+
+    stage.process(_wire(TYPE_REQUEST, 1), 10.0, emit)   # occurrence 0: no
+    assert fired == []
+    stage.process(_wire(TYPE_REQUEST, 1), 20.0, emit)   # occurrence 1: fire
+    assert fired == [("crash", 20.0)]
+    stage.process(_wire(TYPE_REQUEST, 1), 30.0, emit)   # occurrence 2: no
+    assert fired == [("crash", 20.0)]
+    assert len(out) == 3  # the trigger never perturbs the traffic
+
+
+def test_control_traffic_never_triggers():
+    fired = []
+    stage = DatagramLifecycleStage([CrashFault("fwd", 0)],
+                                   lambda fault, now: fired.append(fault))
+    emit = lambda pdu, delay=0.0: None
+    # ACK and HELLO carry seq fields too; only data packets count
+    stage.process(_wire(TYPE_ACK, 0), 1.0, emit)
+    stage.process(_wire(TYPE_HELLO, 0), 2.0, emit)
+    assert fired == []
+    stage.process(_wire(TYPE_REQUEST, 0), 3.0, emit)
+    assert len(fired) == 1
+
+
+def test_header_size_strips_framing():
+    fired = []
+    stage = DatagramLifecycleStage([CrashFault("fwd", 4)],
+                                   lambda fault, now: fired.append(fault),
+                                   header_size=6)
+    stage.process(b"\x00" * 6 + _wire(TYPE_REQUEST, 4), 0.0,
+                  lambda pdu, delay=0.0: None)
+    assert len(fired) == 1
+
+
+def test_fire_happens_before_emit():
+    """The victim must be dead before the triggering packet is delivered:
+    that packet is the first one the dead incarnation ignores."""
+    order = []
+    stage = DatagramLifecycleStage([CrashFault("fwd", 0)],
+                                   lambda fault, now: order.append("fire"))
+    stage.process(_wire(TYPE_REQUEST, 0), 0.0,
+                  lambda pdu, delay=0.0: order.append("emit"))
+    assert order == ["fire", "emit"]
+
+
+def test_reset_clears_occurrence_tracking():
+    fired = []
+    stage = DatagramLifecycleStage([CrashFault("fwd", 0)],
+                                   lambda fault, now: fired.append(now))
+    emit = lambda pdu, delay=0.0: None
+    stage.process(_wire(TYPE_REQUEST, 0), 1.0, emit)
+    stage.reset()
+    stage.process(_wire(TYPE_REQUEST, 0), 2.0, emit)
+    assert fired == [1.0, 2.0]
+    assert stage.fired == [CrashFault("fwd", 0)]  # post-reset run only
+
+
+# ------------------------------------------------------ EndpointLifecycle
+def test_endpoint_lifecycle_maps_kinds_to_actions():
+    calls = []
+    life = EndpointLifecycle(crash=lambda: calls.append("crash"),
+                             restart=lambda: calls.append("restart"))
+    life.fire(CrashFault("fwd", 2), 5.0)
+    life.fire(RestartFault("fwd", 2, 1), 9.0)
+    assert calls == ["crash", "restart"]
+    assert life.applied_keys() == [("crash", 2, 0), ("restart", 2, 1)]
+    assert [t for _f, t in life.applied] == [5.0, 9.0]
+
+
+# ------------------------------------------------------------ ChainedStage
+class _Delay:
+    def __init__(self, delay):
+        self.delay = delay
+        self.resets = 0
+
+    def process(self, pdu, now, emit):
+        emit(pdu, self.delay)
+
+    def reset(self):
+        self.resets += 1
+
+
+class _DropSeq:
+    """Swallow data packets with the given seq (a scripted 'drop')."""
+
+    def __init__(self, seq):
+        self.seq = seq
+
+    def process(self, pdu, now, emit):
+        from repro.am.protocol import peek_type_seq
+
+        peeked = peek_type_seq(pdu)
+        if peeked is not None and peeked[1] == self.seq:
+            return  # dropped: the chain stops here
+        emit(pdu, 0.0)
+
+
+def test_chain_accumulates_delays():
+    out = []
+    chain = ChainedStage(_Delay(2.0), _Delay(3.0))
+    chain.process(b"x", 10.0, lambda pdu, delay: out.append((pdu, delay)))
+    assert out == [(b"x", 5.0)]
+
+
+def test_chain_drop_stops_lifecycle_trigger():
+    """A transmission the wire swallowed never reached the victim, so it
+    must not fire the lifecycle trigger either — scripted faults chain
+    ahead of lifecycle stages for exactly this reason."""
+    fired = []
+    life = DatagramLifecycleStage([CrashFault("fwd", 1)],
+                                  lambda fault, now: fired.append(fault))
+    chain = ChainedStage(_DropSeq(1), life)
+    out = []
+    emit = lambda pdu, delay: out.append(pdu)
+
+    chain.process(_wire(TYPE_REQUEST, 1), 0.0, emit)   # dropped occurrence 0
+    assert fired == [] and out == []
+    chain.process(_wire(TYPE_REQUEST, 0), 1.0, emit)   # unrelated traffic
+    assert fired == [] and len(out) == 1
+
+
+def test_chain_skips_none_and_resets_children():
+    delay = _Delay(1.0)
+    chain = ChainedStage(delay, None)
+    assert chain.stages == [delay]
+    chain.reset()
+    assert delay.resets == 1
