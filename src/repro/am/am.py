@@ -447,6 +447,13 @@ class AmEndpoint:
         self.epoch = (self.epoch + 1) % EPOCH_MOD
         self.restarts += 1
         self._crashed = False
+        if self.health is not None:
+            # the restart is a local (syscall-level) event the host's
+            # monitor is entitled to see: a quarantine latch earned by
+            # the dead incarnation converts back into a live evaluation.
+            # Without this the latch is unescapable — the shed endpoint
+            # never receives the traffic that could prove it recovered.
+            self.health.note_epoch_advance(self.user.endpoint)
         for node, old in list(self._peers_by_node.items()):
             fresh = _PeerState(old.node, old.channel, self.sim, self.config.window)
             fresh.reconnecting = True
@@ -565,6 +572,12 @@ class AmEndpoint:
             peer.window_waiters.pop(0).succeed()
         while peer.credit_waiters:
             peer.credit_waiters.pop(0).succeed()
+        if self.health is not None:
+            # a restart proves a fresh incarnation is talking: a
+            # quarantine latch earned by the dead one must be
+            # re-evaluated, not carried over (the watchdog re-latches
+            # if the new process still misbehaves)
+            self.health.note_epoch_advance(self.user.endpoint)
         self._observe("peer_restart", peer, epoch=new_epoch, horizon=horizon)
 
     def _heartbeat_loop(self) -> Generator:

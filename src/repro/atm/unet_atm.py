@@ -30,7 +30,7 @@ from typing import Dict, Generator, List, Optional
 from ..core.base import UNetBackend
 from ..core.descriptors import RecvDescriptor
 from ..core.endpoint import Endpoint
-from ..core.mux import DemuxTable
+from ..core.mux import ShardedDemux
 from ..hw.bus import PCI_BUS, BusModel, DmaEngine
 from ..sim import Simulator, Store, TraceRecorder
 from .cells import (
@@ -117,7 +117,7 @@ class UNetAtmBackend(UNetBackend):
         self.timings = timings or AtmTimings()
         self.trace = trace or TraceRecorder(enabled=False)
         self.dma = DmaEngine(sim, bus, name=f"{name}.dma")
-        self.demux = DemuxTable(name=f"{name}.demux")
+        self.demux = ShardedDemux(name=f"{name}.demux")
         #: egress cell link toward the switch (set by the network builder)
         self.tx_link: Optional[CellLink] = None
         #: single-cell receive fast path enabled (ablation knob)

@@ -283,6 +283,8 @@ def _cmd_soak(args) -> int:
         return _cmd_soak_overload(args)
     if args.suite == "crash":
         return _cmd_soak_crash(args)
+    if args.suite == "multitenant":
+        return _cmd_soak_multitenant(args)
     names = args.scenario or [n for n in SCENARIOS if n != "bursty-atm"]
     unknown = [n for n in names if n not in SCENARIOS]
     if unknown:
@@ -391,6 +393,46 @@ def _cmd_soak_crash(args) -> int:
             print(f"  !! {r.scenario}: {violation}")
     if args.output:
         write_crash_report(args.output, results)
+        print(f"wrote {args.output}")
+    return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_soak_multitenant(args) -> int:
+    from .faults.multitenant import (
+        MULTITENANT_SCENARIOS,
+        render_multitenant_table,
+        run_multitenant,
+        write_multitenant_report,
+    )
+
+    names = args.scenario or [n for n in MULTITENANT_SCENARIOS if n != "churn-bench"]
+    unknown = [n for n in names if n not in MULTITENANT_SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s) {unknown}; choose from "
+              f"{sorted(MULTITENANT_SCENARIOS)}", file=sys.stderr)
+        return 2
+    results = []
+    for name in names:
+        scenario = MULTITENANT_SCENARIOS[name]
+        if scenario.substrate == "live":
+            from .live import available_transport_kinds
+
+            if not available_transport_kinds():
+                print(f"  {name}: skipped (no live transport on this machine)")
+                continue
+        print(f"  {name}: {scenario.tenants} tenants on {scenario.substrate} ...")
+        results.append(run_multitenant(scenario, seed=args.seed))
+    if not results:
+        print("no scenarios ran", file=sys.stderr)
+        return 2
+    print(render_multitenant_table(results))
+    if args.stats:
+        for r in results:
+            print(f"\n{r.scenario} hosts:")
+            for host in r.hosts:
+                print(f"  {host}")
+    if args.output:
+        write_multitenant_report(args.output, results)
         print(f"wrote {args.output}")
     return 0 if all(r.ok for r in results) else 1
 
@@ -595,10 +637,13 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--stats", action="store_true", help="dump simulation counters")
     ps.set_defaults(func=_cmd_splitc)
     pk = sub.add_parser("soak", help=_EXPERIMENTS["soak"])
-    pk.add_argument("--suite", default="chaos", choices=("chaos", "overload", "crash"),
+    pk.add_argument("--suite", default="chaos",
+                    choices=("chaos", "overload", "crash", "multitenant"),
                     help="chaos soaks the wire; overload soaks the receiver's "
                          "service capacity (incast, sick endpoints); crash "
-                         "kills and restarts the receiver mid-stream")
+                         "kills and restarts the receiver mid-stream; "
+                         "multitenant churns hundreds of QoS-classed tenants "
+                         "through misbehave/crash/recover cycles")
     pk.add_argument("--scenario", action="append",
                     help="scenario name (repeatable; default: every scenario of the suite)")
     pk.add_argument("--mode", default="compare", choices=("compare", "adaptive", "fixed"),
@@ -614,7 +659,7 @@ def build_parser() -> argparse.ArgumentParser:
     pk.add_argument("--stats", action="store_true",
                     help="dump fault-pipeline / per-endpoint telemetry")
     pk.add_argument("--output", metavar="FILE", default=None,
-                    help="crash suite: write the message-fate JSON artifact here")
+                    help="crash/multitenant suites: write the JSON artifact here")
     pk.set_defaults(func=_cmd_soak)
     pn = sub.add_parser("bench", help=_EXPERIMENTS["bench"])
     pn.add_argument("--live", action="store_true",

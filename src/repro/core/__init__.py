@@ -8,9 +8,11 @@ from .api import Host, ReceivedMessage, UserEndpoint
 from .base import UNetBackend
 from .channels import AtmTag, ChannelBinding, EthernetTag, lookup_channel, register_channel
 from .clock import Clock, ClockShim, ManualClock
+from .cluster import ClusterHealthAggregator, HostView
 from .descriptors import SMALL_MESSAGE_MAX, RecvDescriptor, SendDescriptor
 from .endpoint import DROP_COUNTERS, Endpoint, EndpointConfig
 from .errors import (
+    AdmissionRejected,
     ChannelError,
     EndpointError,
     InvalidDescriptorError,
@@ -27,7 +29,17 @@ from .health import (
     HealthConfig,
     HealthMonitor,
 )
-from .mux import DemuxTable
+from .mux import DemuxTable, ShardedDemux
+from .tenancy import (
+    QOS_BEST_EFFORT,
+    QOS_CLASSES,
+    QOS_GOLD,
+    QOS_SILVER,
+    AdmissionConfig,
+    AdmissionController,
+    QosClass,
+    qos_class,
+)
 from .substrates import (
     SubstrateSpec,
     SubstrateUnavailable,
@@ -65,6 +77,17 @@ __all__ = [
     "register_channel",
     "lookup_channel",
     "DemuxTable",
+    "ShardedDemux",
+    "QosClass",
+    "qos_class",
+    "QOS_GOLD",
+    "QOS_SILVER",
+    "QOS_BEST_EFFORT",
+    "QOS_CLASSES",
+    "AdmissionConfig",
+    "AdmissionController",
+    "ClusterHealthAggregator",
+    "HostView",
     "HealthConfig",
     "HealthMonitor",
     "EndpointHealth",
@@ -78,4 +101,5 @@ __all__ = [
     "ChannelError",
     "ProtectionError",
     "MessageTooLarge",
+    "AdmissionRejected",
 ]

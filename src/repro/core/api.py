@@ -58,9 +58,15 @@ class Host:
         self.cpu = cpu
         self.backend = backend
 
-    def create_endpoint(self, config: Optional[EndpointConfig] = None, rx_buffers: int = 32) -> "UserEndpoint":
-        """Create an endpoint and pre-donate ``rx_buffers`` receive buffers."""
-        endpoint = self.backend.create_endpoint(config, owner=self.name)
+    def create_endpoint(self, config: Optional[EndpointConfig] = None, rx_buffers: int = 32,
+                        tenant: str = "", qos: str = "") -> "UserEndpoint":
+        """Create an endpoint and pre-donate ``rx_buffers`` receive buffers.
+
+        ``tenant``/``qos`` carry multi-tenant identity through to the
+        backend, where an attached admission controller may refuse with
+        :class:`~repro.core.errors.AdmissionRejected`."""
+        endpoint = self.backend.create_endpoint(config, owner=self.name,
+                                                tenant=tenant, qos=qos)
         user = UserEndpoint(self, endpoint)
         user.donate_rx_buffers(rx_buffers)
         return user

@@ -26,11 +26,34 @@ class UNetBackend(abc.ABC):
         self.name = name
         self.endpoints: List[Endpoint] = []
         self._next_endpoint_id = 0
+        #: optional :class:`~repro.core.tenancy.AdmissionController`;
+        #: when set, ``create_endpoint`` may refuse with a typed
+        #: :class:`~repro.core.errors.AdmissionRejected` error
+        self.admission = None
+        #: endpoint creations refused by admission control — counted on
+        #: the backend because no endpoint exists to own the drop
+        self.admission_rejected_drops = 0
 
     # -- endpoint lifecycle (OS-mediated system calls) ---------------------
-    def create_endpoint(self, config: Optional[EndpointConfig] = None, owner: str = "") -> Endpoint:
-        """System call: validate and create an endpoint."""
-        endpoint = Endpoint(self.sim, self._next_endpoint_id, config or EndpointConfig(), owner=owner)
+    def create_endpoint(self, config: Optional[EndpointConfig] = None, owner: str = "",
+                        tenant: str = "", qos: str = "") -> Endpoint:
+        """System call: validate, pass admission control, create.
+
+        ``tenant``/``qos`` carry the caller's multi-tenant identity; when
+        an admission controller is attached, a refused creation raises
+        :class:`~repro.core.errors.AdmissionRejected` in the caller's
+        own system call and is counted as ``admission_rejected_drops``.
+        """
+        if self.admission is not None:
+            from .errors import AdmissionRejected
+            from .tenancy import qos_class
+            try:
+                self.admission.admit(tenant, qos_class(qos))
+            except AdmissionRejected:
+                self.admission_rejected_drops += 1
+                raise
+        endpoint = Endpoint(self.sim, self._next_endpoint_id, config or EndpointConfig(),
+                            owner=owner, tenant=tenant, qos=qos)
         self._next_endpoint_id += 1
         self.endpoints.append(endpoint)
         self._endpoint_created(endpoint)
@@ -52,6 +75,8 @@ class UNetBackend(abc.ABC):
         self.endpoints.remove(endpoint)
         if hasattr(self, "demux"):
             self.demux.unregister_endpoint(endpoint)
+        if self.admission is not None:
+            self.admission.release(endpoint.tenant)
         self._endpoint_destroyed(endpoint)
 
     def _endpoint_destroyed(self, endpoint: Endpoint) -> None:
@@ -95,6 +120,7 @@ class UNetBackend(abc.ABC):
             "quarantine_drops": getattr(self, "quarantine_drops", 0),
             "stale_epoch_drops": getattr(self, "stale_epoch_drops", 0),
             "peer_dead_drops": getattr(self, "peer_dead_drops", 0),
+            "admission_rejected_drops": getattr(self, "admission_rejected_drops", 0),
         }
         demux = getattr(self, "demux", None)
         if demux is not None:

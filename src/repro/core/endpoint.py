@@ -23,7 +23,8 @@ __all__ = ["Endpoint", "EndpointConfig", "DROP_COUNTERS"]
 #: message (endpoint, demux, either substrate backend) reports these
 #: counter names from its ``drop_stats()`` so reports can merge them
 DROP_COUNTERS = ("recv_queue_drops", "no_buffer_drops", "unknown_tag_drops",
-                 "quarantine_drops", "stale_epoch_drops", "peer_dead_drops")
+                 "quarantine_drops", "stale_epoch_drops", "peer_dead_drops",
+                 "admission_rejected_drops")
 
 
 class EndpointConfig:
@@ -47,10 +48,17 @@ class EndpointConfig:
 class Endpoint:
     """One U-Net endpoint: buffer area + send/recv/free queues."""
 
-    def __init__(self, sim: Simulator, endpoint_id: int, config: EndpointConfig, owner: str = "") -> None:
+    def __init__(self, sim: Simulator, endpoint_id: int, config: EndpointConfig, owner: str = "",
+                 tenant: str = "", qos: str = "") -> None:
         self.sim = sim
         self.id = endpoint_id
         self.owner = owner
+        #: tenant identity for multi-tenant accounting (empty = untenanted);
+        #: every drop this endpoint counts is attributed to this tenant and
+        #: no other — the isolation invariant the soak suite pins
+        self.tenant = tenant
+        #: QoS class name (see :mod:`repro.core.tenancy`); empty = default
+        self.qos = qos
         self.config = config
         self.buffers = BufferArea(config.num_buffers, config.buffer_size)
         self.send_queue: BoundedRing[SendDescriptor] = BoundedRing(
@@ -89,6 +97,10 @@ class Endpoint:
         self.stale_epoch_drops = 0
         #: sends abandoned because the peer was declared dead
         self.peer_dead_drops = 0
+        #: always zero on an endpoint — admission rejection happens before
+        #: the endpoint exists, so the backend owns the live count; the key
+        #: is carried here so every ``drop_stats()`` speaks one vocabulary
+        self.admission_rejected_drops = 0
         #: set by the health layer (see :mod:`repro.core.health`): the
         #: NI/kernel sheds this endpoint's traffic at the demux step so a
         #: misbehaving process cannot consume service time that other
@@ -240,6 +252,8 @@ class Endpoint:
             self.stale_epoch_drops += 1
         elif kind == "peer_dead_drops":
             self.peer_dead_drops += 1
+        elif kind == "admission_rejected_drops":
+            self.admission_rejected_drops += 1
         else:
             raise ValueError(f"unknown drop class {kind!r}; expected one of {DROP_COUNTERS}")
         if self.observer is not None:
@@ -268,6 +282,7 @@ class Endpoint:
             "quarantine_drops": self.quarantine_drops,
             "stale_epoch_drops": self.stale_epoch_drops,
             "peer_dead_drops": self.peer_dead_drops,
+            "admission_rejected_drops": self.admission_rejected_drops,
         }
 
     def _wake_receivers(self) -> None:

@@ -11,6 +11,7 @@ __all__ = [
     "MessageTooLarge",
     "PeerUnavailableError",
     "StaleEpochError",
+    "AdmissionRejected",
 ]
 
 
@@ -54,6 +55,22 @@ class PeerUnavailableError(UNetError):
         super().__init__(message)
         self.peer = peer
         self.seq = seq
+
+
+class AdmissionRejected(EndpointError):
+    """Endpoint creation refused by admission control.
+
+    The host is at capacity for the requesting tenant's QoS class (or
+    the tenant hit its own endpoint quota).  Raised at creation time —
+    before any endpoint state exists — so the backend, not an endpoint,
+    owns the matching ``admission_rejected_drops`` counter."""
+
+    def __init__(self, message: str = "admission rejected", *,
+                 tenant: str = "", qos: str = "", reason: str = "") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.qos = qos
+        self.reason = reason
 
 
 class StaleEpochError(UNetError):

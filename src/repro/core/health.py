@@ -17,14 +17,23 @@ EWMAs, classifies the endpoint, and applies a containment policy:
   thresholds (hysteresis).  Drops become a transient, self-relieving
   condition instead of a service-time leak.
 * ``quarantine`` — as above, but latched: the endpoint stays shed until
-  :meth:`HealthMonitor.release` (an operator action), matching the
-  protection story — one misbehaving process must never degrade other
-  processes' endpoints.
+  :meth:`HealthMonitor.release` (an operator action) or until its peer
+  proves it restarted (:meth:`HealthMonitor.note_epoch_advance` — a new
+  incarnation is a new process, so the latch converts back into a live
+  evaluation instead of outliving the process that earned it).
 
 Shedding is implemented by the substrates themselves: both
 ``UNetFeBackend._rx_handler`` and ``UNetAtmBackend._rx_firmware`` check
 ``endpoint.quarantined`` right after the demux lookup and drop shed
 traffic before any buffer allocation, copy, or DMA work happens.
+
+Multi-tenant additions: :meth:`HealthMonitor.watch` accepts a
+per-endpoint :class:`HealthConfig` (QoS tiers carry different policies),
+:meth:`HealthMonitor.step` exposes one sampling pass so the live
+substrate — whose :class:`~repro.core.clock.ClockShim` cannot host a
+watchdog process — can drive the monitor from its polling loop
+(``manual=True``), and :meth:`HealthMonitor.quarantine` lets a cluster
+controller latch an endpoint directly (coordinated quarantine).
 """
 
 from __future__ import annotations
@@ -108,19 +117,25 @@ class EndpointHealth:
 
     __slots__ = (
         "endpoint",
+        "config",
         "state",
         "drop_ewma",
         "occupancy_ewma",
         "unhealthy_checks",
         "shed_at",
         "shed_episodes",
+        "shed_time_us",
         "recovered_at",
         "dead_peers",
         "_last_service_drops",
     )
 
-    def __init__(self, endpoint: Endpoint) -> None:
+    def __init__(self, endpoint: Endpoint,
+                 config: Optional[HealthConfig] = None) -> None:
         self.endpoint = endpoint
+        #: per-endpoint config override (None = the monitor's default);
+        #: QoS tiers watch with their own policies on one shared monitor
+        self.config = config
         self.state = STATE_HEALTHY
         self.drop_ewma = 0.0
         self.occupancy_ewma = 0.0
@@ -128,6 +143,9 @@ class EndpointHealth:
         #: sim time the endpoint was last shed (None if never)
         self.shed_at: Optional[float] = None
         self.shed_episodes = 0
+        #: total time spent shed/quarantined over completed episodes
+        #: (the SLO "quarantine time"; see :meth:`shed_time`)
+        self.shed_time_us = 0.0
         self.recovered_at: Optional[float] = None
         #: peer nodes the AM liveness detector has declared dead
         self.dead_peers: set = set()
@@ -142,6 +160,15 @@ class EndpointHealth:
         """
         return self.endpoint.receive_drops + self.endpoint.no_buffer_drops
 
+    @property
+    def is_shed(self) -> bool:
+        return self.state in (STATE_SHED, STATE_QUARANTINED)
+
+    def shed_time(self, now: float) -> float:
+        """Total shed/quarantine time including a still-open episode."""
+        open_episode = (now - self.shed_at) if self.is_shed and self.shed_at is not None else 0.0
+        return self.shed_time_us + open_episode
+
     def sample(self, alpha: float) -> None:
         drops = self._service_drops()
         delta = drops - self._last_service_drops
@@ -155,10 +182,13 @@ class EndpointHealth:
         stats.update(
             endpoint=self.endpoint.id,
             owner=self.endpoint.owner,
+            tenant=self.endpoint.tenant,
+            qos=self.endpoint.qos,
             state=self.state,
             drop_ewma=self.drop_ewma,
             occupancy_ewma=self.occupancy_ewma,
             shed_episodes=self.shed_episodes,
+            shed_time_us=self.shed_time_us,
             messages_received=self.endpoint.messages_received,
             dead_peers=sorted(self.dead_peers),
         )
@@ -166,32 +196,44 @@ class EndpointHealth:
 
 
 class HealthMonitor:
-    """Watchdog process applying one :class:`HealthConfig` to endpoints.
+    """Watchdog applying :class:`HealthConfig` policies to endpoints.
 
     One monitor typically serves one host (all endpoints of a backend),
     mirroring where the real mechanism would live — the kernel service
     routine or NI firmware.  Endpoints join via :meth:`watch`; the
     monitor process starts lazily with the first one.
+
+    With ``manual=True`` no simulation process is spawned: the owner
+    calls :meth:`step` from its own loop.  This is how the live
+    substrate runs the watchdog — its clock shim refuses to host
+    processes, and live endpoints are polled, never waited on.
     """
 
     def __init__(self, sim: Simulator, config: Optional[HealthConfig] = None,
-                 name: str = "health") -> None:
+                 name: str = "health", manual: bool = False) -> None:
         self.sim = sim
         self.config = config or HealthConfig()
         self.name = name
+        self.manual = manual
         self._records: Dict[int, EndpointHealth] = {}
         self._running = False
         self._stopped = False
 
     # ------------------------------------------------------------- lifecycle
-    def watch(self, endpoint: Endpoint) -> EndpointHealth:
-        """Start monitoring ``endpoint``; returns its health record."""
+    def watch(self, endpoint: Endpoint,
+              config: Optional[HealthConfig] = None) -> EndpointHealth:
+        """Start monitoring ``endpoint``; returns its health record.
+
+        ``config`` overrides the monitor default for this endpoint only
+        (QoS tiers carry different containment policies)."""
         record = self._records.get(endpoint.id)
         if record is not None and record.endpoint is endpoint:
+            if config is not None:
+                record.config = config
             return record
-        record = EndpointHealth(endpoint)
+        record = EndpointHealth(endpoint, config)
         self._records[endpoint.id] = record
-        if not self._running:
+        if not self._running and not self.manual:
             self._running = True
             self.sim.process(self._watchdog(), name=f"{self.name}.watchdog")
         return record
@@ -209,17 +251,69 @@ class HealthMonitor:
             return record
         return None
 
+    def records(self) -> List[EndpointHealth]:
+        """All health records, in endpoint-id order."""
+        return [self._records[key] for key in sorted(self._records)]
+
+    def _config_for(self, record: EndpointHealth) -> HealthConfig:
+        return record.config or self.config
+
+    def _close_shed_episode(self, record: EndpointHealth) -> None:
+        if record.shed_at is not None and record.is_shed:
+            record.shed_time_us += self.sim.now - record.shed_at
+
+    def _begin_shed(self, record: EndpointHealth, state: str) -> None:
+        record.state = state
+        record.endpoint.quarantined = True
+        record.shed_at = self.sim.now
+        record.shed_episodes += 1
+
     def release(self, endpoint: Endpoint) -> None:
         """Operator action: lift a quarantine (or shed) and start fresh."""
         record = self.health_of(endpoint)
         if record is None:
             return
+        self._close_shed_episode(record)
         endpoint.quarantined = False
         record.state = STATE_PEER_DEAD if record.dead_peers else STATE_HEALTHY
         record.unhealthy_checks = 0
         record.drop_ewma = 0.0
         record.occupancy_ewma = 0.0
         record.recovered_at = self.sim.now
+
+    def quarantine(self, endpoint: Endpoint) -> None:
+        """Latch ``endpoint`` shed directly (operator or cluster
+        controller action), regardless of its local EWMAs."""
+        record = self.health_of(endpoint) or self.watch(endpoint)
+        if record.state == STATE_QUARANTINED:
+            return
+        self._close_shed_episode(record)
+        self._begin_shed(record, STATE_QUARANTINED)
+
+    def note_epoch_advance(self, endpoint: Endpoint) -> bool:
+        """The endpoint's peer restarted with a new incarnation epoch.
+
+        A quarantine latch — or a shed verdict still decaying — earned
+        by a previous incarnation must not outlive the process that
+        earned it: convert it back into a live evaluation with fresh
+        EWMAs (returns True when a shed/latched state was lifted).  The
+        watchdog re-latches within ``min_unhealthy_checks`` periods if
+        the *new* incarnation still misbehaves — released or re-latched,
+        never stuck."""
+        record = self.health_of(endpoint)
+        if record is None:
+            return False
+        if record.is_shed:
+            self.release(endpoint)
+            return True
+        # not shed (yet): still wipe the dead incarnation's evaluation —
+        # EWMAs and consecutive-check counts are evidence against a
+        # process that no longer exists, and left in place they latch
+        # the new process within its first check period
+        record.unhealthy_checks = 0
+        record.drop_ewma = 0.0
+        record.occupancy_ewma = 0.0
+        return False
 
     # ------------------------------------------------------ peer liveness
     def report_peer_dead(self, endpoint: Endpoint, peer_node) -> None:
@@ -243,25 +337,33 @@ class HealthMonitor:
             record.state = STATE_HEALTHY
 
     # -------------------------------------------------------------- watchdog
+    def step(self) -> None:
+        """One sampling + classification pass over every record.
+
+        The simulated watchdog process calls this every
+        ``check_period_us``; a live owner calls it from its polling
+        loop (``manual=True``)."""
+        for record in list(self._records.values()):
+            record.sample(self._config_for(record).ewma_alpha)
+            self._classify(record)
+
     def _watchdog(self) -> Generator:
-        cfg = self.config
         while not self._stopped:
-            yield self.sim.timeout(cfg.check_period_us)
-            for record in list(self._records.values()):
-                record.sample(cfg.ewma_alpha)
-                self._classify(record)
+            yield self.sim.timeout(self.config.check_period_us)
+            self.step()
         self._running = False
 
     def _classify(self, record: EndpointHealth) -> None:
-        cfg = self.config
+        cfg = self._config_for(record)
         if record.state == STATE_QUARANTINED:
-            return  # latched: only release() exits
+            return  # latched: only release()/note_epoch_advance() exits
         overloaded = (record.drop_ewma >= cfg.drop_rate_high
                       or record.occupancy_ewma >= cfg.occupancy_high)
         baseline = STATE_PEER_DEAD if record.dead_peers else STATE_HEALTHY
         if record.state == STATE_SHED:
             if (record.drop_ewma <= cfg.drop_rate_low
                     and record.occupancy_ewma <= cfg.occupancy_low):
+                self._close_shed_episode(record)
                 record.endpoint.quarantined = False
                 record.state = baseline
                 record.unhealthy_checks = 0
@@ -278,15 +380,9 @@ class HealthMonitor:
         if cfg.policy == POLICY_DROP:
             record.state = STATE_OVERLOADED
         elif cfg.policy == POLICY_BACKPRESSURE:
-            record.state = STATE_SHED
-            record.endpoint.quarantined = True
-            record.shed_at = self.sim.now
-            record.shed_episodes += 1
+            self._begin_shed(record, STATE_SHED)
         else:  # POLICY_QUARANTINE
-            record.state = STATE_QUARANTINED
-            record.endpoint.quarantined = True
-            record.shed_at = self.sim.now
-            record.shed_episodes += 1
+            self._begin_shed(record, STATE_QUARANTINED)
 
     # ------------------------------------------------------------- reporting
     def report(self) -> List[dict]:

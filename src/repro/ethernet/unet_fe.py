@@ -23,7 +23,7 @@ from ..core.base import UNetBackend
 from ..core.channels import EthernetTag
 from ..core.descriptors import SMALL_MESSAGE_MAX, RecvDescriptor
 from ..core.endpoint import Endpoint
-from ..core.mux import DemuxTable
+from ..core.mux import ShardedDemux
 from ..hw.bus import PCI_BUS, BusModel
 from ..hw.cpu import CpuModel
 from ..hw.interrupts import InterruptController
@@ -115,7 +115,7 @@ class UNetFeBackend(UNetBackend):
         #: all controllers this kernel services (Beowulf-style bonding
         #: appends a second one; see ethernet.bonding)
         self.nics = [self.nic]
-        self.demux = DemuxTable(name=f"{name}.demux")
+        self.demux = ShardedDemux(name=f"{name}.demux")
         #: the host processor is one resource: traps and interrupt
         #: handlers serialize on it
         self.kernel_cpu = Resource(sim, capacity=1, name=f"{name}.cpu")

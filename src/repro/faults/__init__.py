@@ -6,10 +6,11 @@ supplies the adversary: perturbation models (:mod:`~repro.faults.perturb`)
 composed into pipelines attached to either substrate's delivery hook
 (:mod:`~repro.faults.inject`), endpoint-level faults — receivers that
 stall, lag, or leak, and senders that post garbage descriptors
-(:mod:`~repro.faults.receiver`) — and two soak harnesses that drive
+(:mod:`~repro.faults.receiver`) — and soak harnesses that drive
 traffic through named scenarios while checking delivery invariants:
-wire chaos (:mod:`~repro.faults.soak`) and service-capacity overload
-(:mod:`~repro.faults.overload`).
+wire chaos (:mod:`~repro.faults.soak`), service-capacity overload
+(:mod:`~repro.faults.overload`), and multi-tenant churn with QoS
+isolation (:mod:`~repro.faults.multitenant`).
 """
 
 from .inject import (
@@ -69,6 +70,16 @@ from .receiver import (
     SlowReceiver,
     StalledReceiver,
     forge_unknown_traffic,
+)
+from .multitenant import (
+    MULTITENANT_FORMAT,
+    MULTITENANT_SCENARIOS,
+    MultitenantResult,
+    MultitenantScenario,
+    render_multitenant_table,
+    run_multitenant,
+    validate_multitenant,
+    write_multitenant_report,
 )
 from .soak import (
     SCENARIOS,
@@ -140,4 +151,12 @@ __all__ = [
     "compare_credit",
     "render_overload_table",
     "render_endpoint_table",
+    "MultitenantScenario",
+    "MultitenantResult",
+    "MULTITENANT_SCENARIOS",
+    "MULTITENANT_FORMAT",
+    "run_multitenant",
+    "render_multitenant_table",
+    "validate_multitenant",
+    "write_multitenant_report",
 ]

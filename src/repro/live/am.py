@@ -198,6 +198,9 @@ class LiveAm:
         self._next_heartbeat = (
             self.clock.now_us() + self.config.heartbeat_us
             if self.config.recovery and self.config.heartbeat_us > 0 else None)
+        #: optional :class:`~repro.core.health.HealthMonitor` (manual
+        #: mode); same verdict feed as the simulated AM endpoint
+        self.health = None
 
     # ------------------------------------------------------------- set-up
     @property
@@ -222,6 +225,14 @@ class LiveAm:
 
     def shutdown(self) -> None:
         self._running = False
+
+    def attach_health(self, monitor) -> None:
+        """Feed liveness and incarnation verdicts into a (manual-mode)
+        :class:`~repro.core.health.HealthMonitor` — the same contract
+        :meth:`repro.am.am.AmEndpoint.attach_health` provides on the
+        simulated substrates."""
+        self.health = monitor
+        monitor.watch(self.user.endpoint)
 
     # ------------------------------------------------------ crash recovery
     @property
@@ -265,6 +276,10 @@ class LiveAm:
         self.epoch = (self.epoch + 1) % EPOCH_MOD
         self.restarts += 1
         self._crashed = False
+        if self.health is not None:
+            # local restart event: a quarantine latch earned by the dead
+            # incarnation converts back into a live evaluation
+            self.health.note_epoch_advance(self.user.endpoint)
         now = self.clock.now_us()
         for node, old in list(self._peers_by_node.items()):
             fresh = _LivePeer(old.node, old.channel, self.config.window, now)
@@ -302,6 +317,8 @@ class LiveAm:
         peer.alive = False
         self._observe("peer_dead", peer, reason=reason)
         self._abandon(peer, list(peer.unacked), reason)
+        if self.health is not None:
+            self.health.report_peer_dead(self.user.endpoint, peer.node)
 
     def _mark_alive(self, peer: _LivePeer) -> None:
         peer.last_heard = self.clock.now_us()
@@ -309,6 +326,8 @@ class LiveAm:
         if not peer.alive:
             peer.alive = True
             self._observe("peer_alive", peer)
+            if self.health is not None:
+                self.health.report_peer_alive(self.user.endpoint, peer.node)
 
     def _epoch_stale(self, claimed: Optional[int], current: int) -> bool:
         """Seam for the epoch fence; healthy = :func:`epoch_is_stale`."""
@@ -344,6 +363,10 @@ class LiveAm:
         peer.backoff = 0
         peer.remote_credit = None
         peer.remote_epoch = new_epoch
+        if self.health is not None:
+            # a fresh incarnation is talking: re-evaluate any latch the
+            # dead one earned (the watchdog re-latches if still bad)
+            self.health.note_epoch_advance(self.user.endpoint)
         self._observe("peer_restart", peer, epoch=new_epoch, horizon=horizon)
 
     def _check_incarnation(self) -> None:

@@ -36,8 +36,8 @@ from ..core.channels import lookup_channel, register_channel
 from ..core.clock import Clock, ClockShim
 from ..core.descriptors import RecvDescriptor, SendDescriptor, SMALL_MESSAGE_MAX
 from ..core.endpoint import Endpoint, EndpointConfig
-from ..core.errors import EndpointError, MessageTooLarge
-from ..core.mux import DemuxTable
+from ..core.errors import AdmissionRejected, EndpointError, MessageTooLarge
+from ..core.mux import ShardedDemux
 from .transport import LiveTransport
 
 __all__ = ["LiveTag", "LiveBackend", "LiveUserEndpoint", "LiveCluster",
@@ -88,7 +88,7 @@ class LiveBackend:
         self.endpoints: List[Endpoint] = []
         self._next_endpoint_id = 0
         self._next_port = 1
-        self.demux = DemuxTable(name=f"{node_name}.demux")
+        self.demux = ShardedDemux(name=f"{node_name}.demux")
         #: optional ingress fault stage (conformance schedules interpose
         #: here, at the framing layer): ``process(raw, now_us, emit)``
         self._ingress_stage = None
@@ -99,6 +99,10 @@ class LiveBackend:
         self.recv_queue_drops = 0
         self.no_buffer_drops = 0
         self.quarantine_drops = 0
+        self.admission_rejected_drops = 0
+        #: optional :class:`~repro.core.tenancy.AdmissionController`,
+        #: same contract as the simulated backends
+        self.admission = None
         self.closed = False
 
     # -- endpoint lifecycle ------------------------------------------------
@@ -107,16 +111,26 @@ class LiveBackend:
         return self._max_pdu
 
     def create_endpoint(self, config: Optional[EndpointConfig] = None,
-                        owner: str = "") -> Endpoint:
+                        owner: str = "", tenant: str = "", qos: str = "") -> Endpoint:
+        if self.admission is not None:
+            from ..core.tenancy import qos_class
+            try:
+                self.admission.admit(tenant, qos_class(qos))
+            except AdmissionRejected:
+                self.admission_rejected_drops += 1
+                raise
         endpoint = Endpoint(self.sim, self._next_endpoint_id,
-                            config or EndpointConfig(), owner=owner)
+                            config or EndpointConfig(), owner=owner,
+                            tenant=tenant, qos=qos)
         self._next_endpoint_id += 1
         self.endpoints.append(endpoint)
         return endpoint
 
     def create_user_endpoint(self, config: Optional[EndpointConfig] = None,
-                             rx_buffers: int = 32, owner: str = "") -> "LiveUserEndpoint":
-        endpoint = self.create_endpoint(config, owner=owner or self.node_name)
+                             rx_buffers: int = 32, owner: str = "",
+                             tenant: str = "", qos: str = "") -> "LiveUserEndpoint":
+        endpoint = self.create_endpoint(config, owner=owner or self.node_name,
+                                        tenant=tenant, qos=qos)
         user = LiveUserEndpoint(self, endpoint)
         user.donate_rx_buffers(rx_buffers)
         return user
@@ -129,6 +143,8 @@ class LiveBackend:
                 f"endpoint {endpoint.id} does not belong to {self.node_name}")
         self.endpoints.remove(endpoint)
         self.demux.unregister_endpoint(endpoint)
+        if self.admission is not None:
+            self.admission.release(endpoint.tenant)
 
     def allocate_port(self) -> int:
         port = self._next_port
@@ -263,6 +279,7 @@ class LiveBackend:
             "quarantine_drops": self.quarantine_drops,
             "stale_epoch_drops": sum(ep.stale_epoch_drops for ep in self.endpoints),
             "peer_dead_drops": sum(ep.peer_dead_drops for ep in self.endpoints),
+            "admission_rejected_drops": self.admission_rejected_drops,
         }
 
     def close(self) -> None:
