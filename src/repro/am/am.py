@@ -24,6 +24,18 @@ over U-Net" (Section 5).  This module provides exactly that layer:
   its senders instead of silently shedding their packets, which is the
   backpressure half of the overload-containment story (the other half,
   quarantine, lives in :mod:`repro.core.health`).
+* **selective acknowledgment** (opt-in, ``AmConfig.ack_mode="sack"``) —
+  every packet the receiver sends back carries a SACK bitmap over its
+  bounded reorder buffer; the sender keeps a scoreboard and retransmits
+  only the *holes* (Karn-safe: selective retransmissions are never RTT
+  sampled), so one lost packet under bursty loss costs one retransmit
+  instead of a serial chain of go-back-N timeouts.  Dispatch order is
+  still sequence order — the reorder buffer never releases early.
+* **ECN-style congestion signaling** (opt-in,
+  ``AmConfig.congestion="ecn"``) — a congested queue marks packets
+  (congestion experienced) instead of dropping them; the receiver
+  echoes marks back and the sender halves its AIMD window at most once
+  per round trip (RFC-3168 shape), backing off *before* loss.
 """
 
 from __future__ import annotations
@@ -33,13 +45,15 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from ..core.api import UserEndpoint
-from ..core.errors import PeerUnavailableError, StaleEpochError
+from ..core.errors import ConfigError, PeerUnavailableError, StaleEpochError
 from ..sim import Event, Resource, Simulator
 from .protocol import (
     CREDIT_SIZE,
     EPOCH_MOD,
     EPOCH_SIZE,
     HEADER_SIZE,
+    SACK_BITMAP_BITS,
+    SACK_SIZE,
     SEQ_MOD,
     TYPE_ACK,
     TYPE_HELLO,
@@ -56,10 +70,14 @@ from .spec import (
     ack_epoch_applies,
     credit_gate_blocks,
     cumulative_acked,
+    ecn_backoff_allowed,
     effective_epoch,
     epoch_advances,
     epoch_is_stale,
     reconnect_plan,
+    reorder_admit,
+    sack_block,
+    sack_retransmit_plan,
 )
 
 __all__ = ["AmConfig", "AmEndpoint", "RequestContext", "AmError"]
@@ -144,6 +162,23 @@ class AmConfig:
     #: declare a peer dead after this many silent heartbeat periods
     heartbeat_misses: int = 4
 
+    # -- loss-resilient transport (off by default: the classic wire -------
+    # -- bytes and go-back-N recovery are untouched) -----------------------
+    #: acknowledgment scheme: ``"gbn"`` (classic cumulative-only
+    #: go-back-N) or ``"sack"`` (cumulative ack + bitmap over the
+    #: receive horizon, receiver-side reorder buffer, sender scoreboard
+    #: with selective retransmit of holes only)
+    ack_mode: str = "gbn"
+    #: SACK receive horizon: how far past the cumulative ack the
+    #: receiver promises to buffer out-of-order arrivals.  Bounded by
+    #: the 32-bit wire bitmap; the window may never exceed it.
+    sack_horizon: int = 32
+    #: congestion signal: ``"loss"`` (classic: timeouts shrink the AIMD
+    #: window) or ``"ecn"`` (queues mark packets instead of dropping,
+    #: receivers echo marks, senders back off before loss; requires
+    #: ``adaptive_window``)
+    congestion: str = "loss"
+
     @classmethod
     def adaptive(cls, **overrides) -> "AmConfig":
         """The full adaptive stack: estimated RTO + AIMD + fast retransmit."""
@@ -153,34 +188,79 @@ class AmConfig:
         return cls(**overrides)
 
     def __post_init__(self) -> None:
+        # Everything is rejected here, at construction, with a typed
+        # ConfigError (a UNetError *and* a ValueError) — a bad knob or
+        # an incoherent mode combination must not surface as a hang or
+        # an assertion deep in the send path.
         if not 0 < self.window < SEQ_MOD // 2:
-            raise ValueError("window must be positive and below half the sequence space")
+            raise ConfigError("window must be positive and below half the sequence space",
+                              knob="window")
         for knob in ("retransmit_timeout_us", "ack_delay_us", "dispatch_overhead_us"):
             value = getattr(self, knob)
             if not value > 0:
-                raise ValueError(f"{knob} must be positive, got {value!r}")
+                raise ConfigError(f"{knob} must be positive, got {value!r}", knob=knob)
         if not 0 < self.rto_min_us <= self.rto_max_us:
-            raise ValueError("need 0 < rto_min_us <= rto_max_us")
+            raise ConfigError("need 0 < rto_min_us <= rto_max_us", knob="rto_min_us")
         if self.backoff_factor < 1.0:
-            raise ValueError("backoff_factor must be >= 1")
+            raise ConfigError("backoff_factor must be >= 1", knob="backoff_factor")
         if self.backoff_jitter < 0.0:
-            raise ValueError("backoff_jitter must be >= 0")
+            raise ConfigError("backoff_jitter must be >= 0", knob="backoff_jitter")
         if not 0 < self.min_window <= self.window:
-            raise ValueError("need 0 < min_window <= window")
+            raise ConfigError("need 0 < min_window <= window", knob="min_window")
         if self.dup_ack_threshold < 1:
-            raise ValueError("dup_ack_threshold must be >= 1")
+            raise ConfigError("dup_ack_threshold must be >= 1", knob="dup_ack_threshold")
         if not self.credit_update_us > 0:
-            raise ValueError("credit_update_us must be positive")
+            raise ConfigError("credit_update_us must be positive", knob="credit_update_us")
         if not 0 <= self.epoch < EPOCH_MOD:
-            raise ValueError(f"epoch must be in [0, {EPOCH_MOD}), got {self.epoch!r}")
+            raise ConfigError(f"epoch must be in [0, {EPOCH_MOD}), got {self.epoch!r}",
+                              knob="epoch")
         if self.dead_after_timeouts < 1:
-            raise ValueError("dead_after_timeouts must be >= 1")
+            raise ConfigError("dead_after_timeouts must be >= 1", knob="dead_after_timeouts")
         if not self.hello_retry_us > 0:
-            raise ValueError("hello_retry_us must be positive")
+            raise ConfigError("hello_retry_us must be positive", knob="hello_retry_us")
         if self.heartbeat_us < 0:
-            raise ValueError("heartbeat_us must be >= 0 (0 disables)")
+            raise ConfigError("heartbeat_us must be >= 0 (0 disables)", knob="heartbeat_us")
         if self.heartbeat_misses < 1:
-            raise ValueError("heartbeat_misses must be >= 1")
+            raise ConfigError("heartbeat_misses must be >= 1", knob="heartbeat_misses")
+        if self.ack_mode not in ("gbn", "sack"):
+            raise ConfigError(f"ack_mode must be 'gbn' or 'sack', got {self.ack_mode!r}",
+                              knob="ack_mode")
+        if self.congestion not in ("loss", "ecn"):
+            raise ConfigError(f"congestion must be 'loss' or 'ecn', got {self.congestion!r}",
+                              knob="congestion")
+        if not 1 <= self.sack_horizon <= SACK_BITMAP_BITS:
+            raise ConfigError(
+                f"sack_horizon must be in [1, {SACK_BITMAP_BITS}] (the wire bitmap "
+                f"width), got {self.sack_horizon!r}", knob="sack_horizon")
+        if self.ack_mode == "sack":
+            if self.window > self.sack_horizon:
+                raise ConfigError(
+                    "window must not exceed sack_horizon: the receiver only "
+                    "promises to buffer one horizon of reordering", knob="window")
+            if self.fast_retransmit:
+                raise ConfigError(
+                    "fast_retransmit is the go-back-N dup-ack heuristic; the "
+                    "SACK scoreboard subsumes it", knob="fast_retransmit")
+            if self.ooo_buffering:
+                raise ConfigError(
+                    "ooo_buffering is the go-back-N reorder option; "
+                    "ack_mode='sack' brings its own bounded reorder buffer",
+                    knob="ooo_buffering")
+            if self.recovery:
+                raise ConfigError(
+                    "recovery with ack_mode='sack' is not supported: the "
+                    "reconnect contract is defined over a cumulative-ack "
+                    "horizon only", knob="recovery")
+        if self.congestion == "ecn":
+            if not self.adaptive_window:
+                raise ConfigError(
+                    "congestion='ecn' requires adaptive_window: a mark echo "
+                    "has no window to shrink otherwise", knob="congestion")
+            if self.credit_flow:
+                raise ConfigError(
+                    "credit_flow and congestion='ecn' are two backpressure "
+                    "signals fighting over one send window; pick one",
+                    knob="credit_flow")
 
 
 class _PeerState:
@@ -215,6 +295,15 @@ class _PeerState:
         "timeouts",
         "fast_retransmits",
         "rtt_samples",
+        # -- selective acknowledgment --
+        "sacked",
+        "sack_rexmitted",
+        # -- ECN-style congestion signaling --
+        "pending_echoes",
+        "ecn_round_end",
+        "ecn_marks",
+        "ecn_echoes",
+        "ecn_backoffs",
         # -- receiver-credit backpressure --
         "remote_credit",
         "credit_waiters",
@@ -272,6 +361,19 @@ class _PeerState:
         self.timeouts = 0
         self.fast_retransmits = 0
         self.rtt_samples = 0
+        #: outstanding seqs a SACK block reported the receiver holds
+        self.sacked: Set[int] = set()
+        #: holes already selectively retransmitted this round (cleared
+        #: on RTO so persistent loss gets another selective pass)
+        self.sack_rexmitted: Set[int] = set()
+        #: congestion marks accepted but not yet echoed to the peer
+        self.pending_echoes = 0
+        #: window edge recorded at the last ECN backoff; echoes are
+        #: ignored until the cumulative ack reaches it (one per round)
+        self.ecn_round_end: Optional[int] = None
+        self.ecn_marks = 0
+        self.ecn_echoes = 0
+        self.ecn_backoffs = 0
         #: peer's latest receive-capacity advertisement (None = none yet,
         #: treated as unlimited so start-up cannot deadlock)
         self.remote_credit: Optional[int] = None
@@ -348,7 +450,8 @@ class AmEndpoint:
         self.requests_delivered = 0
         #: optional observable-event hook ``observer(kind, fields)``.
         #: Kinds: grant, credit_stall, tx, rexmit, timeout, dispatch,
-        #: reply, dup_rx.  Every ``fields`` dict carries ``node`` (this
+        #: reply, dup_rx, ecn_mark, ecn_echo, ecn_backoff.  Every
+        #: ``fields`` dict carries ``node`` (this
         #: endpoint), ``peer`` and ``t`` (sim time); the conformance
         #: checker consumes these to diff substrates against the
         #: reference model without reaching into private state.
@@ -376,7 +479,8 @@ class AmEndpoint:
         """Largest data block one packet can carry on this substrate."""
         overhead = (HEADER_SIZE
                     + (CREDIT_SIZE if self.config.credit_flow else 0)
-                    + (EPOCH_SIZE if self.config.recovery else 0))
+                    + (EPOCH_SIZE if self.config.recovery else 0)
+                    + (SACK_SIZE if self.config.ack_mode == "sack" else 0))
         return self.user.host.backend.max_pdu - overhead
 
     def connect_peer(self, node_id: int, channel_id: int) -> None:
@@ -535,6 +639,32 @@ class AmEndpoint:
         ``replay-horizon`` injected bug arranges."""
         return reconnect_plan(peer.unacked, horizon, restarted)
 
+    def _sack_block(self, peer: _PeerState) -> int:
+        """The SACK bitmap this receiver advertises to ``peer``;
+        healthy = :func:`repro.am.spec.sack_block` over the reorder
+        buffer."""
+        return sack_block(peer.expected_seq, peer.ooo_held,
+                          self.config.sack_horizon)
+
+    def _sack_plan(self, outstanding, ack: int, bits: int):
+        """Seam for scoreboard interpretation of a SACK block; healthy =
+        :func:`repro.am.spec.sack_retransmit_plan` (bit *i* acknowledges
+        ``ack + 1 + i``).  The ``sack-bitmap-shift`` injected bug reads
+        bit *i* as ``ack + i`` instead, silently marking the receiver's
+        actual hole as delivered."""
+        return sack_retransmit_plan(outstanding, ack, bits)
+
+    def _ecn_echo(self, peer: _PeerState) -> bool:
+        """Seam for the congestion-mark echo; healthy: drain one pending
+        echo onto this outbound packet.  The ``ecn-echo-drop`` injected
+        bug swallows the echo, so senders never learn to back off."""
+        if peer.pending_echoes <= 0:
+            return False
+        peer.pending_echoes -= 1
+        peer.ecn_echoes += 1
+        self._observe("ecn_echo", peer, pending=peer.pending_echoes)
+        return True
+
     def _peer_restarted(self, peer: _PeerState, new_epoch: int,
                         horizon: int) -> None:
         """The peer came back as incarnation ``new_epoch``: apply the
@@ -562,6 +692,10 @@ class AmEndpoint:
         peer.fast_done_seq = None
         peer.backoff = 0
         peer.remote_credit = None
+        peer.pending_echoes = 0
+        peer.ecn_round_end = None
+        peer.sacked.clear()
+        peer.sack_rexmitted.clear()
         peer.remote_epoch = new_epoch
         # abandoning the old window freed send slots (and forgot the old
         # credit picture): wake blocked senders, or a window-full sender
@@ -630,6 +764,11 @@ class AmEndpoint:
                 "duplicates": p.duplicates,
                 "credit_stalls": p.credit_stalls,
                 "rtt_samples": p.rtt_samples,
+                "sacked": len(p.sacked),
+                "ooo_held": len(p.ooo_held),
+                "ecn_marks": p.ecn_marks,
+                "ecn_echoes": p.ecn_echoes,
+                "ecn_backoffs": p.ecn_backoffs,
                 "srtt_us": p.srtt,
                 "epoch": self.epoch,
                 "remote_epoch": p.remote_epoch,
@@ -717,6 +856,11 @@ class AmEndpoint:
             advertised = self._local_credit()
             packet.credit = advertised
             peer.last_advertised = advertised
+        if self.config.ack_mode == "sack":
+            # every packet reports the reorder buffer next to its ack
+            packet.sack_bits = self._sack_block(peer)
+        if self.config.congestion == "ecn":
+            packet.ece = self._ecn_echo(peer)
         peer.pending_ack = False
         peer.deliveries_since_ack = 0
         if track:
@@ -836,6 +980,11 @@ class AmEndpoint:
                 continue  # fenced: a dead incarnation's traffic
             if ack_epoch_applies(packet.epoch, peer.remote_epoch):
                 self._process_ack(peer, packet.ack)
+                if (self.config.ack_mode == "sack"
+                        and packet.sack_bits is not None):
+                    self._process_sack(peer, packet.ack, packet.sack_bits)
+                if self.config.congestion == "ecn" and packet.ece:
+                    self._ecn_backoff(peer, packet.ack)
             if packet.credit is not None and self.config.credit_flow:
                 self._process_credit(peer, packet.credit)
             if packet.type == TYPE_HELLO:
@@ -856,19 +1005,33 @@ class AmEndpoint:
             if packet.type == TYPE_ACK:
                 continue
             if packet.seq != peer.expected_seq:
-                in_window = seq_lt(peer.expected_seq, packet.seq) and (
-                    (packet.seq - peer.expected_seq) % SEQ_MOD <= self.config.window * 2
-                )
-                if self.config.ooo_buffering and in_window:
-                    # hold the future packet; deliver once the hole fills
-                    peer.ooo_held.setdefault(packet.seq, packet)
+                if self.config.ack_mode == "sack":
+                    verdict = reorder_admit(peer.expected_seq, packet.seq,
+                                            self.config.sack_horizon)
+                    if verdict == "hold" and packet.seq not in peer.ooo_held:
+                        # buffer within the promised horizon; the SACK
+                        # block on the ack we send next reports it
+                        peer.ooo_held[packet.seq] = packet
+                        self._note_ce(peer, packet)
+                    else:
+                        peer.duplicates += 1
+                        self._observe("dup_rx", peer, seq=packet.seq,
+                                      expected=peer.expected_seq)
                 else:
-                    # go-back-N: duplicates and holes both trigger a re-ack
-                    peer.duplicates += 1
-                    self._observe("dup_rx", peer, seq=packet.seq,
-                                  expected=peer.expected_seq)
+                    in_window = seq_lt(peer.expected_seq, packet.seq) and (
+                        (packet.seq - peer.expected_seq) % SEQ_MOD <= self.config.window * 2
+                    )
+                    if self.config.ooo_buffering and in_window:
+                        # hold the future packet; deliver once the hole fills
+                        peer.ooo_held.setdefault(packet.seq, packet)
+                    else:
+                        # go-back-N: duplicates and holes both trigger a re-ack
+                        peer.duplicates += 1
+                        self._observe("dup_rx", peer, seq=packet.seq,
+                                      expected=peer.expected_seq)
                 self._note_delivery(peer, out_of_order=True)
                 continue
+            self._note_ce(peer, packet)
             yield from self._deliver_in_order(peer, packet)
             # drain any buffered successors the packet unblocked
             while peer.ooo_held:
@@ -967,10 +1130,50 @@ class AmEndpoint:
                             peer.cwnd + len(acked) / max(peer.cwnd, 1.0))
         for seq in acked:
             del peer.unacked[seq]
+            peer.sacked.discard(seq)
+            peer.sack_rexmitted.discard(seq)
         peer.last_progress = self.sim.now
         peer.starved_timeouts = 0  # forward progress: not a corpse
         while peer.window_waiters and len(peer.unacked) < self._effective_window(peer):
             peer.window_waiters.pop(0).succeed()
+
+    def _process_sack(self, peer: _PeerState, ack: int, bits: int) -> None:
+        """Scoreboard update: record what the receiver holds, then
+        selectively retransmit the holes below the highest SACKed
+        sequence number — each hole once per round, without waiting for
+        an RTO.  SACKed packets stay in ``unacked`` (only the cumulative
+        ack retires them), which keeps the send window, and therefore
+        the receiver's reorder buffer, bounded."""
+        sacked, holes = self._sack_plan(peer.unacked, ack, bits)
+        for seq in sacked:
+            peer.sacked.add(seq)
+        for seq in holes:
+            if seq in peer.sack_rexmitted or seq in peer.sacked:
+                continue
+            peer.sack_rexmitted.add(seq)
+            self.sim.process(self._retransmit_seq(peer, seq),
+                             name=f"am{self.node}.sackrx")
+
+    def _note_ce(self, peer: _PeerState, packet: Packet) -> None:
+        """Account an accepted data packet's congestion mark: it will be
+        echoed on the next outbound packets to the peer, one echo per
+        mark (duplicates are never counted — their first copy was)."""
+        if self.config.congestion != "ecn" or not packet.ce:
+            return
+        peer.ecn_marks += 1
+        peer.pending_echoes += 1
+        self._observe("ecn_mark", peer, seq=packet.seq)
+
+    def _ecn_backoff(self, peer: _PeerState, ack: int) -> None:
+        """A congestion echo arrived: halve the AIMD window, at most
+        once per round trip (:func:`repro.am.spec.ecn_backoff_allowed`),
+        backing off *before* the queue overflows into loss."""
+        if not ecn_backoff_allowed(ack, peer.ecn_round_end):
+            return
+        peer.ecn_round_end = peer.next_seq
+        peer.ecn_backoffs += 1
+        peer.cwnd = max(float(self.config.min_window), peer.cwnd / 2.0)
+        self._observe("ecn_backoff", peer, cwnd=peer.cwnd)
 
     def _process_credit(self, peer: _PeerState, advertised: int) -> None:
         """Absorb an absolute credit advertisement from ``peer``.
@@ -1010,10 +1213,13 @@ class AmEndpoint:
 
     def _note_delivery(self, peer: _PeerState, out_of_order: bool = False) -> None:
         peer.deliveries_since_ack += 1
-        if out_of_order and self.config.fast_retransmit:
-            # ack holes immediately (RFC 5681 style) so the sender's
-            # duplicate-ack counter can cross its threshold before the
-            # arrival stream dries up
+        if out_of_order and (self.config.fast_retransmit
+                             or self.config.ack_mode == "sack"):
+            # ack holes immediately: for fast retransmit (RFC 5681
+            # style) so the sender's duplicate-ack counter can cross its
+            # threshold before the arrival stream dries up; for SACK so
+            # the bitmap reporting the hole reaches the scoreboard while
+            # selective retransmit can still beat the RTO
             self.sim.process(self._send_ack(peer), name=f"am{self.node}.dupack")
             return
         if peer.deliveries_since_ack >= self.config.ack_every:
@@ -1073,17 +1279,47 @@ class AmEndpoint:
                             peer, f"ack-starved for "
                                   f"{peer.starved_timeouts} timeouts")
                         break
+                # a timeout opens a new selective-retransmit round: the
+                # next SACK block may re-trigger holes the last round's
+                # retransmissions failed to fill
+                peer.sack_rexmitted.clear()
                 yield from self._retransmit_head(peer)
         peer.timer_running = False
+
+    def _restamp(self, peer: _PeerState, packet: Packet) -> None:
+        """Refresh the piggybacked fields on a retransmission: the
+        cumulative ack, epoch pair, credit advertisement, SACK block and
+        congestion echo all describe *now*, not first-transmission time."""
+        packet.ack = peer.expected_seq
+        if self.config.recovery:
+            # re-stamp: the peer may have restarted since first
+            # transmission (replay happens only under bug injection)
+            packet.epoch = self.epoch
+            packet.peer_epoch = peer.remote_epoch
+        if self.config.credit_flow:
+            packet.credit = self._local_credit()
+            peer.last_advertised = packet.credit
+        if self.config.ack_mode == "sack":
+            packet.sack_bits = self._sack_block(peer)
+        if self.config.congestion == "ecn":
+            packet.ece = self._ecn_echo(peer)
 
     def _retransmit_head(self, peer: _PeerState) -> Generator:
         # retransmit only the head of the window (as TCP does):
         # resending the whole window both floods a congested
         # medium and can phase-lock with periodic loss patterns;
-        # once the head is acked the rest follow
+        # once the head is acked the rest follow.  Under SACK the
+        # "head" is the first *unSACKed* packet — resending something
+        # the receiver already holds buys nothing (when everything
+        # outstanding is SACKed, the plain head goes anyway: the
+        # cumulative ack reporting it may itself have been lost, and
+        # liveness beats elegance).
         yield peer.tx_lock.acquire()
         try:
-            head_seq = next(iter(peer.unacked), None)
+            head_seq = next((s for s in peer.unacked if s not in peer.sacked),
+                            None)
+            if head_seq is None:
+                head_seq = next(iter(peer.unacked), None)
             if head_seq is None:
                 return
             head = peer.unacked[head_seq]
@@ -1091,15 +1327,25 @@ class AmEndpoint:
             self._observe("rexmit", peer, seq=head_seq)
             peer.rexmit_seqs.add(head_seq)
             peer.last_progress = self.sim.now
-            head.ack = peer.expected_seq
-            if self.config.recovery:
-                # re-stamp: the peer may have restarted since first
-                # transmission (replay happens only under bug injection)
-                head.epoch = self.epoch
-                head.peer_epoch = peer.remote_epoch
-            if self.config.credit_flow:
-                head.credit = self._local_credit()
-                peer.last_advertised = head.credit
+            self._restamp(peer, head)
             yield from self.user.send(peer.channel, encode(head))
+        finally:
+            peer.tx_lock.release()
+
+    def _retransmit_seq(self, peer: _PeerState, seq: int) -> Generator:
+        """Selective retransmit of one scoreboard hole (SACK mode).
+        Karn-safe: the seq joins ``rexmit_seqs`` so its eventual ack is
+        never RTT sampled."""
+        yield peer.tx_lock.acquire()
+        try:
+            packet = peer.unacked.get(seq)
+            if packet is None or seq in peer.sacked:
+                return  # retired or reported delivered while we queued
+            peer.retransmissions += 1
+            self._observe("rexmit", peer, seq=seq, selective=1)
+            peer.rexmit_seqs.add(seq)
+            peer.last_progress = self.sim.now
+            self._restamp(peer, packet)
+            yield from self.user.send(peer.channel, encode(packet))
         finally:
             peer.tx_lock.release()

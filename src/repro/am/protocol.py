@@ -28,6 +28,21 @@ packet types, :data:`TYPE_HELLO` and :data:`TYPE_HELLO_ACK`, let a
 restarted endpoint re-establish a channel: both carry the epoch pair
 plus the sender's receive horizon (the next sequence number it will
 accept) in the ``ack`` field.
+
+The selective-acknowledgment extension (``AmConfig.ack_mode="sack"``)
+rides a third flag bit: a five-byte versioned SACK block (one version
+byte, then a 32-bit bitmap) after the epoch field.  Bit *i* of the
+bitmap reports that the receiver holds sequence number ``ack + 1 + i``
+out of order — the cumulative ``ack`` field stays authoritative for
+everything below it, so a receiver that never reorders emits an empty
+bitmap and the protocol degenerates to the classic cumulative scheme.
+
+The ECN-style congestion extension (``AmConfig.congestion="ecn"``)
+uses the last two flag bits and carries no body bytes at all:
+:data:`ECN_CE_FLAG` is *congestion experienced*, set in flight by a
+congested queue via :func:`mark_ce` (no re-encode needed — the bit
+lives in the first byte); :data:`ECN_ECHO_FLAG` is the receiver's echo
+of a mark back to the sender, which backs off before loss occurs.
 """
 
 from __future__ import annotations
@@ -48,6 +63,13 @@ __all__ = [
     "EPOCH_SIZE",
     "EPOCH_MOD",
     "epoch_newer",
+    "SACK_FLAG",
+    "SACK_SIZE",
+    "SACK_VERSION",
+    "SACK_BITMAP_BITS",
+    "ECN_CE_FLAG",
+    "ECN_ECHO_FLAG",
+    "mark_ce",
     "TYPE_REQUEST",
     "TYPE_REPLY",
     "TYPE_ACK",
@@ -86,7 +108,24 @@ EPOCH_SIZE = struct.calcsize("!HH")
 #: 16-bit epoch space; compared circularly like sequence numbers
 EPOCH_MOD = 1 << 16
 
-_FLAG_MASK = CREDIT_FLAG | EPOCH_FLAG
+#: type-byte flag: a five-byte versioned SACK block follows the header
+#: (after credit and epoch when present): one version byte, then a
+#: 32-bit bitmap whose bit *i* acknowledges ``ack + 1 + i``
+SACK_FLAG = 0x20
+SACK_SIZE = struct.calcsize("!BI")
+#: current SACK block wire version; decoders reject anything else
+SACK_VERSION = 1
+#: width of the SACK bitmap — the largest expressible receive horizon
+SACK_BITMAP_BITS = 32
+
+#: type-byte flag: congestion experienced.  Set *in flight* by a
+#: congested queue (see :func:`mark_ce`); carries no body bytes.
+ECN_CE_FLAG = 0x10
+#: type-byte flag: receiver's echo of a congestion mark back to the
+#: sender; carries no body bytes
+ECN_ECHO_FLAG = 0x08
+
+_FLAG_MASK = CREDIT_FLAG | EPOCH_FLAG | SACK_FLAG | ECN_CE_FLAG | ECN_ECHO_FLAG
 
 #: 16-bit sequence space; windows must stay below half of it
 SEQ_MOD = 1 << 16
@@ -143,6 +182,13 @@ class Packet:
     #: it ("this packet is addressed to incarnation E"); only on the
     #: wire when ``epoch`` is, as the second half of the epoch field
     peer_epoch: Optional[int] = None
+    #: SACK bitmap over the receive horizon (bit i acknowledges
+    #: ``ack + 1 + i``); None = no SACK block on the wire
+    sack_bits: Optional[int] = None
+    #: congestion experienced: set in flight by a congested queue
+    ce: bool = False
+    #: echo of a congestion mark from receiver back to sender
+    ece: bool = False
 
     def __post_init__(self) -> None:
         if len(self.args) != 4:
@@ -174,6 +220,14 @@ def encode(packet: Packet) -> bytes:
     >>> both = decode(encode(Packet(type=TYPE_REQUEST, credit=7, epoch=1)))
     >>> (both.credit, both.epoch, both.peer_epoch)
     (7, 1, 0)
+
+    A SACK block costs five bytes; the ECN bits cost nothing:
+
+    >>> s = decode(encode(Packet(type=TYPE_ACK, ack=4, sack_bits=0b101, ece=True)))
+    >>> (s.ack, s.sack_bits, s.ce, s.ece)
+    (4, 5, False, True)
+    >>> len(encode(Packet(type=TYPE_ACK, sack_bits=0))) - len(encode(Packet(type=TYPE_ACK)))
+    5
     """
     wire_type = packet.type
     credit = b""
@@ -185,6 +239,14 @@ def encode(packet: Packet) -> bytes:
         wire_type |= EPOCH_FLAG
         epoch = struct.pack("!HH", packet.epoch % EPOCH_MOD,
                             (packet.peer_epoch or 0) % EPOCH_MOD)
+    sack = b""
+    if packet.sack_bits is not None:
+        wire_type |= SACK_FLAG
+        sack = struct.pack("!BI", SACK_VERSION, packet.sack_bits & 0xFFFFFFFF)
+    if packet.ce:
+        wire_type |= ECN_CE_FLAG
+    if packet.ece:
+        wire_type |= ECN_ECHO_FLAG
     header = struct.pack(
         _HEADER_FMT,
         wire_type,
@@ -195,7 +257,26 @@ def encode(packet: Packet) -> bytes:
         *(a & 0xFFFFFFFF for a in packet.args),
         len(packet.data),
     )
-    return header + credit + epoch + packet.data
+    return header + credit + epoch + sack + packet.data
+
+
+def mark_ce(raw: bytes) -> bytes:
+    """Set the congestion-experienced bit on an encoded wire message.
+
+    The CE flag lives in the first byte, so a congested queue can mark
+    a message in flight without decoding it.  (On the ATM substrate the
+    AAL5 CRC covers the payload, so the marker there must re-segment —
+    see ``repro.faults``; frames and datagrams can be marked in place.)
+
+    >>> raw = encode(Packet(type=TYPE_REQUEST, seq=9))
+    >>> decode(mark_ce(raw)).ce
+    True
+    >>> peek_type_seq(mark_ce(raw)) == peek_type_seq(raw)
+    True
+    """
+    if not raw:
+        raise ValueError("cannot CE-mark an empty message")
+    return bytes([raw[0] | ECN_CE_FLAG]) + raw[1:]
 
 
 def peek_type_seq(raw: bytes) -> Optional[Tuple[int, int]]:
@@ -234,10 +315,21 @@ def decode(raw: bytes) -> Packet:
             raise ValueError("AM packet epoch field truncated")
         epoch, peer_epoch = struct.unpack("!HH", raw[offset : offset + EPOCH_SIZE])
         offset += EPOCH_SIZE
+    sack_bits: Optional[int] = None
+    if ptype & SACK_FLAG:
+        if len(raw) < offset + SACK_SIZE:
+            raise ValueError("AM packet SACK block truncated")
+        version, sack_bits = struct.unpack("!BI", raw[offset : offset + SACK_SIZE])
+        if version != SACK_VERSION:
+            raise ValueError(f"unknown SACK block version {version}")
+        offset += SACK_SIZE
+    ce = bool(ptype & ECN_CE_FLAG)
+    ece = bool(ptype & ECN_ECHO_FLAG)
     ptype &= ~_FLAG_MASK
     data = raw[offset : offset + dlen]
     if len(data) != dlen:
         raise ValueError("AM packet data truncated")
     return Packet(type=ptype, handler=handler, seq=seq, ack=ack, req_seq=req_seq,
                   args=(a0, a1, a2, a3), data=data, credit=credit,
-                  epoch=epoch, peer_epoch=peer_epoch)
+                  epoch=epoch, peer_epoch=peer_epoch,
+                  sack_bits=sack_bits, ce=ce, ece=ece)

@@ -23,7 +23,20 @@ here, once, and both endpoints call them:
   in-flight send not already covered by the peer's advertised receive
   horizon is *abandoned*, never replayed — replaying a message that may
   have been dispatched just before the crash would violate the
-  at-most-once contract.
+  at-most-once contract;
+* the **reorder admission rule**: in SACK mode a receiver holds an
+  out-of-order packet only within its bounded horizon and never
+  dispatches it early — dispatch order is always sequence order;
+* the **SACK block**: bit *i* acknowledges ``ack + 1 + i`` — never
+  ``ack`` itself, which the receiver by definition does not have (the
+  ``sack-bitmap-shift`` injected bug is exactly that off-by-one);
+* the **selective-retransmit plan**: a sender retransmits only the
+  *holes* below the highest SACKed sequence number, leaving everything
+  the receiver already holds alone;
+* the **ECN round gate**: a sender halves its window at most once per
+  round trip of congestion echoes — once on the first echo, then not
+  again until the cumulative ack passes the window edge recorded at
+  that backoff (RFC-3168 shape).
 
 Keeping these shared means a fix (or a bug) lands in both substrates at
 once, and the conformance bug library can patch each implementation's
@@ -34,7 +47,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Tuple
 
-from .protocol import epoch_newer, seq_lt
+from .protocol import SACK_BITMAP_BITS, SEQ_MOD, epoch_newer, seq_add, seq_lt, seq_leq
 
 __all__ = [
     "credit_gate_blocks",
@@ -44,6 +57,11 @@ __all__ = [
     "epoch_advances",
     "ack_epoch_applies",
     "reconnect_plan",
+    "reorder_admit",
+    "sack_block",
+    "sack_claimed",
+    "sack_retransmit_plan",
+    "ecn_backoff_allowed",
 ]
 
 
@@ -131,3 +149,83 @@ def reconnect_plan(outstanding: Iterable[int],
     if peer_restarted:
         return [], list(outstanding)
     return cumulative_acked(outstanding, peer_horizon), []
+
+
+def reorder_admit(expected: int, seq: int, horizon: int) -> str:
+    """Classify an arriving sequence number for a SACK-mode receiver.
+
+    Returns ``"deliver"`` (the in-order packet — dispatch it and drain
+    the reorder buffer behind it), ``"hold"`` (a future packet within
+    the bounded horizon — buffer it, never dispatch early), or
+    ``"reject"`` (a duplicate of something already delivered, or a
+    packet beyond the horizon the receiver promised to buffer).  The
+    window-never-exceeds-horizon config rule makes "beyond the horizon"
+    unreachable for a conforming sender, but a receiver must not trust
+    the sender for its own memory bound.
+    """
+    if seq == expected:
+        return "deliver"
+    distance = (seq - expected) % SEQ_MOD
+    if 1 <= distance <= min(horizon, SACK_BITMAP_BITS):
+        return "hold"
+    return "reject"
+
+
+def sack_block(expected: int, held: Iterable[int], horizon: int) -> int:
+    """Build the SACK bitmap a receiver advertises.
+
+    Bit *i* acknowledges ``expected + 1 + i``.  Bit 0 therefore refers
+    to the sequence number *after* the cumulative ack — ``expected``
+    itself is by definition the hole the receiver is waiting for and
+    can never be SACKed.  Held entries outside the horizon (impossible
+    for a conforming reorder buffer) are silently omitted.
+    """
+    bits = 0
+    limit = min(horizon, SACK_BITMAP_BITS)
+    for seq in held:
+        distance = (seq - expected) % SEQ_MOD
+        if 1 <= distance <= limit:
+            bits |= 1 << (distance - 1)
+    return bits
+
+
+def sack_claimed(ack: int, bits: int) -> List[int]:
+    """The sequence numbers a SACK block claims the receiver holds."""
+    return [seq_add(ack, 1 + i) for i in range(SACK_BITMAP_BITS) if (bits >> i) & 1]
+
+
+def sack_retransmit_plan(outstanding: Iterable[int], ack: int,
+                         bits: int) -> Tuple[List[int], List[int]]:
+    """Split outstanding sends into ``(sacked, holes)`` per a SACK block.
+
+    ``sacked`` is every outstanding sequence number the block claims the
+    receiver already holds; ``holes`` is every outstanding sequence
+    number below the highest claimed one that the block does *not*
+    cover — the packets selective retransmit should resend now, without
+    waiting for an RTO.  The cumulative ``ack`` itself, when still
+    outstanding, is the first hole.  An empty block plans nothing.
+    """
+    claimed = set(sack_claimed(ack, bits))
+    if not claimed:
+        return [], []
+    highest = max(claimed, key=lambda s: (s - ack) % SEQ_MOD)
+    sacked: List[int] = []
+    holes: List[int] = []
+    for seq in outstanding:
+        if seq in claimed:
+            sacked.append(seq)
+        elif seq_lt(seq, highest):
+            holes.append(seq)
+    return sacked, holes
+
+
+def ecn_backoff_allowed(ack: int, round_end: Optional[int]) -> bool:
+    """May a congestion echo shrink the window now?
+
+    A sender reacts to at most one congestion signal per round trip:
+    after a backoff it records the window edge (its next sequence
+    number) as ``round_end`` and ignores further echoes until the
+    cumulative ack reaches it — every echo before that describes the
+    same congested round the sender already reacted to.
+    """
+    return round_end is None or seq_leq(round_end, ack)

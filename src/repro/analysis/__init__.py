@@ -13,6 +13,13 @@ from .microbench import (
     setup_fe_hub,
     setup_fe_switch,
 )
+from .benchcmp import (
+    MetricDelta,
+    compare_bench,
+    compare_bench_files,
+    headline_metrics,
+    render_compare,
+)
 from .report import ascii_plot, format_comparison, format_table
 from .faults import CellFaultInjector, FrameFaultInjector
 from .stats import am_stats, backend_stats, cluster_stats, network_stats, render_stats
@@ -57,6 +64,11 @@ __all__ = [
     "FrameFaultInjector",
     "CellFaultInjector",
     "Claim",
+    "MetricDelta",
+    "compare_bench",
+    "compare_bench_files",
+    "headline_metrics",
+    "render_compare",
     "validate_reproduction",
     "render_validation",
     "line_chart_svg",

@@ -285,6 +285,8 @@ def _cmd_soak(args) -> int:
         return _cmd_soak_crash(args)
     if args.suite == "multitenant":
         return _cmd_soak_multitenant(args)
+    if args.suite == "transport":
+        return _cmd_soak_transport(args)
     names = args.scenario or [n for n in SCENARIOS if n != "bursty-atm"]
     unknown = [n for n in names if n not in SCENARIOS]
     if unknown:
@@ -437,8 +439,47 @@ def _cmd_soak_multitenant(args) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def _cmd_soak_transport(args) -> int:
+    from .faults.transport import (
+        TRANSPORT_SCENARIOS,
+        render_transport_table,
+        run_transport_suite,
+        write_transport_report,
+    )
+
+    names = args.scenario or list(TRANSPORT_SCENARIOS)
+    unknown = [n for n in names if n not in TRANSPORT_SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s) {unknown}; choose from "
+              f"{sorted(TRANSPORT_SCENARIOS)}", file=sys.stderr)
+        return 2
+    results = run_transport_suite(seed=args.seed, scenarios=names,
+                                  progress=lambda m: print(f"  {m}"))
+    print(render_transport_table(results))
+    for r in results:
+        for violation in r.violations:
+            print(f"  !! {r.scenario}[{r.mode}]: {violation}")
+    if args.stats:
+        from .analysis import render_stats
+
+        for r in results:
+            print(f"\n{r.scenario} [{r.mode}] fault pipeline:")
+            print(render_stats(r.fault_stats, indent=1))
+    if args.output:
+        write_transport_report(args.output, results, seed=args.seed)
+        print(f"wrote {args.output}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 def _cmd_bench(args) -> int:
     """Wall-clock benchmark rig on the live U-Net/OS substrate."""
+    if args.compare:
+        from .analysis.benchcmp import compare_bench_files, render_compare
+
+        deltas, problems = compare_bench_files(args.compare[0], args.compare[1],
+                                               threshold=args.threshold)
+        print(render_compare(deltas, problems, threshold=args.threshold))
+        return 0 if not problems else 1
     if not args.live:
         print("the simulated figures live under `fig5` / `fig6`; pass --live "
               "to run the wall-clock rig on real sockets", file=sys.stderr)
@@ -511,7 +552,8 @@ def _cmd_conformance(args) -> int:
         return 2
 
     configs = tuple(args.config) if args.config else ("fixed", "adaptive",
-                                                      "credit", "crash")
+                                                      "credit", "crash",
+                                                      "sack", "ecn")
     if args.bug:
         # a bug only shows where its machinery is engaged
         configs = tuple(c for c in configs if c in BUGS[args.bug]["configs"]) or configs
@@ -638,12 +680,15 @@ def build_parser() -> argparse.ArgumentParser:
     ps.set_defaults(func=_cmd_splitc)
     pk = sub.add_parser("soak", help=_EXPERIMENTS["soak"])
     pk.add_argument("--suite", default="chaos",
-                    choices=("chaos", "overload", "crash", "multitenant"),
+                    choices=("chaos", "overload", "crash", "multitenant",
+                             "transport"),
                     help="chaos soaks the wire; overload soaks the receiver's "
                          "service capacity (incast, sick endpoints); crash "
                          "kills and restarts the receiver mid-stream; "
                          "multitenant churns hundreds of QoS-classed tenants "
-                         "through misbehave/crash/recover cycles")
+                         "through misbehave/crash/recover cycles; transport "
+                         "races go-back-N vs SACK vs ECN through bursty loss, "
+                         "reordering, and an incast bottleneck")
     pk.add_argument("--scenario", action="append",
                     help="scenario name (repeatable; default: every scenario of the suite)")
     pk.add_argument("--mode", default="compare", choices=("compare", "adaptive", "fixed"),
@@ -659,7 +704,8 @@ def build_parser() -> argparse.ArgumentParser:
     pk.add_argument("--stats", action="store_true",
                     help="dump fault-pipeline / per-endpoint telemetry")
     pk.add_argument("--output", metavar="FILE", default=None,
-                    help="crash/multitenant suites: write the JSON artifact here")
+                    help="crash/multitenant/transport suites: write the JSON "
+                         "artifact here")
     pk.set_defaults(func=_cmd_soak)
     pn = sub.add_parser("bench", help=_EXPERIMENTS["bench"])
     pn.add_argument("--live", action="store_true",
@@ -679,6 +725,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="messages per incast sender")
     pn.add_argument("--skip-missing", action="store_true",
                     help="exit 0 (not 2) when no live transport exists here")
+    pn.add_argument("--compare", nargs=2, metavar=("BASELINE", "CANDIDATE"),
+                    default=None,
+                    help="diff two BENCH snapshots instead of running: exit 1 "
+                         "when a headline metric regresses past --threshold")
+    pn.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed bad-direction drift fraction for --compare")
     pn.set_defaults(func=_cmd_bench)
     pc = sub.add_parser("conformance", help=_EXPERIMENTS["conformance"])
     pc.add_argument("--seeds", type=int, default=10,
@@ -686,8 +738,9 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--seed-base", type=int, default=0, help="first seed of the sweep")
     pc.add_argument("--messages", type=int, default=12, help="workload length per case")
     pc.add_argument("--config", action="append",
-                    choices=("fixed", "adaptive", "credit", "crash"),
-                    help="config preset (repeatable; default: all four)")
+                    choices=("fixed", "adaptive", "credit", "crash",
+                             "sack", "ecn"),
+                    help="config preset (repeatable; default: all six)")
     from .core.substrates import substrate_names
 
     pc.add_argument("--substrate", action="append", choices=substrate_names(),

@@ -173,6 +173,31 @@ def _buggy_reconnect_plan(self, peer, horizon, restarted):
     return [], []  # BUG: spec abandons everything when the peer restarted
 
 
+def _buggy_sack_plan(self, outstanding, ack, bits):
+    """SACK bitmap interpreted off by one: bit *i* read as ``ack + i``
+    instead of ``ack + 1 + i``, so the sender SACKs the very packet the
+    receiver is missing — and the missing packet, being "SACKed", is
+    skipped by both selective retransmit and the RTO head pick while
+    some already-delivered packet is retransmitted forever."""
+    from ..am.protocol import SACK_BITMAP_BITS, SEQ_MOD, seq_add, seq_lt
+
+    claimed = {seq_add(ack, i)  # BUG: spec says ack + 1 + i
+               for i in range(SACK_BITMAP_BITS) if (bits >> i) & 1}
+    if not claimed:
+        return [], []
+    highest = max(claimed, key=lambda s: (s - ack) % SEQ_MOD)
+    sacked = [s for s in outstanding if s in claimed]
+    holes = [s for s in outstanding
+             if s not in claimed and seq_lt(s, highest)]
+    return sacked, holes
+
+
+def _buggy_ecn_echo(self, peer):
+    """Congestion echoes silently dropped: the receiver notes CE marks
+    but never reflects them, leaving the sender blind to congestion."""
+    return False  # BUG: spec drains one pending echo per outbound packet
+
+
 #: named, intentionally broken protocol variants the harness must catch
 BUGS: Dict[str, dict] = {
     "credit-gate": {
@@ -201,6 +226,21 @@ BUGS: Dict[str, dict] = {
                        "incarnation instead of honoring at-most-once",
         "patches": {"_reconnect_plan": _buggy_reconnect_plan},
         "configs": ("crash",),
+    },
+    "sack-bitmap-shift": {
+        "description": "SACK bitmap read off by one (bit i taken as ack+i "
+                       "instead of ack+1+i): the sender marks the "
+                       "receiver's missing packet as SACKed and starves "
+                       "it of retransmission",
+        "patches": {"_sack_plan": _buggy_sack_plan},
+        "configs": ("sack",),
+    },
+    "ecn-echo-drop": {
+        "description": "congestion echoes are never sent: the receiver "
+                       "notes CE marks but the sender never hears about "
+                       "them and never backs off",
+        "patches": {"_ecn_echo": _buggy_ecn_echo},
+        "configs": ("ecn",),
     },
 }
 
@@ -375,6 +415,12 @@ def run_substrate(case: ConformanceCase, substrate: str,
                            for p in snap.values())
         trace.credit_stalls = sum(p["credit_stalls"] for snap in snapshots.values()
                                   for p in snap.values())
+        trace.ecn_marks = sum(p.get("ecn_marks", 0) for snap in snapshots.values()
+                              for p in snap.values())
+        trace.ecn_echoes = sum(p.get("ecn_echoes", 0) for snap in snapshots.values()
+                               for p in snap.values())
+        trace.ecn_backoffs = sum(p.get("ecn_backoffs", 0) for snap in snapshots.values()
+                                 for p in snap.values())
         for pipeline in pipelines:
             pipeline.restore()
         return trace
@@ -457,6 +503,7 @@ def diff_case(case: ConformanceCase, ref: RefTrace,
     """
     relaxed = set(relaxed)
     crash = bool(case.lifecycle)
+    ecn = case.am_config().congestion == "ecn"
     out: List[Divergence] = []
     for name, obs in traces.items():
         for violation in obs.violations:
@@ -511,6 +558,36 @@ def diff_case(case: ConformanceCase, ref: RefTrace,
                 f"drop classes {sorted(illegal)} observed "
                 f"({ {k: obs.drop_classes[k] for k in sorted(illegal)} }) but the "
                 f"reference semantics allow only {sorted(allowed) or 'none'}"))
+        if ecn:
+            # marks are content-addressed (occurrence 0 only) and never
+            # shed by a roomy receiver, so the simulated substrates must
+            # note exactly the marks the model predicts; a wall-clock
+            # substrate may legitimately differ in occurrence counting,
+            # but congestion can never appear from (or vanish into) thin
+            # air — and every noted mark must produce an echo and at
+            # least one backoff before the run settles
+            if name not in relaxed and obs.ecn_marks != ref.ecn_marks:
+                out.append(Divergence(
+                    "ecn-marks", name,
+                    f"{obs.ecn_marks} congestion marks noted but the "
+                    f"reference model predicts {ref.ecn_marks}"))
+            if name in relaxed and bool(obs.ecn_marks) != bool(ref.ecn_marks):
+                out.append(Divergence(
+                    "ecn-marks", name,
+                    f"{obs.ecn_marks} congestion marks noted but the "
+                    f"reference model predicts {ref.ecn_marks} — zero and "
+                    f"nonzero must agree even under relaxed timing"))
+            if ref.ecn_marks and not obs.ecn_echoes:
+                out.append(Divergence(
+                    "ecn-echo", name,
+                    f"the reference model predicts {ref.ecn_marks} marks "
+                    f"and at least one echo, but no echo was ever sent"))
+            if ref.ecn_marks and not obs.ecn_backoffs and not case.rev_faults():
+                out.append(Divergence(
+                    "ecn-backoff", name,
+                    f"the reference model predicts at least one sender "
+                    f"backoff for {ref.ecn_marks} marks (no reverse-path "
+                    f"fault can lose the echo), but none happened"))
         if obs.completed and ref.completed and name not in relaxed:
             floor = sum(1 for f in obs.fired if f.action == "drop")
             ceiling = 4 * max(ref.rexmit, floor, 1) + 16

@@ -14,6 +14,18 @@ on:
 * **AM flow control** — a bounded window of unacked requests; under
   ``credit_flow``, sends additionally gate on the peer's advertised
   receive capacity minus in-flight packets (replies bypass both gates).
+* **SACK mode** — the receiver holds out-of-order requests in a
+  bounded reorder buffer and advertises them in a SACK block on every
+  (re-)ack; the sender keeps a scoreboard and selectively retransmits
+  only the holes, once per round, with the RTO falling back to the
+  first unSACKed packet.  Dispatch order is still sequence order.
+* **ECN mode** — a scheduled ``mark`` fault sets CE on a request's
+  first transmission; the receiver notes it and echoes it on its next
+  outbound packet, and the sender backs off at most once per round
+  (the predicted mark/echo/backoff counts are part of the trace).
+  Marks are defined on the request path at occurrence 0 only — and
+  pure acks are never scripted-faulted — so an echo always reaches the
+  sender and the ``>= 1 backoff`` prediction is timing-independent.
 
 Time is abstract: one tick ~ 10 us, links cost a fixed 2 ticks, the
 retransmission timeout a fixed 400 ticks.  None of those constants need
@@ -49,6 +61,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..am.spec import (ecn_backoff_allowed, reorder_admit, sack_block,
+                       sack_retransmit_plan)
 from .schedule import ConformanceCase
 
 __all__ = ["RefTrace", "run_reference", "TICK_US", "TICK_LIMIT"]
@@ -92,6 +106,12 @@ class RefTrace:
     abandoned: List[int] = field(default_factory=list)
     #: lifecycle faults that fired, in hit order
     lifecycle_fired: List = field(default_factory=list)
+    #: congestion marks the receiver noted (ECN mode)
+    ecn_marks: int = 0
+    #: congestion echoes the receiver sent back (ECN mode)
+    ecn_echoes: int = 0
+    #: window backoffs the sender took on echoes (ECN mode)
+    ecn_backoffs: int = 0
 
     def fired_keys(self, occurrence: int = 0) -> List[Tuple[str, int, int, str]]:
         """Canonical (direction, seq, occurrence, action) tuples for the
@@ -119,12 +139,16 @@ class _Sender:
         self.events = {(e.seq, e.occurrence): e for e in events}
         self.fired: List = []
         self.rexmit = 0
+        #: SACK scoreboard: seqs the receiver reported holding, and the
+        #: holes already selectively retransmitted this round
+        self.sacked: set = set()
+        self.sack_rexmitted: set = set()
 
-    def transmit(self, seq: int) -> Optional[Tuple[int, bool]]:
+    def transmit(self, seq: int) -> Optional[Tuple[int, bool, bool]]:
         """Run one transmission of ``seq`` through the fault schedule.
 
         Returns None when the copy is dropped, else ``(delay_ticks,
-        duplicated)`` for the surviving copy.
+        duplicated, marked)`` for the surviving copy.
         """
         occ = self.occurrence.get(seq, 0)
         self.occurrence[seq] = occ + 1
@@ -136,17 +160,26 @@ class _Sender:
         delay = LINK_TICKS
         if event is not None and event.action == "delay":
             delay += max(1, round(event.delay_us / TICK_US))
-        return delay, (event is not None and event.action == "dup")
+        return (delay, (event is not None and event.action == "dup"),
+                (event is not None and event.action == "mark"))
 
     def ack(self, ack_value: int) -> bool:
         """Absorb a cumulative ack; True when it made progress."""
         acked = [s for s in self.unacked if s < ack_value]
         for s in acked:
             del self.unacked[s]
+            self.sacked.discard(s)
+            self.sack_rexmitted.discard(s)
         return bool(acked)
 
     def head(self) -> Optional[int]:
-        return min(self.unacked) if self.unacked else None
+        """The retransmission head: first unSACKed, else the plain head
+        (everything SACKed means the cumulative ack reporting it may
+        itself have been lost — liveness beats elegance)."""
+        if not self.unacked:
+            return None
+        unsacked = [s for s in self.unacked if s not in self.sacked]
+        return min(unsacked) if unsacked else min(self.unacked)
 
 
 def run_reference(case: ConformanceCase) -> RefTrace:
@@ -154,7 +187,18 @@ def run_reference(case: ConformanceCase) -> RefTrace:
     config = case.am_config()
     window = config.window
     credit_flow = config.credit_flow
+    sack_mode = config.ack_mode == "sack"
+    ecn_mode = config.congestion == "ecn"
+    horizon = config.sack_horizon
     consume_period = max(1, round(case.dispatch_overhead_us / TICK_US))
+
+    if ecn_mode and any(f.action == "mark" and
+                        (f.direction != "fwd" or f.occurrence != 0)
+                        for f in case.faults):
+        raise ValueError(
+            "the reference model defines congestion marks on the request "
+            "path at first transmission only ('fwd', occurrence 0): a mark "
+            "on a retransmission has no substrate-invariant fate")
 
     if case.lifecycle:
         if any(e.direction != "fwd" for e in case.lifecycle):
@@ -184,6 +228,14 @@ def run_reference(case: ConformanceCase) -> RefTrace:
     queue1: List[Tuple[int, bool, bool]] = []  # (msg id, rpc?, holds buffer?)
     free1 = case.rx_buffers
     pending_replies: List[int] = []  # req_seqs awaiting a reply send
+    #: SACK reorder buffer: held future packets, seq -> payload tuple
+    held1: Dict[int, Tuple[int, bool, bool]] = {}
+    # --- ECN state ---------------------------------------------------
+    ecn_marks1 = 0       # marks node1's AM layer noted
+    ecn_echoes1 = 0      # echoes node1 drained onto outbound packets
+    pending_echoes1 = 0
+    ecn_backoffs0 = 0    # backoffs node0 took
+    ecn_round_end: Optional[int] = None
     # node0: the receiver of replies (roomy: never sheds)
     expected0 = 0
 
@@ -198,6 +250,19 @@ def run_reference(case: ConformanceCase) -> RefTrace:
     def capacity1() -> int:
         return max(0, min(case.recv_queue_depth - len(queue1), free1))
 
+    def post_ack1(tick: int) -> None:
+        """Node1's (re-)ack, stamped exactly as a transmit would stamp
+        it: current cumulative ack, capacity, SACK block, and — in ECN
+        mode — one drained congestion echo."""
+        nonlocal pending_echoes1, ecn_echoes1
+        bits = sack_block(expected1, held1, horizon) if sack_mode else None
+        ece = False
+        if ecn_mode and pending_echoes1 > 0:
+            pending_echoes1 -= 1
+            ecn_echoes1 += 1
+            ece = True
+        post(tick, "ack_to_fwd", expected1, capacity1(), bits, ece)
+
     op_index = 0
     waiting_reply: Optional[int] = None
 
@@ -207,7 +272,7 @@ def run_reference(case: ConformanceCase) -> RefTrace:
         # 1. arrivals scheduled for this tick, in posting order
         for kind, data in agenda.pop(t, ()):  # noqa: B020 - consumed once
             if kind == "fwd_data":
-                seq, msg_id, rpc, needs_buffer, gen = data
+                seq, msg_id, rpc, needs_buffer, gen, marked = data
                 occ = life_seen.get(seq, 0)
                 life_seen[seq] = occ + 1
                 event = life_events.get((seq, occ))
@@ -238,7 +303,40 @@ def run_reference(case: ConformanceCase) -> RefTrace:
                     drop_classes["stale_epoch_drops"] = (
                         drop_classes.get("stale_epoch_drops", 0) + 1)
                     continue
-                if seq == expected1:
+                if sack_mode:
+                    admit = reorder_admit(expected1, seq, horizon)
+                    if admit == "deliver":
+                        if len(queue1) >= case.recv_queue_depth:
+                            drop_classes["recv_queue_drops"] = drop_classes.get("recv_queue_drops", 0) + 1
+                            continue  # U-Net shed: AM never saw it, no ack
+                        if needs_buffer and free1 <= 0:
+                            drop_classes["no_buffer_drops"] = drop_classes.get("no_buffer_drops", 0) + 1
+                            continue
+                    # a congestion mark is noted only by packets the AM
+                    # layer is seeing for the first time — duplicates of
+                    # already-held or already-delivered seqs are rejected
+                    # before their CE bit is looked at
+                    fresh = (admit == "deliver"
+                             or (admit == "hold" and seq not in held1))
+                    if ecn_mode and marked and fresh:
+                        ecn_marks1 += 1
+                        pending_echoes1 += 1
+                    if admit == "deliver":
+                        expected1 += 1
+                        if needs_buffer:
+                            free1 -= 1
+                        queue1.append((msg_id, rpc, needs_buffer))
+                        # the hole just filled: drain the reorder buffer
+                        # behind it, in sequence order — never early
+                        while expected1 in held1:
+                            h_id, h_rpc, h_nb = held1.pop(expected1)
+                            if h_nb:
+                                free1 -= 1
+                            queue1.append((h_id, h_rpc, h_nb))
+                            expected1 += 1
+                    elif admit == "hold":
+                        held1.setdefault(seq, (msg_id, rpc, needs_buffer))
+                elif seq == expected1:
                     if len(queue1) >= case.recv_queue_depth:
                         drop_classes["recv_queue_drops"] = drop_classes.get("recv_queue_drops", 0) + 1
                         continue  # U-Net shed: AM never saw it, no ack
@@ -257,8 +355,9 @@ def run_reference(case: ConformanceCase) -> RefTrace:
                         if needs_buffer:
                             free1 -= 1
                         queue1.append((msg_id, rpc, needs_buffer))
-                # in-order, old, and future packets all re-ack (go-back-N)
-                post(t + LINK_TICKS, "ack_to_fwd", expected1, capacity1())
+                # in-order, old, and future packets all re-ack (go-back-N
+                # and SACK alike; the SACK block rides the re-ack)
+                post_ack1(t + LINK_TICKS)
             elif kind == "rev_data":
                 seq, req_seq = data
                 if seq == expected0:
@@ -266,9 +365,36 @@ def run_reference(case: ConformanceCase) -> RefTrace:
                     replies.append(req_seq)
                 post(t + LINK_TICKS, "ack_to_rev", expected0)
             elif kind == "ack_to_fwd":
-                ack_value, advertised = data
+                ack_value, advertised, bits, ece = data
                 if fwd.ack(ack_value):
                     fwd.last_progress = t
+                if sack_mode and bits:
+                    # selective retransmit: the scoreboard's holes go out
+                    # now, once per round, without waiting for an RTO
+                    sacked, holes = sack_retransmit_plan(
+                        list(fwd.unacked), ack_value, bits)
+                    fwd.sacked.update(sacked)
+                    for hole in holes:
+                        if hole in fwd.sack_rexmitted or hole in fwd.sacked:
+                            continue
+                        fwd.sack_rexmitted.add(hole)
+                        fwd.rexmit += 1
+                        sent = fwd.transmit(hole)
+                        if sent is not None:
+                            delay, dup, h_marked = sent
+                            h_id, h_msg = fwd.unacked[hole]
+                            h_nb = h_msg.size > INLINE_DATA_MAX
+                            post(t + delay, "fwd_data", hole, h_id,
+                                 h_msg.rpc, h_nb, sender_gen, h_marked)
+                            if dup:
+                                post(t + delay + 1, "fwd_data", hole, h_id,
+                                     h_msg.rpc, h_nb, sender_gen, h_marked)
+                if ecn_mode and ece and ecn_backoff_allowed(ack_value,
+                                                           ecn_round_end):
+                    # mark-echo AIMD, once per round: react, then ignore
+                    # echoes until the ack passes the recorded edge
+                    ecn_round_end = fwd.next_seq
+                    ecn_backoffs0 += 1
                 if credit_flow:
                     remote_credit = advertised - len(fwd.unacked)
             elif kind == "hello_to_fwd":
@@ -283,6 +409,8 @@ def run_reference(case: ConformanceCase) -> RefTrace:
                         drop_classes["peer_dead_drops"] = (
                             drop_classes.get("peer_dead_drops", 0) + len(ids))
                     fwd.unacked.clear()
+                    fwd.sacked.clear()
+                    fwd.sack_rexmitted.clear()
                     fwd.next_seq = 0
                     fwd.last_progress = t
                     remote_credit = None
@@ -306,7 +434,7 @@ def run_reference(case: ConformanceCase) -> RefTrace:
         # only while the conversation is live, so the agenda can drain
         if (credit_flow and t % CREDIT_REFRESH_TICKS == 0 and t > 0
                 and (fwd.unacked or op_index < len(case.messages))):
-            post(t + LINK_TICKS, "ack_to_fwd", expected1, capacity1())
+            post_ack1(t + LINK_TICKS)
 
         # 3. reply sends: sequenced and retransmitted but window-exempt
         while pending_replies:
@@ -317,7 +445,7 @@ def run_reference(case: ConformanceCase) -> RefTrace:
             rev.last_progress = t
             sent = rev.transmit(seq)
             if sent is not None:
-                delay, dup = sent
+                delay, dup, _marked = sent
                 post(t + delay, "rev_data", seq, req_seq)
                 if dup:
                     post(t + delay + 1, "rev_data", seq, req_seq)
@@ -341,31 +469,35 @@ def run_reference(case: ConformanceCase) -> RefTrace:
             sent = fwd.transmit(seq)
             needs_buffer = message.size > INLINE_DATA_MAX
             if sent is not None:
-                delay, dup = sent
+                delay, dup, marked = sent
                 post(t + delay, "fwd_data", seq, op_index, message.rpc,
-                     needs_buffer, sender_gen)
+                     needs_buffer, sender_gen, marked)
                 if dup:
                     post(t + delay + 1, "fwd_data", seq, op_index, message.rpc,
-                         needs_buffer, sender_gen)
+                         needs_buffer, sender_gen, marked)
             op_index += 1
 
         # 5. go-back-N: retransmit a stalled window's head
         for sender, kind_args in ((fwd, "fwd"), (rev, "rev")):
             if sender.unacked and t - sender.last_progress >= RTO_TICKS:
+                # a timeout opens a new selective-retransmit round
+                sender.sack_rexmitted.clear()
                 head = sender.head()
                 sender.rexmit += 1
                 sender.last_progress = t
                 sent = sender.transmit(head)
                 if sent is not None:
-                    delay, dup = sent
+                    delay, dup, marked = sent
                     if kind_args == "fwd":
                         msg_id, message = sender.unacked[head]
                         post(t + delay, "fwd_data", head, msg_id, message.rpc,
-                             message.size > INLINE_DATA_MAX, sender_gen)
+                             message.size > INLINE_DATA_MAX, sender_gen,
+                             marked)
                         if dup:
                             post(t + delay + 1, "fwd_data", head, msg_id,
                                  message.rpc,
-                                 message.size > INLINE_DATA_MAX, sender_gen)
+                                 message.size > INLINE_DATA_MAX, sender_gen,
+                                 marked)
                     else:
                         req_seq = sender.unacked[head]
                         post(t + delay, "rev_data", head, req_seq)
@@ -375,7 +507,8 @@ def run_reference(case: ConformanceCase) -> RefTrace:
         # 6. termination: workload done, nothing in flight, queues dry
         if (op_index == len(case.messages) and waiting_reply is None
                 and not fwd.unacked and not rev.unacked
-                and not pending_replies and not queue1 and not agenda):
+                and not pending_replies and not queue1 and not held1
+                and not agenda):
             completed = True
             break
         t += 1
@@ -390,4 +523,7 @@ def run_reference(case: ConformanceCase) -> RefTrace:
         ticks=t,
         abandoned=abandoned,
         lifecycle_fired=life_fired,
+        ecn_marks=ecn_marks1,
+        ecn_echoes=ecn_echoes1,
+        ecn_backoffs=ecn_backoffs0,
     )

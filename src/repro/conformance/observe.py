@@ -20,7 +20,10 @@ conforming implementation regardless of timing:
 * **exactly-once dispatch** — no message id ever reaches a handler
   twice, whatever crashes and reconnects happened in between (the
   at-most-once delivery contract, checked at the dispatch event where a
-  replay would break it).
+  replay would break it);
+* **congestion echo** — a receiver that noted a CE mark must echo it
+  back to the sender on some outbound packet before the run ends
+  (checked at finish: marks observed with zero echoes is a violation).
 
 These catch semantic bugs (e.g. an off-by-one in the credit gate)
 deterministically, at the precise event where the state machine breaks
@@ -51,6 +54,9 @@ class ObservedTrace:
     timeouts: int = 0
     dup_rx: int = 0
     credit_stalls: int = 0
+    ecn_marks: int = 0
+    ecn_echoes: int = 0
+    ecn_backoffs: int = 0
     drop_classes: Dict[str, int] = field(default_factory=dict)
     fired: List = field(default_factory=list)
     completion_time_us: float = 0.0
@@ -93,6 +99,8 @@ class ObservationProbe:
         self.substrate_steps: Deque[str] = deque(maxlen=tail)
         self._last_dispatch_seq: Optional[int] = None
         self._dispatched_ids: set = set()
+        self._ecn_marks = 0
+        self._ecn_echoes = 0
 
     # -------------------------------------------------------------- attach
     def attach_am(self, am) -> None:
@@ -159,6 +167,10 @@ class ObservationProbe:
             # the receiver restarted: its fresh incarnation numbers from
             # zero, so the continuity baseline resets with it
             self._last_dispatch_seq = None
+        elif kind == "ecn_mark":
+            self._ecn_marks += 1
+        elif kind == "ecn_echo":
+            self._ecn_echoes += 1
         elif kind == "abandon" and node == self.requester_node:
             # forward seq == message id while the requester itself never
             # restarts (its numbering only resets on *its* restart,
@@ -185,6 +197,13 @@ class ObservationProbe:
     def finish(self, completed: bool, completion_time_us: float,
                fired, snapshots: Dict[str, dict],
                lifecycle_fired=()) -> ObservedTrace:
+        if self._ecn_marks and not self._ecn_echoes:
+            # RFC-3168 shape: a receiver that noted congestion MUST echo
+            # it — a mark swallowed silently leaves the sender blind
+            # (the ecn-echo-drop injected bug is exactly this)
+            self._violate(
+                f"invariant:ecn-echo: {self._ecn_marks} congestion marks "
+                f"were noted but no echo was ever sent back")
         return ObservedTrace(
             substrate=self.substrate,
             completed=completed,

@@ -43,6 +43,11 @@ CONFIG_PRESETS: Dict[str, dict] = {
     # (with a wider window, how far the receiver's dispatch loop lags
     # the wire at crash time decides the head, and that is pure timing)
     "crash": {"recv_queue_depth": 64, "rx_buffers": 32, "dispatch_overhead_us": 1.0},
+    # roomy receivers: the SACK/ECN contracts are about reordering and
+    # congestion signaling, not receive-side shedding, so a clean run
+    # must show zero drops
+    "sack": {"recv_queue_depth": 64, "rx_buffers": 32, "dispatch_overhead_us": 1.0},
+    "ecn": {"recv_queue_depth": 64, "rx_buffers": 32, "dispatch_overhead_us": 1.0},
 }
 
 
@@ -103,6 +108,11 @@ class ConformanceCase:
             return AmConfig(**kwargs)
         if self.config_name == "crash":
             return AmConfig(recovery=True, window=1, ack_every=1, **kwargs)
+        if self.config_name == "sack":
+            return AmConfig(ack_mode="sack", **kwargs)
+        if self.config_name == "ecn":
+            return AmConfig(ack_mode="sack", congestion="ecn",
+                            adaptive_window=True, **kwargs)
         raise ValueError(f"unknown config preset {self.config_name!r}")
 
     def fwd_faults(self) -> List[ScheduledFault]:
@@ -197,21 +207,62 @@ def generate_case(seed: int, config_name: str = "fixed", n_messages: int = 12) -
 
     fr = scoped.stream("faults")
     faults: List[ScheduledFault] = []
-    for _ in range(fr.randrange(4)):
-        direction = "rev" if (n_replies and fr.random() < 0.25) else "fwd"
-        seq = fr.randrange(n_replies) if direction == "rev" else fr.randrange(n_messages)
-        occurrence = 0 if fr.random() < 0.8 else 1
-        roll = fr.random()
-        if roll < 0.60:
-            action, delay = "drop", 0.0
-        elif roll < 0.85:
-            action, delay = "delay", fr.choice(_DELAYS_US)
-        else:
-            action, delay = "dup", 0.0
-        fault = ScheduledFault(direction=direction, seq=seq, occurrence=occurrence,
-                               action=action, delay_us=delay)
-        if fault not in faults:
-            faults.append(fault)
+    if config_name == "sack":
+        # reorder-heavy: delays make later packets overtake earlier
+        # ones, which is exactly what the reorder buffer + selective
+        # retransmit machinery exists for
+        for _ in range(1 + fr.randrange(4)):
+            direction = "rev" if (n_replies and fr.random() < 0.2) else "fwd"
+            seq = fr.randrange(n_replies) if direction == "rev" else fr.randrange(n_messages)
+            occurrence = 0 if fr.random() < 0.8 else 1
+            roll = fr.random()
+            if roll < 0.40:
+                action, delay = "drop", 0.0
+            elif roll < 0.85:
+                action, delay = "delay", fr.choice(_DELAYS_US)
+            else:
+                action, delay = "dup", 0.0
+            fault = ScheduledFault(direction=direction, seq=seq,
+                                   occurrence=occurrence, action=action,
+                                   delay_us=delay)
+            if fault not in faults:
+                faults.append(fault)
+    elif config_name == "ecn":
+        # request-path faults only, marks on first transmissions only:
+        # the model's echo/backoff predictions are substrate-invariant
+        # exactly because no echo-bearing reverse packet is ever faulted
+        for _ in range(1 + fr.randrange(4)):
+            seq = fr.randrange(n_messages)
+            roll = fr.random()
+            if roll < 0.50:
+                action, delay, occurrence = "mark", 0.0, 0
+            elif roll < 0.75:
+                action, delay = "drop", 0.0
+                occurrence = 0 if fr.random() < 0.8 else 1
+            else:
+                action, delay = "delay", fr.choice(_DELAYS_US)
+                occurrence = 0 if fr.random() < 0.8 else 1
+            fault = ScheduledFault(direction="fwd", seq=seq,
+                                   occurrence=occurrence, action=action,
+                                   delay_us=delay)
+            if fault not in faults:
+                faults.append(fault)
+    else:
+        for _ in range(fr.randrange(4)):
+            direction = "rev" if (n_replies and fr.random() < 0.25) else "fwd"
+            seq = fr.randrange(n_replies) if direction == "rev" else fr.randrange(n_messages)
+            occurrence = 0 if fr.random() < 0.8 else 1
+            roll = fr.random()
+            if roll < 0.60:
+                action, delay = "drop", 0.0
+            elif roll < 0.85:
+                action, delay = "delay", fr.choice(_DELAYS_US)
+            else:
+                action, delay = "dup", 0.0
+            fault = ScheduledFault(direction=direction, seq=seq, occurrence=occurrence,
+                                   action=action, delay_us=delay)
+            if fault not in faults:
+                faults.append(fault)
 
     preset = CONFIG_PRESETS[config_name]
     return ConformanceCase(seed=seed, config_name=config_name, messages=messages,

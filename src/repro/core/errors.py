@@ -12,6 +12,7 @@ __all__ = [
     "PeerUnavailableError",
     "StaleEpochError",
     "AdmissionRejected",
+    "ConfigError",
 ]
 
 
@@ -71,6 +72,19 @@ class AdmissionRejected(EndpointError):
         self.tenant = tenant
         self.qos = qos
         self.reason = reason
+
+
+class ConfigError(UNetError, ValueError):
+    """A configuration object rejected its field values or their
+    combination at construction time (negative window, unknown mode,
+    two flow-control schemes fighting over the same window, ...).
+    Subclasses :class:`ValueError` so call sites that predate the typed
+    hierarchy — and tests written against them — keep working, while
+    new code can catch the U-Net family."""
+
+    def __init__(self, message: str, *, knob: str = "") -> None:
+        super().__init__(message)
+        self.knob = knob
 
 
 class StaleEpochError(UNetError):

@@ -39,6 +39,7 @@ __all__ = [
     "Duplicate",
     "LinkFlap",
     "NicStall",
+    "BottleneckQueue",
 ]
 
 #: ``emit(pdu, delay_us)`` — forward ``pdu`` to the next stage
@@ -332,6 +333,71 @@ class LinkFlap(LinkPerturbation):
 
     def counters(self) -> dict:
         return {"dropped": self.dropped}
+
+
+class BottleneckQueue(LinkPerturbation):
+    """A deterministic drain-rate bottleneck with ECN marking.
+
+    Models the shared output queue behind a switch uplink (or the
+    repeater domain of a hub): PDUs drain one per ``service_us``, so an
+    incast burst piles up a standing queue.  Occupancy above
+    ``mark_threshold`` gets the PDU CE-marked via ``marker`` (RFC-3168
+    style: the network signals congestion *before* it must drop);
+    occupancy beyond ``capacity`` tail-drops.  Entirely deterministic —
+    no RNG stream — so a seeded soak run replays exactly.
+
+    ``marker`` is substrate-specific (rebuild the frame / datagram with
+    the CE bit set in the AM header); when ``None`` the queue still
+    delays and drops but cannot signal, which is exactly the
+    loss-feedback baseline ECN is measured against.
+    """
+
+    stream_name = "bottleneck"
+
+    def __init__(self, service_us: float = 15.0, capacity: int = 32,
+                 mark_threshold: int = 8,
+                 marker: Optional[Callable[[object], object]] = None) -> None:
+        super().__init__()
+        if service_us <= 0.0:
+            raise ValueError("service_us must be > 0")
+        if capacity < 1 or not 0 <= mark_threshold <= capacity:
+            raise ValueError("need capacity >= 1 and 0 <= mark_threshold <= capacity")
+        self.service_us = service_us
+        self.capacity = capacity
+        self.mark_threshold = mark_threshold
+        self.marker = marker
+        self._last_depart = float("-inf")
+        self.marked = 0
+        self.dropped = 0
+        self.max_occupancy = 0
+
+    def attach(self, ctx: PerturbationContext) -> None:  # no RNG stream wanted
+        self.ctx = ctx
+        self.reset()
+
+    def reset(self) -> None:
+        self._last_depart = float("-inf")
+        self.marked = 0
+        self.dropped = 0
+        self.max_occupancy = 0
+
+    def process(self, pdu, now: float, emit: Emit) -> None:
+        depart = max(self._last_depart, now) + self.service_us
+        # packets still queued ahead of (and including) this one
+        occupancy = int(round((depart - now) / self.service_us))
+        if occupancy > self.capacity:
+            self.dropped += 1
+            return
+        self._last_depart = depart
+        self.max_occupancy = max(self.max_occupancy, occupancy)
+        if occupancy > self.mark_threshold and self.marker is not None:
+            self.marked += 1
+            pdu = self.marker(pdu)
+        emit(pdu, depart - now)
+
+    def counters(self) -> dict:
+        return {"marked": self.marked, "dropped": self.dropped,
+                "max_occupancy": self.max_occupancy}
 
 
 class NicStall(LinkPerturbation):

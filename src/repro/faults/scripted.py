@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..am.protocol import TYPE_REPLY, TYPE_REQUEST, peek_type_seq
+from ..am.protocol import TYPE_REPLY, TYPE_REQUEST, mark_ce, peek_type_seq
 from .perturb import Emit, LinkPerturbation
 
 __all__ = ["ScheduledFault", "FrameScriptedStage", "CellScriptedStage",
@@ -34,7 +34,7 @@ __all__ = ["ScheduledFault", "FrameScriptedStage", "CellScriptedStage",
 #: apart that a multi-cell duplicate cannot interleave with its original
 DUP_DELAY_US = 60.0
 
-_ACTIONS = ("drop", "dup", "delay")
+_ACTIONS = ("drop", "dup", "delay", "mark")
 
 
 @dataclass(frozen=True)
@@ -127,6 +127,12 @@ class _ScriptedStage(LinkPerturbation):
         elif event.action == "dup":
             emit(pdu, delay_offset)
             emit(pdu, delay_offset + (event.delay_us or DUP_DELAY_US))
+        elif event.action == "mark":
+            emit(self._mark(pdu), delay_offset)
+
+    def _mark(self, pdu):
+        """Set the ECN CE bit on this substrate's PDU (congested switch)."""
+        raise NotImplementedError(f"{type(self).__name__} cannot mark PDUs")
 
     def counters(self) -> dict:
         return {"fired": len(self.fired), "tracked": len(self.seen)}
@@ -138,6 +144,21 @@ class FrameScriptedStage(_ScriptedStage):
     def process(self, frame, now: float, emit: Emit) -> None:
         self._apply(self._decide(frame.payload), frame, emit)
 
+    def _mark(self, frame):
+        # rebuild with the CE flag set in the AM header; the frame stays
+        # CRC-clean (corrupted=False) — congestion marking is done by
+        # conforming switch hardware, not line noise
+        from ..ethernet.frames import EthernetFrame
+
+        return EthernetFrame(
+            dst_mac=frame.dst_mac,
+            src_mac=frame.src_mac,
+            dst_port=frame.dst_port,
+            src_port=frame.src_port,
+            payload=mark_ce(frame.payload),
+            corrupted=frame.corrupted,
+        )
+
 
 class CellScriptedStage(_ScriptedStage):
     """Scripted faults on ATM cells, decided per AAL5 PDU.
@@ -145,15 +166,26 @@ class CellScriptedStage(_ScriptedStage):
     The fate of a PDU is decided on its first cell (where the AM header
     lives) and applied to every cell until the ``last`` marker, tracked
     per VCI exactly as firmware reassembly is.
+
+    A ``mark`` fault cannot touch a single cell: flipping a header bit
+    mid-PDU breaks the real AAL5 CRC-32 in the last cell's trailer, and
+    the receiver would discard the whole PDU as line damage.  So the
+    stage does what a conforming ATM switch does — it holds the PDU's
+    cells, reassembles, sets CE in the AM header, and re-segments (which
+    recomputes the trailer CRC) before forwarding.  All cells go out at
+    the last cell's arrival time; since AM-observable delivery is gated
+    on PDU completion anyway, timing is unchanged.
     """
 
     def __init__(self, events: Sequence[ScheduledFault]) -> None:
         super().__init__(events)
         self._pending: Dict[int, Optional[ScheduledFault]] = {}
+        self._held: Dict[int, List] = {}
 
     def reset(self) -> None:
         super().reset()
         self._pending = {}
+        self._held = {}
 
     def process(self, cell, now: float, emit: Emit) -> None:
         if cell.vci in self._pending:
@@ -162,9 +194,29 @@ class CellScriptedStage(_ScriptedStage):
             event = self._decide(bytes(cell.payload))
             if not cell.last:
                 self._pending[cell.vci] = event
+        if event is not None and event.action == "mark":
+            self._held.setdefault(cell.vci, []).append(cell)
+            if not cell.last:
+                return
+            self._pending.pop(cell.vci, None)
+            for out in self._mark_pdu(self._held.pop(cell.vci)):
+                emit(out, 0.0)
+            return
         if cell.last:
             self._pending.pop(cell.vci, None)
         self._apply(event, cell, emit)
+
+    @staticmethod
+    def _mark_pdu(cells):
+        from ..atm.cells import Aal5Error, aal5_reassemble, aal5_segment
+
+        try:
+            payload = aal5_reassemble(list(cells))
+            return aal5_segment(mark_ce(payload), cells[0].vci)
+        except (Aal5Error, ValueError):
+            # already damaged in flight — forward untouched, the
+            # receiver's CRC check owns this PDU's fate
+            return cells
 
 
 class DatagramScriptedStage(_ScriptedStage):
@@ -184,6 +236,9 @@ class DatagramScriptedStage(_ScriptedStage):
 
     def process(self, raw: bytes, now: float, emit: Emit) -> None:
         self._apply(self._decide(raw[self._header_size:]), raw, emit)
+
+    def _mark(self, raw: bytes) -> bytes:
+        return raw[:self._header_size] + mark_ce(raw[self._header_size:])
 
 
 def scripted_stage_factory(backend, events: Sequence[ScheduledFault]) -> _ScriptedStage:

@@ -6,9 +6,12 @@
 reliability, same opt-in adaptive RTO / AIMD / fast-retransmit and
 receiver-credit machinery, the same crash-recovery extension
 (incarnation epochs, the HELLO reconnect handshake, the ack-starvation
-liveness detector), and the same observable-event vocabulary
+liveness detector), the same loss-resilient transport extensions
+(SACK scoreboard + bounded reorder buffer, ECN mark-echo backoff), and
+the same observable-event vocabulary
 (``grant``, ``credit_stall``, ``tx``, ``rexmit``, ``timeout``,
-``dispatch``, ``reply``, ``dup_rx``, plus the recovery kinds
+``dispatch``, ``reply``, ``dup_rx``, ``ecn_mark``, ``ecn_echo``,
+``ecn_backoff``, plus the recovery kinds
 ``reconnect``, ``reconnected``, ``stale_epoch``, ``abandon``,
 ``peer_dead``, ``peer_alive``, ``peer_restart``) — which is what lets
 one :class:`~repro.conformance.observe.ObservationProbe` check the same
@@ -38,6 +41,7 @@ from ..am.protocol import (
     EPOCH_MOD,
     EPOCH_SIZE,
     HEADER_SIZE,
+    SACK_SIZE,
     SEQ_MOD,
     TYPE_ACK,
     TYPE_HELLO,
@@ -54,10 +58,14 @@ from ..am.spec import (
     ack_epoch_applies,
     credit_gate_blocks,
     cumulative_acked,
+    ecn_backoff_allowed,
     effective_epoch,
     epoch_advances,
     epoch_is_stale,
     reconnect_plan,
+    reorder_admit,
+    sack_block,
+    sack_retransmit_plan,
 )
 from ..core.errors import EndpointError, PeerUnavailableError, StaleEpochError
 from .backend import LiveUserEndpoint
@@ -80,6 +88,11 @@ class _LivePeer:
         "srtt", "rttvar", "rto_us", "backoff", "sent_at", "rexmit_seqs",
         "cwnd", "last_ack", "dup_acks", "fast_done_seq", "timeouts",
         "fast_retransmits", "rtt_samples",
+        # selective acknowledgment
+        "sacked", "sack_rexmitted",
+        # ECN-style congestion signaling
+        "pending_echoes", "ecn_round_end", "ecn_marks", "ecn_echoes",
+        "ecn_backoffs",
         # receiver-credit backpressure
         "remote_credit", "credit_stalls", "last_advertised",
         # crash recovery
@@ -116,6 +129,17 @@ class _LivePeer:
         self.timeouts = 0
         self.fast_retransmits = 0
         self.rtt_samples = 0
+        #: outstanding seqs a SACK block reported the receiver holds
+        self.sacked = set()
+        #: holes already selectively retransmitted this round
+        self.sack_rexmitted = set()
+        #: congestion marks accepted but not yet echoed to the peer
+        self.pending_echoes = 0
+        #: window edge recorded at the last ECN backoff (one per round)
+        self.ecn_round_end: Optional[int] = None
+        self.ecn_marks = 0
+        self.ecn_echoes = 0
+        self.ecn_backoffs = 0
         self.remote_credit: Optional[int] = None
         self.credit_stalls = 0
         self.last_advertised: Optional[int] = None
@@ -207,7 +231,8 @@ class LiveAm:
     def max_data(self) -> int:
         overhead = (HEADER_SIZE
                     + (CREDIT_SIZE if self.config.credit_flow else 0)
-                    + (EPOCH_SIZE if self.config.recovery else 0))
+                    + (EPOCH_SIZE if self.config.recovery else 0)
+                    + (SACK_SIZE if self.config.ack_mode == "sack" else 0))
         return self.user.backend.max_pdu - overhead
 
     def connect_peer(self, node_id: int, channel_id: int) -> None:
@@ -401,6 +426,11 @@ class LiveAm:
                 "duplicates": p.duplicates,
                 "credit_stalls": p.credit_stalls,
                 "rtt_samples": p.rtt_samples,
+                "sacked": len(p.sacked),
+                "ooo_held": len(p.ooo_held),
+                "ecn_marks": p.ecn_marks,
+                "ecn_echoes": p.ecn_echoes,
+                "ecn_backoffs": p.ecn_backoffs,
                 "srtt_us": p.srtt,
                 "epoch": self.epoch,
                 "remote_epoch": p.remote_epoch,
@@ -541,6 +571,30 @@ class LiveAm:
         """Spec seam: the conformance bug library patches this."""
         return cumulative_acked(peer.unacked, ack)
 
+    def _sack_block(self, peer: _LivePeer) -> int:
+        """The SACK bitmap this receiver advertises; healthy =
+        :func:`repro.am.spec.sack_block` over the reorder buffer."""
+        return sack_block(peer.expected_seq, peer.ooo_held,
+                          self.config.sack_horizon)
+
+    def _sack_plan(self, outstanding, ack: int, bits: int):
+        """Seam for scoreboard interpretation of a SACK block; healthy =
+        :func:`repro.am.spec.sack_retransmit_plan`.  The
+        ``sack-bitmap-shift`` injected bug reads bit *i* as ``ack + i``
+        instead of ``ack + 1 + i``."""
+        return sack_retransmit_plan(outstanding, ack, bits)
+
+    def _ecn_echo(self, peer: _LivePeer) -> bool:
+        """Seam for the congestion-mark echo; healthy: drain one pending
+        echo onto this outbound packet.  The ``ecn-echo-drop`` injected
+        bug swallows it."""
+        if peer.pending_echoes <= 0:
+            return False
+        peer.pending_echoes -= 1
+        peer.ecn_echoes += 1
+        self._observe("ecn_echo", peer, pending=peer.pending_echoes)
+        return True
+
     def _effective_window(self, peer: _LivePeer) -> int:
         if not self.config.adaptive_window:
             return self.config.window
@@ -578,6 +632,10 @@ class LiveAm:
             advertised = self._local_credit()
             packet.credit = advertised
             peer.last_advertised = advertised
+        if self.config.ack_mode == "sack":
+            packet.sack_bits = self._sack_block(peer)
+        if self.config.congestion == "ecn":
+            packet.ece = self._ecn_echo(peer)
         peer.ack_deadline = None
         peer.deliveries_since_ack = 0
         if track:
@@ -659,6 +717,11 @@ class LiveAm:
             return
         if ack_epoch_applies(packet.epoch, peer.remote_epoch):
             self._process_ack(peer, packet.ack)
+            if (self.config.ack_mode == "sack"
+                    and packet.sack_bits is not None):
+                self._process_sack(peer, packet.ack, packet.sack_bits)
+            if self.config.congestion == "ecn" and packet.ece:
+                self._ecn_backoff(peer, packet.ack)
         if packet.credit is not None and self.config.credit_flow:
             # absolute advertisement, charged with what it cannot know about
             peer.remote_credit = packet.credit - len(peer.unacked)
@@ -678,17 +741,29 @@ class LiveAm:
         if packet.type == TYPE_ACK:
             return
         if packet.seq != peer.expected_seq:
-            in_window = seq_lt(peer.expected_seq, packet.seq) and (
-                (packet.seq - peer.expected_seq) % SEQ_MOD <= self.config.window * 2
-            )
-            if self.config.ooo_buffering and in_window:
-                peer.ooo_held.setdefault(packet.seq, packet)
+            if self.config.ack_mode == "sack":
+                verdict = reorder_admit(peer.expected_seq, packet.seq,
+                                        self.config.sack_horizon)
+                if verdict == "hold" and packet.seq not in peer.ooo_held:
+                    peer.ooo_held[packet.seq] = packet
+                    self._note_ce(peer, packet)
+                else:
+                    peer.duplicates += 1
+                    self._observe("dup_rx", peer, seq=packet.seq,
+                                  expected=peer.expected_seq)
             else:
-                peer.duplicates += 1
-                self._observe("dup_rx", peer, seq=packet.seq,
-                              expected=peer.expected_seq)
+                in_window = seq_lt(peer.expected_seq, packet.seq) and (
+                    (packet.seq - peer.expected_seq) % SEQ_MOD <= self.config.window * 2
+                )
+                if self.config.ooo_buffering and in_window:
+                    peer.ooo_held.setdefault(packet.seq, packet)
+                else:
+                    peer.duplicates += 1
+                    self._observe("dup_rx", peer, seq=packet.seq,
+                                  expected=peer.expected_seq)
             self._note_delivery(peer, out_of_order=True)
             return
+        self._note_ce(peer, packet)
         self._deliver_in_order(peer, packet)
         while peer.ooo_held:
             held = peer.ooo_held.pop(peer.expected_seq, None)
@@ -778,8 +853,41 @@ class LiveAm:
                             peer.cwnd + len(acked) / max(peer.cwnd, 1.0))
         for seq in acked:
             peer.unacked.pop(seq, None)
+            peer.sacked.discard(seq)
+            peer.sack_rexmitted.discard(seq)
         peer.last_progress = now
         peer.starved_timeouts = 0  # forward progress: not a corpse
+
+    def _process_sack(self, peer: _LivePeer, ack: int, bits: int) -> None:
+        """Scoreboard update + selective retransmit of the holes, the
+        synchronous mirror of the simulated endpoint's method."""
+        sacked, holes = self._sack_plan(peer.unacked, ack, bits)
+        for seq in sacked:
+            peer.sacked.add(seq)
+        for seq in holes:
+            if seq in peer.sack_rexmitted or seq in peer.sacked:
+                continue
+            peer.sack_rexmitted.add(seq)
+            self._retransmit_seq(peer, seq)
+
+    def _note_ce(self, peer: _LivePeer, packet: Packet) -> None:
+        """Account an accepted data packet's congestion mark (echoed on
+        the next outbound packets, one echo per mark)."""
+        if self.config.congestion != "ecn" or not packet.ce:
+            return
+        peer.ecn_marks += 1
+        peer.pending_echoes += 1
+        self._observe("ecn_mark", peer, seq=packet.seq)
+
+    def _ecn_backoff(self, peer: _LivePeer, ack: int) -> None:
+        """Congestion echo: halve the AIMD window at most once per round
+        trip (:func:`repro.am.spec.ecn_backoff_allowed`)."""
+        if not ecn_backoff_allowed(ack, peer.ecn_round_end):
+            return
+        peer.ecn_round_end = peer.next_seq
+        peer.ecn_backoffs += 1
+        peer.cwnd = max(float(self.config.min_window), peer.cwnd / 2.0)
+        self._observe("ecn_backoff", peer, cwnd=peer.cwnd)
 
     def _update_rto(self, peer: _LivePeer, rtt: float) -> None:
         cfg = self.config
@@ -805,9 +913,11 @@ class LiveAm:
 
     def _note_delivery(self, peer: _LivePeer, out_of_order: bool = False) -> None:
         peer.deliveries_since_ack += 1
-        if out_of_order and self.config.fast_retransmit:
-            # ack holes immediately so the sender's duplicate-ack counter
-            # can cross its threshold before the arrival stream dries up
+        if out_of_order and (self.config.fast_retransmit
+                             or self.config.ack_mode == "sack"):
+            # ack holes immediately: the dup-ack counter (fast
+            # retransmit) or the SACK bitmap (selective retransmit)
+            # must reach the sender before the arrival stream dries up
             self._send_ack(peer)
             return
         if peer.deliveries_since_ack >= self.config.ack_every:
@@ -855,6 +965,8 @@ class LiveAm:
                     peer.backoff += 1
                 if cfg.adaptive_window:
                     peer.cwnd = max(float(cfg.min_window), peer.cwnd / 2.0)
+                # a timeout opens a new selective-retransmit round
+                peer.sack_rexmitted.clear()
                 self._retransmit_head(peer)
         if (self._next_heartbeat is not None and now >= self._next_heartbeat):
             self._next_heartbeat = now + cfg.heartbeat_us
@@ -875,9 +987,30 @@ class LiveAm:
                 if self._local_credit() != peer.last_advertised:
                     self._send_ack(peer)
 
+    def _restamp(self, peer: _LivePeer, packet: Packet) -> None:
+        """Refresh the piggybacked fields on a retransmission (ack,
+        epoch pair, credit, SACK block, congestion echo) to *now*."""
+        packet.ack = peer.expected_seq
+        if self.config.recovery:
+            packet.epoch = self.epoch
+            packet.peer_epoch = peer.remote_epoch
+        if self.config.credit_flow:
+            packet.credit = self._local_credit()
+            peer.last_advertised = packet.credit
+        if self.config.ack_mode == "sack":
+            packet.sack_bits = self._sack_block(peer)
+        if self.config.congestion == "ecn":
+            packet.ece = self._ecn_echo(peer)
+
     def _retransmit_head(self, peer: _LivePeer) -> None:
-        # head-of-window only, exactly as the simulated endpoint
-        head_seq = next(iter(peer.unacked), None)
+        # head-of-window only, exactly as the simulated endpoint; under
+        # SACK the head is the first unSACKed packet (plain head when
+        # everything outstanding is SACKed — the cumulative ack itself
+        # may have been lost, and liveness beats elegance)
+        head_seq = next((s for s in peer.unacked if s not in peer.sacked),
+                        None)
+        if head_seq is None:
+            head_seq = next(iter(peer.unacked), None)
         if head_seq is None:
             return
         head = peer.unacked[head_seq]
@@ -885,11 +1018,18 @@ class LiveAm:
         self._observe("rexmit", peer, seq=head_seq)
         peer.rexmit_seqs.add(head_seq)
         peer.last_progress = self.clock.now_us()
-        head.ack = peer.expected_seq
-        if self.config.recovery:
-            head.epoch = self.epoch
-            head.peer_epoch = peer.remote_epoch
-        if self.config.credit_flow:
-            head.credit = self._local_credit()
-            peer.last_advertised = head.credit
+        self._restamp(peer, head)
         self._push_wire(peer, encode(head))
+
+    def _retransmit_seq(self, peer: _LivePeer, seq: int) -> None:
+        """Selective retransmit of one scoreboard hole (SACK mode),
+        Karn-safe like the simulated endpoint's."""
+        packet = peer.unacked.get(seq)
+        if packet is None or seq in peer.sacked:
+            return
+        peer.retransmissions += 1
+        self._observe("rexmit", peer, seq=seq, selective=1)
+        peer.rexmit_seqs.add(seq)
+        peer.last_progress = self.clock.now_us()
+        self._restamp(peer, packet)
+        self._push_wire(peer, encode(packet))

@@ -76,6 +76,11 @@ def _buggy_reconnect_plan(self, peer, horizon, restarted):
     return [], []  # BUG: spec abandons everything when the peer restarted
 
 
+# the SACK/ECN seams take only plain arguments, so the simulated
+# checker's patch functions apply to LiveAm verbatim — one bug, both
+# engines, by construction
+from ..conformance.checker import _buggy_ecn_echo, _buggy_sack_plan  # noqa: E402
+
 #: same bug names as ``repro.conformance.checker.BUGS``, patched onto
 #: the live endpoint's spec seams
 LIVE_BUGS = {
@@ -83,6 +88,8 @@ LIVE_BUGS = {
     "ack-horizon": {"_acked_seqs": _buggy_acked_seqs},
     "epoch-fence": {"_epoch_stale": _buggy_epoch_stale},
     "replay-horizon": {"_reconnect_plan": _buggy_reconnect_plan},
+    "sack-bitmap-shift": {"_sack_plan": _buggy_sack_plan},
+    "ecn-echo-drop": {"_ecn_echo": _buggy_ecn_echo},
 }
 
 
@@ -253,6 +260,12 @@ def run_live_case(case: ConformanceCase, transport_kind: str = "unix",
                            for p in snap.values())
         trace.credit_stalls = sum(p["credit_stalls"] for snap in snapshots.values()
                                   for p in snap.values())
+        trace.ecn_marks = sum(p.get("ecn_marks", 0) for snap in snapshots.values()
+                              for p in snap.values())
+        trace.ecn_echoes = sum(p.get("ecn_echoes", 0) for snap in snapshots.values()
+                               for p in snap.values())
+        trace.ecn_backoffs = sum(p.get("ecn_backoffs", 0) for snap in snapshots.values()
+                                 for p in snap.values())
         return trace
 
 
