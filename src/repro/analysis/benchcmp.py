@@ -4,9 +4,10 @@
 two committed BENCH snapshots and exits nonzero when any *headline*
 metric regressed by more than the threshold (15% by default).  The
 headline set is format-dispatched, so the same command guards both the
-wall-clock rig (``repro-bench-live/1``: p50 latency per size, goodput
-per size, incast goodput) and the deterministic transport ablation
-(``repro-bench-transport/1``: goodput per scenario and mode).
+wall-clock rig (``repro-bench-live/2``: p50 latency per size, goodput
+per size, incast goodput, and the batched fast path's throughput,
+syscalls-per-message, and speedup) and the deterministic transport
+ablation (``repro-bench-transport/1``: goodput per scenario and mode).
 
 Direction matters: latency regresses *up*, goodput regresses *down*.
 Improvements of any size and regressions inside the threshold are
@@ -71,6 +72,20 @@ def _live_headlines(payload: dict) -> List[Tuple[str, str, float]]:
     return metrics
 
 
+def _live_v2_headlines(payload: dict) -> List[Tuple[str, str, float]]:
+    """live/1 plus the burst fast path: the batched throughput and its
+    syscalls-per-message ratio are first-class regression gates, as is
+    the speedup over the per-syscall baseline."""
+    metrics = _live_headlines(payload)
+    burst = payload["burst"]
+    metrics.append(("burst.batched.msgs_per_sec", "higher",
+                    burst["batched"]["msgs_per_sec"]))
+    metrics.append(("burst.batched.syscalls_per_message", "lower",
+                    burst["batched"]["syscalls_per_message"]))
+    metrics.append(("burst.speedup", "higher", burst["speedup"]))
+    return metrics
+
+
 def _transport_headlines(payload: dict) -> List[Tuple[str, str, float]]:
     metrics: List[Tuple[str, str, float]] = []
     for entry in payload["scenarios"]:
@@ -82,6 +97,7 @@ def _transport_headlines(payload: dict) -> List[Tuple[str, str, float]]:
 
 _HEADLINES = {
     "repro-bench-live/1": _live_headlines,
+    "repro-bench-live/2": _live_v2_headlines,
     "repro-bench-transport/1": _transport_headlines,
 }
 

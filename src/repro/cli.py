@@ -502,6 +502,9 @@ def _cmd_bench(args) -> int:
         bw_messages=args.bw_messages,
         incast_senders=args.senders,
         incast_messages=args.incast_messages,
+        burst_messages=args.burst_messages,
+        burst_size=args.burst_size,
+        doorbell_mode=args.doorbell,
         progress=lambda m: print(f"  {m}"),
     )
     print(render_bench(payload))
@@ -723,6 +726,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="incast fan-in (sender count)")
     pn.add_argument("--incast-messages", type=int, default=100,
                     help="messages per incast sender")
+    pn.add_argument("--burst-messages", type=int, default=20000,
+                    help="messages for the burst fast-path A/B")
+    pn.add_argument("--burst-size", type=int, default=256,
+                    help="payload bytes for the burst fast-path A/B")
+    pn.add_argument("--doorbell", default="busy-poll",
+                    choices=("busy-poll", "event", "batched"),
+                    help="doorbell discipline for the AM-level phases "
+                         "(the burst A/B always compares per-syscall vs "
+                         "batched)")
     pn.add_argument("--skip-missing", action="store_true",
                     help="exit 0 (not 2) when no live transport exists here")
     pn.add_argument("--compare", nargs=2, metavar=("BASELINE", "CANDIDATE"),

@@ -66,6 +66,8 @@ _LAZY_PROVIDERS = {
     "live": "repro.live",
     "live-unix": "repro.live",
     "live-udp": "repro.live",
+    "live-batched": "repro.live",
+    "live-event": "repro.live",
 }
 
 

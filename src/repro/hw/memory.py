@@ -54,6 +54,14 @@ class Buffer:
             raise BufferAreaError(f"read of {n} bytes from buffer of {self.size}")
         return bytes(self.area._storage[self.offset : self.offset + n])
 
+    def view(self, nbytes: Optional[int] = None) -> memoryview:
+        """Like :meth:`read` but zero-copy: a memoryview into the pinned
+        area, valid until the buffer is rewritten or recycled."""
+        n = self.length if nbytes is None else nbytes
+        if n < 0 or n > self.size:
+            raise BufferAreaError(f"view of {n} bytes from buffer of {self.size}")
+        return self.area.storage_view[self.offset : self.offset + n]
+
     def clear(self) -> None:
         self.length = 0
 
@@ -73,6 +81,16 @@ class BufferArea:
         self._buffers = [Buffer(self, i) for i in range(num_buffers)]
         self._free: List[int] = list(range(num_buffers))
         self._allocated = [False] * num_buffers
+        self._view: Optional[memoryview] = None
+
+    @property
+    def storage_view(self) -> memoryview:
+        """One cached memoryview over the whole area (created on first
+        zero-copy access; the export pins the storage, which is the
+        point — buffer areas are pinned memory)."""
+        if self._view is None:
+            self._view = memoryview(self._storage)
+        return self._view
 
     @property
     def total_bytes(self) -> int:

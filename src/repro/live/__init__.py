@@ -35,8 +35,11 @@ from .backend import (
     LiveTag,
     LiveUserEndpoint,
 )
+from .bufpool import BufferPool, PooledSlice, PoolExhausted
 from .clock import WallClock
 from .conform import LIVE_BUGS, inject_live_bug, register_live_substrates, run_live_case
+from .doorbell import DEFAULT_DOORBELL_MODE, DOORBELL_MODES, EventDoorbell
+from .mmsg import mmsg_available, mmsg_path
 from .transport import (
     TRANSPORT_KINDS,
     LiveTransport,
@@ -71,6 +74,14 @@ __all__ = [
     "FRAME_HEADER",
     "FRAME_HEADER_SIZE",
     "DEFAULT_MAX_PDU",
+    "BufferPool",
+    "PooledSlice",
+    "PoolExhausted",
+    "DOORBELL_MODES",
+    "DEFAULT_DOORBELL_MODE",
+    "EventDoorbell",
+    "mmsg_available",
+    "mmsg_path",
     "BENCH_FORMAT",
     "BENCH_SCHEMA",
     "bench_round_trip",

@@ -662,7 +662,10 @@ class LiveAm:
             return  # teardown race: an armed timer fired after close()
         for attempt in range(_SEND_RETRIES):
             try:
-                self.user.send(peer.channel, wire)
+                # batched backends defer the doorbell: the packet rides
+                # the next service pass's sendmmsg flush with its peers
+                self.user.send(peer.channel, wire,
+                               kick=not self.user.backend.defer_kick)
                 return
             except EndpointError:
                 self.user.backend.kick(self.user.endpoint)

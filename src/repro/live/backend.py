@@ -38,18 +38,32 @@ from ..core.descriptors import RecvDescriptor, SendDescriptor, SMALL_MESSAGE_MAX
 from ..core.endpoint import Endpoint, EndpointConfig
 from ..core.errors import AdmissionRejected, EndpointError, MessageTooLarge
 from ..core.mux import ShardedDemux
-from .transport import LiveTransport
+from .bufpool import BufferPool, PooledSlice
+from .doorbell import DEFAULT_DOORBELL_MODE, EventDoorbell, validate_doorbell_mode
+from .transport import LiveTransport, RECV_BATCH
 
 __all__ = ["LiveTag", "LiveBackend", "LiveUserEndpoint", "LiveCluster",
-           "FRAME_HEADER", "FRAME_HEADER_SIZE", "DEFAULT_MAX_PDU"]
+           "FRAME_HEADER", "FRAME_HEADER_SIZE", "DEFAULT_MAX_PDU",
+           "POOL_SLOTS"]
 
 #: dst_port, src_node, src_port
 FRAME_HEADER = "!HHH"
 FRAME_HEADER_SIZE = struct.calcsize(FRAME_HEADER)
+#: precompiled once — the per-message fast paths call bound methods on
+#: this instead of re-resolving the format through struct's cache
+_FRAME_STRUCT = struct.Struct(FRAME_HEADER)
 
 #: largest U-Net message U-Net/OS carries in one datagram; comfortably
 #: above both simulated substrates' PDUs and far below any datagram limit
 DEFAULT_MAX_PDU = 4096
+
+#: slots per zero-copy pool in batched mode (one batch deep on each of
+#: TX and RX, so a full drain never stalls on its own pool)
+POOL_SLOTS = RECV_BATCH
+
+#: longest an event-mode cluster parks in epoll before re-polling; short
+#: enough that AM retransmission timers still fire close to on time
+_EVENT_WAIT_US = 500.0
 
 
 class LiveTag:
@@ -78,13 +92,24 @@ class LiveBackend:
 
     def __init__(self, transport: LiveTransport, clock: Clock,
                  node_id: int = 0, node_name: str = "n0",
-                 max_pdu: int = DEFAULT_MAX_PDU) -> None:
+                 max_pdu: int = DEFAULT_MAX_PDU,
+                 doorbell_mode: str = DEFAULT_DOORBELL_MODE) -> None:
         self.transport = transport
         self.clock = clock
         self.sim = ClockShim(clock)
         self.node_id = node_id
         self.node_name = node_name
         self._max_pdu = max_pdu
+        self.doorbell_mode = validate_doorbell_mode(doorbell_mode)
+        #: zero-copy frame pools, only in batched mode — the busy-poll
+        #: and event data paths stay byte-for-byte the PR-4 baseline
+        slot = max_pdu + FRAME_HEADER_SIZE
+        if self.doorbell_mode == "batched":
+            self._tx_pool: Optional[BufferPool] = BufferPool(POOL_SLOTS, slot)
+            self._rx_pool: Optional[BufferPool] = BufferPool(POOL_SLOTS, slot)
+        else:
+            self._tx_pool = None
+            self._rx_pool = None
         self.endpoints: List[Endpoint] = []
         self._next_endpoint_id = 0
         self._next_port = 1
@@ -109,6 +134,13 @@ class LiveBackend:
     @property
     def max_pdu(self) -> int:
         return self._max_pdu
+
+    @property
+    def defer_kick(self) -> bool:
+        """Batched mode rings the doorbell per service pass, not per
+        send: producers enqueue with ``kick=False`` and the next pass
+        flushes a whole batch in one ``sendmmsg``."""
+        return self._tx_pool is not None
 
     def create_endpoint(self, config: Optional[EndpointConfig] = None,
                         owner: str = "", tenant: str = "", qos: str = "") -> Endpoint:
@@ -160,6 +192,8 @@ class LiveBackend:
         """
         if self.closed:
             return 0  # teardown: queued descriptors die with the node
+        if self._tx_pool is not None:
+            return self._kick_batched(endpoint)
         sent = 0
         while True:
             descriptor = endpoint.send_queue.peek()
@@ -184,6 +218,63 @@ class LiveBackend:
             sent += 1
         return sent
 
+    def _compose_frame(self, endpoint: Endpoint, descriptor: SendDescriptor,
+                       tag: LiveTag, slice_: PooledSlice) -> None:
+        """Frame ``descriptor`` into ``slice_`` without allocating: pack
+        the header in place, copy payload straight between the two
+        pinned areas."""
+        _FRAME_STRUCT.pack_into(slice_.view, 0, tag.dst_port,
+                                tag.src_node, tag.src_port)
+        offset = FRAME_HEADER_SIZE
+        for idx, length in descriptor.segments:
+            if length:
+                slice_.view[offset:offset + length] = \
+                    endpoint.buffers.buffer(idx).view(length)
+                offset += length
+        slice_.length = offset
+
+    def _kick_batched(self, endpoint: Endpoint) -> int:
+        """Batched doorbell: compose a queue prefix into the TX pool,
+        flush it in one ``send_many``, pop exactly what the kernel
+        accepted.  Identical backpressure contract to the scalar loop —
+        the unaccepted tail stays queued, FIFO order intact."""
+        pool = self._tx_pool
+        sent = 0
+        while True:
+            head = endpoint.send_queue.peek()
+            if head is None:
+                break
+            if endpoint.channels.get(head.channel_id) is None:
+                # validated at post_send; a vanished channel means teardown
+                endpoint.take_send_descriptor()
+                continue
+            batch: List[Tuple[object, PooledSlice]] = []
+            bindings = []
+            window = min(POOL_SLOTS, self.transport.tx_hint)
+            for descriptor in endpoint.send_queue.peek_many(window):
+                binding = endpoint.channels.get(descriptor.channel_id)
+                if binding is None:
+                    break  # flush up to here; it becomes the head next pass
+                slice_ = pool.try_alloc()
+                if slice_ is None:
+                    break  # pool backpressure: flush what we composed
+                self._compose_frame(endpoint, descriptor, binding.tag, slice_)
+                batch.append((binding.tag.dest_address, slice_))
+                bindings.append(binding)
+            if not batch:
+                break
+            accepted = self.transport.send_many(batch)
+            for i in range(accepted):
+                descriptor = endpoint.take_send_descriptor()
+                endpoint.send_completed(descriptor)
+                bindings[i].messages_sent += 1
+            for _dest, slice_ in batch:
+                pool.free(slice_)
+            sent += accepted
+            if accepted < len(batch):
+                break  # transport backpressure: the tail stays queued
+        return sent
+
     def service(self) -> int:
         """One doorbell-loop pass: egress drain, ingress drain, held
         (fault-delayed) datagrams whose deadline passed.  Returns the
@@ -195,11 +286,80 @@ class LiveBackend:
                 self.kick(endpoint)
         delivered = 0
         now = self.clock.now_us()
-        for raw in self.transport.recv_batch():
-            delivered += self._ingress(raw, now)
+        if self._rx_pool is not None:
+            for slice_ in self.transport.recv_batch_into(self._rx_pool):
+                try:
+                    if self._ingress_stage is None:
+                        delivered += self._deliver(slice_.payload())
+                    else:
+                        # a fault stage may hold the datagram past this
+                        # pass; materialize so the recycled slot can't
+                        # alias what the stage is still holding
+                        delivered += self._ingress(bytes(slice_.payload()), now)
+                finally:
+                    self._rx_pool.free(slice_)
+        else:
+            for raw in self.transport.recv_batch():
+                delivered += self._ingress(raw, now)
         while self._held and self._held[0][0] <= self.clock.now_us():
             _due, _n, raw = heapq.heappop(self._held)
             delivered += self._deliver(raw)
+        return delivered
+
+    def service_fast(self, on_message) -> int:
+        """Fast-path doorbell pass: batched ingress delivered as
+        zero-copy upcalls.
+
+        Runs the same egress kick and the same protection checks as
+        :meth:`service` — demux by tag, quarantine, shared drop
+        vocabulary — but hands each payload to ``on_message(endpoint,
+        channel_id, payload_view)`` straight out of the RX pool slice,
+        skipping descriptor composition and the buffer-area copy: the
+        moral equivalent of an Active Message handler running directly
+        on the NI's receive buffer.  The view dies when the upcall
+        returns (the slot is recycled); consumers that keep data copy
+        out, exactly as AM handlers must.  Batched mode only.
+        """
+        if self.closed:
+            return 0
+        if self._rx_pool is None:
+            raise EndpointError(
+                f"{self.node_name}: service_fast requires doorbell_mode="
+                f"'batched' (got {self.doorbell_mode!r})")
+        for endpoint in self.endpoints:
+            if not endpoint.send_queue.is_empty:
+                self.kick(endpoint)
+        delivered = 0
+        slices = self.transport.recv_batch_into(self._rx_pool)
+        # bound methods hoisted: this loop is the per-message RX cost
+        free = self._rx_pool.free
+        unpack = _FRAME_STRUCT.unpack_from
+        lookup = self.demux.lookup
+        done = 0
+        try:
+            for slice_ in slices:
+                length = slice_.length
+                view = slice_.view
+                if length >= FRAME_HEADER_SIZE:
+                    entry = lookup(unpack(view, 0))
+                    # None -> unknown tag, counted by the demux table
+                    if entry is not None:
+                        endpoint, channel_id = entry
+                        if endpoint.quarantined:
+                            self.quarantine_drops += 1
+                            endpoint.note_drop("quarantine_drops")
+                        else:
+                            on_message(endpoint, channel_id,
+                                       view[FRAME_HEADER_SIZE:length])
+                            delivered += 1
+                free(slice_)
+                done += 1
+        except BaseException:
+            # free is the loop's last step, so slices[done:] are still
+            # in flight (including the one the upcall blew up on)
+            for slice_ in slices[done:]:
+                free(slice_)
+            raise
         return delivered
 
     def install_ingress_stage(self, stage) -> None:
@@ -222,12 +382,12 @@ class LiveBackend:
         self._ingress_stage.process(raw, now, emit)
         return delivered
 
-    def _deliver(self, raw: bytes) -> int:
-        """Demux one datagram to its endpoint's receive queue."""
+    def _deliver(self, raw) -> int:
+        """Demux one datagram (``bytes`` or a pool-slice ``memoryview``)
+        to its endpoint's receive queue."""
         if len(raw) < FRAME_HEADER_SIZE:
             return 0
-        dst_port, src_node, src_port = struct.unpack(
-            FRAME_HEADER, raw[:FRAME_HEADER_SIZE])
+        dst_port, src_node, src_port = struct.unpack_from(FRAME_HEADER, raw, 0)
         payload = raw[FRAME_HEADER_SIZE:]
         entry = self.demux.lookup((dst_port, src_node, src_port))
         if entry is None:
@@ -238,8 +398,11 @@ class LiveBackend:
             endpoint.note_drop("quarantine_drops")
             return 0
         if len(payload) <= SMALL_MESSAGE_MAX:
+            # inline descriptors own their bytes (the slice is recycled
+            # after this call); bytes(bytes) is free for the scalar path
             descriptor = RecvDescriptor(channel_id=channel_id,
-                                        length=len(payload), inline=payload)
+                                        length=len(payload),
+                                        inline=bytes(payload))
         else:
             size = endpoint.buffers.buffer_size
             needed = (len(payload) + size - 1) // size
@@ -348,6 +511,72 @@ class LiveUserEndpoint:
     def kick(self) -> None:
         self.backend.kick(self.endpoint)
 
+    def send_burst(self, channel_id: int, payloads: List[bytes]) -> int:
+        """Zero-copy burst send: frame ``payloads`` straight into the TX
+        pool and flush with as few syscalls as the kernel allows.
+
+        One protection check covers the burst (one channel, one tag —
+        the paper's per-message protection is per-channel, established
+        at channel-registration time).  Returns how many messages the
+        kernel accepted, always a prefix of ``payloads``; backpressure
+        (pool or socket) yields a partial count and the caller retries
+        the tail.  Batched mode only.
+        """
+        if self._closed:
+            raise EndpointError(f"endpoint {self.endpoint.id} is closed")
+        pool = self.backend._tx_pool
+        if pool is None:
+            raise EndpointError(
+                f"endpoint {self.endpoint.id}: send_burst requires "
+                f"doorbell_mode='batched' "
+                f"(got {self.backend.doorbell_mode!r})")
+        max_pdu = self.backend.max_pdu
+        for payload in payloads:
+            if len(payload) > max_pdu:
+                raise MessageTooLarge(
+                    f"{len(payload)} bytes > max PDU {max_pdu}")
+        binding = lookup_channel(self.endpoint, channel_id)  # protection
+        tag: LiveTag = binding.tag
+        # one channel means one header for the whole burst: pack it once
+        header = _FRAME_STRUCT.pack(tag.dst_port, tag.src_node, tag.src_port)
+        dest = tag.dest_address
+        transport = self.backend.transport
+        try_alloc, free = pool.try_alloc, pool.free
+        sent = 0
+        total = len(payloads)
+        while sent < total:
+            batch: List[PooledSlice] = []
+            append = batch.append
+            j = sent
+            # compose only what the kernel has recently been accepting:
+            # frames composed past the would-block point are pure waste
+            limit = min(total, sent + transport.tx_hint)
+            while j < limit:
+                slice_ = try_alloc()
+                if slice_ is None:
+                    break
+                payload = payloads[j]
+                end = FRAME_HEADER_SIZE + len(payload)
+                view = slice_.view
+                view[:FRAME_HEADER_SIZE] = header
+                view[FRAME_HEADER_SIZE:end] = payload
+                slice_.length = end
+                append(slice_)
+                j += 1
+            if not batch:
+                break  # pool exhausted with nothing composed
+            accepted = transport.send_many_to(dest, batch)
+            for k in range(accepted):
+                self.endpoint.bytes_sent += batch[k].length - FRAME_HEADER_SIZE
+            for slice_ in batch:
+                free(slice_)
+            sent += accepted
+            if accepted < len(batch):
+                break  # kernel backpressure: caller retries the tail
+        self.endpoint.messages_sent += sent
+        binding.messages_sent += sent
+        return sent
+
     def _compose_buffers(self, payload: bytes):
         size = self.endpoint.buffers.buffer_size
         if not payload:
@@ -417,10 +646,16 @@ class LiveCluster:
     """
 
     def __init__(self, make_transport: Callable[[str], LiveTransport],
-                 clock: Clock, max_pdu: int = DEFAULT_MAX_PDU) -> None:
+                 clock: Clock, max_pdu: int = DEFAULT_MAX_PDU,
+                 doorbell_mode: str = DEFAULT_DOORBELL_MODE) -> None:
         self._make_transport = make_transport
         self.clock = clock
         self.max_pdu = max_pdu
+        self.doorbell_mode = validate_doorbell_mode(doorbell_mode)
+        #: event mode parks here when a full pass moved nothing; other
+        #: modes sleep blind (busy-poll's fixed backoff)
+        self._doorbell = (EventDoorbell()
+                          if self.doorbell_mode == "event" else None)
         self.nodes: List[LiveBackend] = []
 
     def add_node(self, name: Optional[str] = None) -> LiveBackend:
@@ -428,7 +663,8 @@ class LiveCluster:
         node_name = name or f"n{node_id}"
         backend = LiveBackend(self._make_transport(node_name), self.clock,
                               node_id=node_id, node_name=node_name,
-                              max_pdu=self.max_pdu)
+                              max_pdu=self.max_pdu,
+                              doorbell_mode=self.doorbell_mode)
         self.nodes.append(backend)
         return backend
 
@@ -470,9 +706,25 @@ class LiveCluster:
         while self.clock.now_us() < deadline:
             if predicate():
                 return True
-            if self.step() == 0 and idle_sleep_us > 0:
-                self.clock.sleep_us(idle_sleep_us)
+            if self.step() == 0:
+                if self._doorbell is not None:
+                    # interrupt-analogue: park until a socket is
+                    # readable (or a short timeout keeps AM timers live)
+                    self._doorbell.sync(node.transport.sock
+                                        for node in self.nodes)
+                    self._doorbell.wait_us(
+                        min(_EVENT_WAIT_US, deadline - self.clock.now_us()))
+                elif idle_sleep_us > 0:
+                    self.clock.sleep_us(idle_sleep_us)
         return predicate()
+
+    def wait_readable(self, timeout_us: float) -> int:
+        """Event-mode idle wait for external pump loops; returns the
+        number of readable sockets (0 on timeout or in other modes)."""
+        if self._doorbell is None:
+            return 0
+        self._doorbell.sync(node.transport.sock for node in self.nodes)
+        return self._doorbell.wait_us(timeout_us)
 
     def close(self) -> None:
         """Close every node's transport, even when one close raises.
@@ -489,6 +741,8 @@ class LiveCluster:
             except Exception as exc:  # pragma: no cover - defensive
                 if first_error is None:
                     first_error = exc
+        if self._doorbell is not None:
+            self._doorbell.close()
         if first_error is not None:
             raise first_error
 

@@ -29,6 +29,7 @@ from ..core import EndpointConfig
 from .am import LiveAm
 from .backend import LiveCluster
 from .clock import WallClock
+from .doorbell import DEFAULT_DOORBELL_MODE
 from .transport import make_transport
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "bench_round_trip",
     "bench_bandwidth",
     "bench_incast",
+    "bench_burst",
     "run_bench",
     "validate_bench",
     "write_bench",
@@ -46,7 +48,7 @@ __all__ = [
     "percentile",
 ]
 
-BENCH_FORMAT = "repro-bench-live/1"
+BENCH_FORMAT = "repro-bench-live/2"
 
 #: Figure 5's sweep, minus nothing: the live rig walks the same sizes
 RTT_SIZES = (0, 8, 16, 32, 40, 64, 128, 256, 512, 1024, 1498)
@@ -70,9 +72,11 @@ def percentile(samples: Sequence[float], q: float) -> float:
 
 # ------------------------------------------------------------------ plumbing
 def _make_pair(transport_kind: str, clock: WallClock,
-               config: Optional[AmConfig] = None) -> Tuple[LiveCluster, LiveAm, LiveAm, Callable[[], None]]:
+               config: Optional[AmConfig] = None,
+               doorbell_mode: str = DEFAULT_DOORBELL_MODE) -> Tuple[LiveCluster, LiveAm, LiveAm, Callable[[], None]]:
     """Two fresh nodes, one channel, AM endpoints, and their pump."""
-    cluster = LiveCluster(lambda name: make_transport(transport_kind, name), clock)
+    cluster = LiveCluster(lambda name: make_transport(transport_kind, name),
+                          clock, doorbell_mode=doorbell_mode)
     n0 = cluster.add_node("bench0")
     n1 = cluster.add_node("bench1")
     ep_cfg = EndpointConfig(num_buffers=96, buffer_size=2048,
@@ -100,12 +104,14 @@ def _syscalls(cluster: LiveCluster) -> int:
 
 # ------------------------------------------------------- round-trip latency
 def bench_round_trip(transport_kind: str, sizes: Sequence[int] = RTT_SIZES,
-                     samples: int = 40, warmup: int = 8) -> List[Dict]:
+                     samples: int = 40, warmup: int = 8,
+                     doorbell_mode: str = DEFAULT_DOORBELL_MODE) -> List[Dict]:
     """Figure 5's shape on the wall clock: AM echo RPC per size."""
     rows: List[Dict] = []
     clock = WallClock()
     for size in sizes:
-        cluster, am0, am1, pump = _make_pair(transport_kind, clock)
+        cluster, am0, am1, pump = _make_pair(transport_kind, clock,
+                                             doorbell_mode=doorbell_mode)
         try:
             am1.register_handler(1, lambda ctx: ctx.reply(args=(ctx.args[0],),
                                                           data=ctx.data))
@@ -139,12 +145,14 @@ def bench_round_trip(transport_kind: str, sizes: Sequence[int] = RTT_SIZES,
 # --------------------------------------------------------------- bandwidth
 def bench_bandwidth(transport_kind: str,
                     sizes: Sequence[int] = BANDWIDTH_SIZES,
-                    messages: int = 200) -> List[Dict]:
+                    messages: int = 200,
+                    doorbell_mode: str = DEFAULT_DOORBELL_MODE) -> List[Dict]:
     """Figure 6's shape: windowed one-way stream, goodput in Mb/s."""
     rows: List[Dict] = []
     clock = WallClock()
     for size in sizes:
-        cluster, am0, am1, pump = _make_pair(transport_kind, clock)
+        cluster, am0, am1, pump = _make_pair(transport_kind, clock,
+                                             doorbell_mode=doorbell_mode)
         try:
             received = [0]
 
@@ -186,7 +194,8 @@ def bench_bandwidth(transport_kind: str,
 
 # ------------------------------------------------------------------ incast
 def bench_incast(transport_kind: str, senders: int = 4,
-                 messages_per_sender: int = 100, size: int = 512) -> Dict:
+                 messages_per_sender: int = 100, size: int = 512,
+                 doorbell_mode: str = DEFAULT_DOORBELL_MODE) -> Dict:
     """N senders into one credit-gated receiver: the live overload shape.
 
     Receiver-credit flow is on, so the interesting outputs are the
@@ -195,7 +204,8 @@ def bench_incast(transport_kind: str, senders: int = 4,
     on a healthy run backpressure (stalls) substitutes for loss.
     """
     clock = WallClock()
-    cluster = LiveCluster(lambda name: make_transport(transport_kind, name), clock)
+    cluster = LiveCluster(lambda name: make_transport(transport_kind, name),
+                          clock, doorbell_mode=doorbell_mode)
     try:
         config = AmConfig(credit_flow=True)
         recv_node = cluster.add_node("sink")
@@ -269,12 +279,122 @@ def bench_incast(transport_kind: str, senders: int = 4,
         cluster.close()
 
 
+# ----------------------------------------------------------- burst fast path
+def _burst_pair(transport_kind: str, clock: WallClock, doorbell_mode: str,
+                use_mmsg: Optional[bool]):
+    """A pinned two-node pair for the burst A/B (identical topology for
+    both sides of the comparison)."""
+    cluster = LiveCluster(
+        lambda name: make_transport(transport_kind, name, use_mmsg=use_mmsg),
+        clock, doorbell_mode=doorbell_mode)
+    n0 = cluster.add_node("burst0")
+    n1 = cluster.add_node("burst1")
+    ep_cfg = EndpointConfig(num_buffers=96, buffer_size=2048,
+                            send_queue_depth=64, recv_queue_depth=64)
+    ep0 = n0.create_user_endpoint(config=ep_cfg, rx_buffers=48)
+    ep1 = n1.create_user_endpoint(config=ep_cfg, rx_buffers=48)
+    ch0, _ch1 = cluster.connect(ep0, ep1)
+    # pairwise pinned topology: exempts AF_UNIX from the max_dgram_qlen
+    # cap, so the kernel queue is deep enough for batching to amortize
+    n0.transport.connect_peer(n1.transport.address)
+    n1.transport.connect_peer(n0.transport.address)
+    return cluster, n0, n1, ep0, ep1, ch0
+
+
+def bench_burst(transport_kind: str, messages: int = 20000,
+                size: int = 256) -> Dict:
+    """The tentpole A/B: one-way stream at the raw endpoint layer,
+    per-syscall descriptor path vs batched zero-copy fast path.
+
+    Both sides run the identical pinned two-node topology and move the
+    identical byte stream; the only difference is the doorbell
+    discipline — scalar ``sendto``/``recvfrom`` per message against
+    pooled ``send_burst``/``service_fast`` over sendmmsg/recvmmsg.
+    The headline ratio is the paper's: messages per second bought per
+    kernel crossing spent.
+    """
+    clock = WallClock()
+    payloads = [bytes([i % 256]) * size for i in range(messages)]
+
+    def run_baseline() -> Dict:
+        cluster, n0, n1, ep0, ep1, ch0 = _burst_pair(
+            transport_kind, clock, DEFAULT_DOORBELL_MODE, use_mmsg=False)
+        try:
+            got = 0
+            sent = 0
+            deadline = clock.now_us() + _PHASE_LIMIT_US
+            t0 = clock.now_us()
+            while got < messages:
+                if clock.now_us() >= deadline:
+                    raise RuntimeError("burst baseline phase wedged")
+                if sent < messages:
+                    try:
+                        ep0.send(ch0, payloads[sent])
+                        sent += 1
+                    except Exception:
+                        n1.service()  # backpressure: let the sink drain
+                n1.service()
+                while ep1.poll() is not None:
+                    got += 1
+            elapsed_us = max(1.0, clock.now_us() - t0)
+            syscalls = (n0.transport.tx_syscalls + n1.transport.rx_syscalls)
+            return {
+                "msgs_per_sec": got * 1e6 / elapsed_us,
+                "syscalls_per_message": syscalls / max(1, got),
+                "elapsed_us": elapsed_us,
+            }
+        finally:
+            cluster.close()
+
+    def run_batched() -> Dict:
+        cluster, n0, n1, ep0, ep1, ch0 = _burst_pair(
+            transport_kind, clock, "batched", use_mmsg=None)
+        try:
+            got = [0]
+
+            def on_message(_endpoint, _channel_id, _view) -> None:
+                got[0] += 1
+
+            sent = 0
+            deadline = clock.now_us() + _PHASE_LIMIT_US
+            t0 = clock.now_us()
+            while got[0] < messages:
+                if clock.now_us() >= deadline:
+                    raise RuntimeError("burst batched phase wedged")
+                if sent < messages:
+                    sent += ep0.send_burst(ch0, payloads[sent:sent + 64])
+                n1.service_fast(on_message)
+            elapsed_us = max(1.0, clock.now_us() - t0)
+            syscalls = (n0.transport.tx_syscalls + n1.transport.rx_syscalls)
+            return {
+                "msgs_per_sec": got[0] * 1e6 / elapsed_us,
+                "syscalls_per_message": syscalls / max(1, got[0]),
+                "elapsed_us": elapsed_us,
+            }, n0.transport.batch_path()
+        finally:
+            cluster.close()
+
+    baseline = run_baseline()
+    batched, batch_path = run_batched()
+    return {
+        "messages": messages,
+        "size": size,
+        "baseline": baseline,
+        "batched": batched,
+        "speedup": batched["msgs_per_sec"] / max(1e-9,
+                                                 baseline["msgs_per_sec"]),
+        "batch_path": batch_path,
+    }
+
+
 # ------------------------------------------------------------------- driver
 def run_bench(transport_kind: str = "unix", rtt_samples: int = 40,
               bw_messages: int = 200, incast_senders: int = 4,
               incast_messages: int = 100,
               rtt_sizes: Sequence[int] = RTT_SIZES,
               bw_sizes: Sequence[int] = BANDWIDTH_SIZES,
+              burst_messages: int = 20000, burst_size: int = 256,
+              doorbell_mode: str = DEFAULT_DOORBELL_MODE,
               progress: Optional[Callable[[str], None]] = None) -> Dict:
     """The full rig: Fig 5 shape, Fig 6 shape, incast; one JSON payload."""
     def note(msg: str) -> None:
@@ -286,20 +406,29 @@ def run_bench(transport_kind: str = "unix", rtt_samples: int = 40,
     note(f"round-trip latency over {transport_kind} "
          f"({len(rtt_sizes)} sizes x {rtt_samples} samples)...")
     round_trip = bench_round_trip(transport_kind, sizes=rtt_sizes,
-                                  samples=rtt_samples)
+                                  samples=rtt_samples,
+                                  doorbell_mode=doorbell_mode)
     note(f"bandwidth ({len(bw_sizes)} sizes x {bw_messages} messages)...")
     bandwidth = bench_bandwidth(transport_kind, sizes=bw_sizes,
-                                messages=bw_messages)
+                                messages=bw_messages,
+                                doorbell_mode=doorbell_mode)
     note(f"incast ({incast_senders} senders x {incast_messages} messages)...")
     incast = bench_incast(transport_kind, senders=incast_senders,
-                          messages_per_sender=incast_messages)
+                          messages_per_sender=incast_messages,
+                          doorbell_mode=doorbell_mode)
+    note(f"burst fast path ({burst_messages} messages x {burst_size}B, "
+         f"per-syscall vs batched)...")
+    burst = bench_burst(transport_kind, messages=burst_messages,
+                        size=burst_size)
     payload = {
         "format": BENCH_FORMAT,
         "transport": transport_kind,
+        "doorbell_mode": doorbell_mode,
         "elapsed_s": (clock.now_us() - t0) / 1e6,
         "round_trip": round_trip,
         "bandwidth": bandwidth,
         "incast": incast,
+        "burst": burst,
     }
     errors = validate_bench(payload)
     if errors:  # pragma: no cover - a rig bug, not an input condition
@@ -320,13 +449,20 @@ _ROW_INCAST = {"senders": int, "messages_per_sender": int, "size": int,
                "delivered": int, "elapsed_us": float, "goodput_mbps": float,
                "credit_stalls": int, "rexmit": int, "recv_queue_drops": int,
                "no_buffer_drops": int, "syscalls_per_message": float}
+_ROW_BURST_SIDE = {"msgs_per_sec": float, "syscalls_per_message": float,
+                   "elapsed_us": float}
+_ROW_BURST = {"messages": int, "size": int, "baseline": _ROW_BURST_SIDE,
+              "batched": _ROW_BURST_SIDE, "speedup": float,
+              "batch_path": str}
 BENCH_SCHEMA = {
     "format": str,
     "transport": str,
+    "doorbell_mode": str,
     "elapsed_s": float,
     "round_trip": [_ROW_RTT],
     "bandwidth": [_ROW_BW],
     "incast": _ROW_INCAST,
+    "burst": _ROW_BURST,
 }
 
 
@@ -396,4 +532,17 @@ def render_bench(payload: Dict) -> str:
                  f"{inc['credit_stalls']} credit stalls, "
                  f"{inc['recv_queue_drops']} recv-queue drops, "
                  f"{inc['rexmit']} rexmit")
+    burst = payload.get("burst")
+    if burst:
+        base, fast = burst["baseline"], burst["batched"]
+        lines.append(
+            f"  burst fast path ({burst['messages']} x {burst['size']}B, "
+            f"{burst['batch_path']}):")
+        lines.append(
+            f"    per-syscall {base['msgs_per_sec']:>10,.0f} msg/s "
+            f"at {base['syscalls_per_message']:.2f} sys/msg")
+        lines.append(
+            f"    batched     {fast['msgs_per_sec']:>10,.0f} msg/s "
+            f"at {fast['syscalls_per_message']:.3f} sys/msg "
+            f"({burst['speedup']:.1f}x)")
     return "\n".join(lines)

@@ -38,6 +38,7 @@ from ..faults.scripted import scripted_stage_factory
 from .am import LiveAm
 from .backend import LiveCluster
 from .clock import WallClock
+from .doorbell import DEFAULT_DOORBELL_MODE
 from .transport import available_transport_kinds, make_transport, transport_available
 
 __all__ = ["run_live_case", "inject_live_bug", "LIVE_BUGS",
@@ -120,12 +121,21 @@ def _payload(i: int, size: int) -> bytes:
 
 
 def run_live_case(case: ConformanceCase, transport_kind: str = "unix",
-                  bug: Optional[str] = None) -> ObservedTrace:
-    """Run ``case`` on U-Net/OS and collect its observable trace."""
+                  bug: Optional[str] = None,
+                  doorbell_mode: str = DEFAULT_DOORBELL_MODE) -> ObservedTrace:
+    """Run ``case`` on U-Net/OS and collect its observable trace.
+
+    ``doorbell_mode`` selects the backend's doorbell discipline —
+    busy-poll, event (epoll-parked), or batched (pooled zero-copy
+    RX/TX with sendmmsg/recvmmsg) — and must be observably invisible
+    here: the parity matrix diffs every mode against the reference
+    model and demands zero semantic divergence.
+    """
     clock = WallClock()
     limit_us = min(case.time_limit_us, WALL_LIMIT_US)
     with inject_live_bug(bug), LiveCluster(
-            lambda name: make_transport(transport_kind, name), clock) as cluster:
+            lambda name: make_transport(transport_kind, name), clock,
+            doorbell_mode=doorbell_mode) as cluster:
         n0 = cluster.add_node("n0")
         n1 = cluster.add_node("n1")
         sender_cfg = EndpointConfig(num_buffers=64, buffer_size=2048,
@@ -186,9 +196,13 @@ def run_live_case(case: ConformanceCase, transport_kind: str = "unix",
         am1.register_handler(2, rpc_handler)
 
         def pump() -> None:
-            cluster.step()
+            moved = cluster.step()
             am0.service()
             am1.service()
+            if not moved and doorbell_mode == "event":
+                # park on epoll instead of spinning: the event doorbell
+                # wakes us the moment either socket turns readable
+                cluster.wait_readable(500.0)
 
         deadline = clock.now_us() + limit_us
         completed = True
@@ -294,3 +308,17 @@ def register_live_substrates() -> None:
         available=lambda: transport_available("udp"),
         relaxed_timing=True,
         description="U-Net/OS over UDP loopback")
+    register_substrate(
+        "live-batched",
+        lambda case, bug=None: run_live_case(case, _auto_kind(), bug=bug,
+                                             doorbell_mode="batched"),
+        available=lambda: bool(available_transport_kinds()),
+        relaxed_timing=True,
+        description="U-Net/OS with pooled zero-copy batched doorbells")
+    register_substrate(
+        "live-event",
+        lambda case, bug=None: run_live_case(case, _auto_kind(), bug=bug,
+                                             doorbell_mode="event"),
+        available=lambda: bool(available_transport_kinds()),
+        relaxed_timing=True,
+        description="U-Net/OS with the epoll event doorbell")

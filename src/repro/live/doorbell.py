@@ -1,0 +1,96 @@
+"""Doorbell modes for the live substrate: fast-trap vs interrupt, reborn.
+
+The paper's §3 dichotomy — poll a doorbell word (U-Net/ATM's i960 spin
+loop, U-Net/FE's fast trap) or take an interrupt and pay the wakeup —
+maps onto the modern userspace-networking choice between busy-polling a
+non-blocking socket and parking in ``epoll_wait`` until the kernel says
+a datagram arrived.  :data:`DOORBELL_MODES` names the three stances the
+live backend can take:
+
+* ``busy-poll`` — the PR-4 baseline: every service pass issues
+  non-blocking syscalls, one per datagram, and idle passes sleep a
+  fixed 50 µs.  Lowest latency under load, burns syscalls while idle.
+* ``event`` — interrupt-analogue: same scalar data path, but an idle
+  cluster parks in :class:`EventDoorbell` (``selectors``/epoll) and is
+  woken by readability instead of sleeping blind.
+* ``batched`` — fast-trap amortized: egress composes frames into a
+  zero-copy pool and flushes up to a batch per doorbell ring
+  (``sendmmsg``), ingress drains straight into pool slices
+  (``recvmmsg``/``recvmsg_into``), driving syscalls-per-message well
+  below 1.
+
+This module is a declared determinism-lint boundary (with ``clock.py``):
+``selectors`` blocks on the wall clock, so it is banned everywhere else
+in ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import selectors
+from typing import Dict, Iterable
+
+__all__ = ["DOORBELL_MODES", "DEFAULT_DOORBELL_MODE", "validate_doorbell_mode",
+           "EventDoorbell"]
+
+#: the three stances; also the CLI/bench/conformance vocabulary
+DOORBELL_MODES = ("busy-poll", "event", "batched")
+DEFAULT_DOORBELL_MODE = "busy-poll"
+
+
+def validate_doorbell_mode(mode: str) -> str:
+    if mode not in DOORBELL_MODES:
+        raise ValueError(f"unknown doorbell mode {mode!r}; "
+                         f"choose from {DOORBELL_MODES}")
+    return mode
+
+
+class EventDoorbell:
+    """Readability-wait over a set of live sockets (the interrupt line).
+
+    ``sync`` keeps the selector's registrations matching the cluster's
+    current sockets — nodes crash and restart mid-run, so membership is
+    re-reconciled before every wait rather than tracked by callbacks.
+    """
+
+    def __init__(self) -> None:
+        self._selector = selectors.DefaultSelector()
+        self._registered: Dict[int, object] = {}
+
+    def sync(self, socks: Iterable) -> None:
+        """Register new sockets, drop closed/vanished ones."""
+        current = {}
+        for sock in socks:
+            if sock is None:
+                continue
+            try:
+                current[sock.fileno()] = sock
+            except (OSError, ValueError):
+                continue  # closed underneath us
+        for fd in list(self._registered):
+            if fd not in current:
+                try:
+                    self._selector.unregister(self._registered[fd])
+                except (KeyError, ValueError, OSError):
+                    pass
+                del self._registered[fd]
+        for fd, sock in current.items():
+            if fd not in self._registered:
+                try:
+                    self._selector.register(sock, selectors.EVENT_READ)
+                except (KeyError, ValueError, OSError):
+                    continue
+                self._registered[fd] = sock
+
+    def wait_us(self, timeout_us: float) -> int:
+        """Park until a registered socket is readable or the timeout
+        lapses; returns how many sockets woke us (0 on timeout)."""
+        if not self._registered:
+            return 0
+        try:
+            return len(self._selector.select(max(0.0, timeout_us) / 1e6))
+        except OSError:
+            return 0  # a watched fd died mid-wait; sync() will prune it
+
+    def close(self) -> None:
+        self._registered.clear()
+        self._selector.close()

@@ -16,6 +16,7 @@ Two flavours are provided:
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 from typing import Callable, Deque, Generic, List, Optional, Tuple, TypeVar
 
 from .engine import Simulator
@@ -167,6 +168,15 @@ class BoundedRing(Generic[T]):
 
     def peek(self) -> Optional[T]:
         return self._items[0] if self._items else None
+
+    def peek_many(self, n: int) -> List[T]:
+        """The first ``n`` items, oldest first, without popping.
+
+        Lets a batching consumer compose one burst from the queue head
+        and then pop exactly as many entries as the device accepted —
+        the tail stays queued under backpressure, FIFO order intact.
+        """
+        return list(islice(self._items, n))
 
     def drain(self) -> List[T]:
         """Pop everything currently queued (the 'consume all pending

@@ -7,7 +7,15 @@ provide one (the CI contract: skipped, never silently passed).
 
 import pytest
 
-from repro.live import available_transport_kinds
+from repro.live import available_transport_kinds, mmsg_path
+
+
+def pytest_report_header(config):
+    """One CI log line saying which batching path this run exercised —
+    so a green run on a non-Linux box is visibly a portable-path run,
+    not a silent claim that the ctypes mmsg path was covered."""
+    kinds = ", ".join(available_transport_kinds()) or "none"
+    return f"live substrate: transports [{kinds}], batching via {mmsg_path()}"
 
 
 @pytest.fixture

@@ -1,0 +1,145 @@
+"""Property tests for the zero-copy buffer pool.
+
+The pool's three invariants (no aliasing between in-flight slices, no
+leaks, exhaustion-as-backpressure) hold under *any* interleaving of
+alloc/free/write, not just the tidy ones the transport happens to
+produce — so Hypothesis drives the interleavings.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import UNetError
+from repro.live import BufferPool, PooledSlice, PoolExhausted
+
+
+# ----------------------------------------------------------------- unit edge
+def test_construction_validates_geometry():
+    with pytest.raises(ValueError):
+        BufferPool(0, 64)
+    with pytest.raises(ValueError):
+        BufferPool(4, 0)
+
+
+def test_exhaustion_is_typed_backpressure():
+    pool = BufferPool(2, 32)
+    held = [pool.alloc(), pool.alloc()]
+    assert pool.try_alloc() is None
+    with pytest.raises(PoolExhausted) as exc:
+        pool.alloc()
+    # the shared drop-class vocabulary: exhaustion == backpressure,
+    # the same disposition as an EAGAIN from a full kernel buffer
+    assert exc.value.drop_class == "backpressure"
+    assert pool.exhausted_total == 2
+    for s in held:
+        pool.free(s)
+    assert pool.free_count == 2
+
+
+def test_double_free_and_foreign_free_raise():
+    pool, other = BufferPool(2, 32), BufferPool(2, 32)
+    s = pool.alloc()
+    pool.free(s)
+    with pytest.raises(UNetError):
+        pool.free(s)
+    t = other.alloc()
+    with pytest.raises(UNetError):
+        pool.free(t)
+
+
+def test_slice_payload_tracks_length():
+    pool = BufferPool(1, 16)
+    s = pool.alloc()
+    s.view[:4] = b"abcd"
+    s.length = 4
+    assert bytes(s.payload()) == b"abcd"
+    pool.free(s)
+    assert s.length == 0  # free wipes the valid-byte count
+
+
+def test_slot_addresses_are_disjoint_and_stable():
+    pool = BufferPool(4, 64)
+    slices = [pool.alloc() for _ in range(4)]
+    addresses = [s.address for s in slices]
+    if pool.base_address:  # ctypes available
+        assert sorted(addresses) == [pool.base_address + i * 64
+                                     for i in range(4)]
+    for s in slices:
+        pool.free(s)
+    # recycling hands back the same preallocated slice objects with the
+    # same addresses — nothing is reallocated, ever
+    again = [pool.alloc() for _ in range(4)]
+    assert {id(s) for s in again} == {id(s) for s in slices}
+
+
+# ------------------------------------------------------------- property side
+@st.composite
+def _alloc_free_script(draw):
+    """A random interleaving of alloc (True) and free-victim choices."""
+    return draw(st.lists(
+        st.one_of(st.just(("alloc",)),
+                  st.tuples(st.just("free"), st.integers(0, 31))),
+        min_size=1, max_size=200))
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=_alloc_free_script(),
+       slots=st.integers(1, 8), slot_size=st.sampled_from([16, 64, 256]))
+def test_interleavings_never_alias_never_leak(script, slots, slot_size):
+    """Under any alloc/free interleaving: (1) in-flight slices occupy
+    disjoint byte ranges and writes through one never appear through
+    another; (2) the books balance exactly; (3) exhaustion is always
+    None, never a corrupted slice."""
+    pool = BufferPool(slots, slot_size)
+    in_flight = {}
+    stamp = 0
+    for op in script:
+        if op[0] == "alloc":
+            s = pool.try_alloc()
+            if s is None:
+                assert len(in_flight) == slots  # only exhaustion says no
+                continue
+            assert s.index not in in_flight, "slice handed out twice"
+            assert s.in_flight and s.length == 0
+            stamp = (stamp + 1) % 251
+            s.view[:] = bytes([stamp]) * slot_size  # brand the whole slot
+            in_flight[s.index] = (s, stamp)
+        else:
+            if not in_flight:
+                continue
+            keys = sorted(in_flight)
+            victim, _brand = in_flight.pop(keys[op[1] % len(keys)])
+            pool.free(victim)
+    # aliasing check: every surviving slice still carries its own brand
+    for index, (s, brand) in in_flight.items():
+        assert s.view.tobytes() == bytes([brand]) * slot_size, (
+            f"slot {index} was overwritten by a sibling slice")
+    # leak check: the books balance
+    assert pool.in_flight_count == len(in_flight)
+    assert pool.free_count == slots - len(in_flight)
+    assert pool.alloc_total == pool.free_total + len(in_flight)
+    for s, _brand in in_flight.values():
+        pool.free(s)
+    assert pool.free_count == slots
+
+
+@settings(max_examples=30, deadline=None)
+@given(slots=st.integers(1, 16))
+def test_full_drain_restores_full_capacity(slots):
+    pool = BufferPool(slots, 32)
+    taken = []
+    while True:
+        s = pool.try_alloc()
+        if s is None:
+            break
+        taken.append(s)
+    assert len(taken) == slots
+    for s in reversed(taken):
+        pool.free(s)
+    assert pool.free_count == slots and pool.in_flight_count == 0
+    # and the pool is immediately reusable at full depth
+    again = [pool.try_alloc() for _ in range(slots)]
+    assert all(isinstance(s, PooledSlice) for s in again)
+    for s in again:
+        pool.free(s)

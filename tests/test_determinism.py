@@ -88,15 +88,22 @@ _BANNED_CALLS = {
     ("os", "urandom"),
 }
 
+#: modules whose import alone signals wall-clock blocking: ``time``
+#: obviously, and the readiness-wait APIs (``select``/``selectors``),
+#: which park the process until real I/O happens
+_BLOCKING_MODULES = {"time", "select", "selectors"}
+
 #: Per-package determinism boundaries.  Key: top-level subpackage of
 #: ``repro`` (``""`` for modules directly under it).  Value: the only
 #: files in that package allowed to touch the ambient primitives — the
 #: named seams behind which real time/randomness is confined.  The
 #: live substrate runs on the wall clock by design, but every live
-#: module except its Clock seam must still receive time via injection,
-#: or conformance cases could never run against a ManualClock.
+#: module except its Clock seam (and the event-doorbell seam, which
+#: exists to block on socket readiness) must still receive time via
+#: injection, or conformance cases could never run against a
+#: ManualClock.
 DETERMINISM_BOUNDARIES = {
-    "live": {"clock.py"},
+    "live": {"clock.py", "doorbell.py"},
 }
 
 
@@ -120,6 +127,18 @@ def _banned_calls_in(path: pathlib.Path, source=None):
         if (isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name)
                 and (fn.value.id, fn.attr) in _BANNED_CALLS):
             yield f"{path.name}:{node.lineno}: {fn.value.id}.{fn.attr}()"
+
+
+def _blocking_imports_in(path: pathlib.Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in _BLOCKING_MODULES:
+                    yield f"{path.name}:{node.lineno}: import {alias.name}"
+        elif (isinstance(node, ast.ImportFrom)
+                and node.module in _BLOCKING_MODULES):
+            yield f"{path.name}:{node.lineno}: from {node.module} import ..."
 
 
 def test_no_ambient_nondeterminism_outside_declared_boundaries():
@@ -158,32 +177,32 @@ def test_lint_catches_a_planted_offender():
 
 def test_boundary_allowlist_is_exact():
     """Every declared boundary module must exist and must actually use
-    an ambient primitive — a stale entry is a blanket exemption waiting
-    to hide a real offender."""
+    an ambient primitive — a banned call or a blocking-module import —
+    or a stale entry becomes a blanket exemption waiting to hide a real
+    offender."""
     for package, names in DETERMINISM_BOUNDARIES.items():
         for name in sorted(names):
             path = SRC_ROOT / package / name
             assert path.is_file(), f"stale boundary entry: {package}/{name}"
-            assert list(_banned_calls_in(path)), (
+            assert (list(_banned_calls_in(path))
+                    or list(_blocking_imports_in(path))), (
                 f"boundary module {package}/{name} no longer touches any "
                 f"ambient primitive; drop it from DETERMINISM_BOUNDARIES")
 
 
 def test_wall_time_is_confined_to_boundary_modules():
-    """No module outside a boundary may even import ``time``: the live
-    substrate gets its notion of time through an injected Clock, which
-    is what lets conformance drive LiveAm with a ManualClock in tests."""
+    """No module outside a boundary may even import ``time`` or the
+    readiness-wait APIs (``select``/``selectors``): the live substrate
+    gets its notion of time through an injected Clock — which is what
+    lets conformance drive LiveAm with a ManualClock in tests — and
+    blocks on real I/O only inside the declared doorbell seam."""
     importers = []
     for path in sorted(SRC_ROOT.rglob("*.py")):
         if _is_boundary_module(path):
             continue
-        tree = ast.parse(path.read_text(encoding="utf-8"))
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                if any(a.name == "time" for a in node.names):
-                    importers.append(str(path.relative_to(SRC_ROOT)))
-            elif isinstance(node, ast.ImportFrom) and node.module == "time":
-                importers.append(str(path.relative_to(SRC_ROOT)))
+        rel = path.relative_to(SRC_ROOT)
+        importers.extend(f"{rel.parent / hit}"
+                         for hit in _blocking_imports_in(path))
     assert not importers, (
-        "wall time imported outside a declared boundary module:\n  "
-        + "\n  ".join(importers))
+        "wall time or readiness-wait imported outside a declared "
+        "boundary module:\n  " + "\n  ".join(importers))
