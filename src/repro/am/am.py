@@ -441,6 +441,12 @@ class AmEndpoint:
         self._rng = rng or random.Random(0x5EED ^ node_id)
         self._peers_by_node: Dict[int, _PeerState] = {}
         self._peers_by_channel: Dict[int, _PeerState] = {}
+        #: on-demand channel establishment: called with a node id the
+        #: first time it is addressed; expected to set up the channel
+        #: (signaling is off the critical path, zero simulated time) and
+        #: ``connect_peer`` both ends.  Lets a cluster skip the O(N^2)
+        #: eager full mesh.
+        self.peer_resolver: Optional[Callable[[int], None]] = None
         self._handlers: Dict[int, Handler] = {}
         #: rpc completion events keyed by (peer node, request seq)
         self._rpc_waiters: Dict[Tuple[int, int], Event] = {}
@@ -955,10 +961,13 @@ class AmEndpoint:
         return sum(p.credit_stalls for p in self._peers_by_node.values())
 
     def _peer(self, node: int) -> _PeerState:
-        try:
-            return self._peers_by_node[node]
-        except KeyError:
-            raise AmError(f"node {node} is not a connected peer of node {self.node}") from None
+        peer = self._peers_by_node.get(node)
+        if peer is None and self.peer_resolver is not None:
+            self.peer_resolver(node)
+            peer = self._peers_by_node.get(node)
+        if peer is None:
+            raise AmError(f"node {node} is not a connected peer of node {self.node}")
+        return peer
 
     # ------------------------------------------------------------ receiving
     def _dispatch_loop(self) -> Generator:

@@ -6,8 +6,11 @@ metric regressed by more than the threshold (15% by default).  The
 headline set is format-dispatched, so the same command guards both the
 wall-clock rig (``repro-bench-live/2``: p50 latency per size, goodput
 per size, incast goodput, and the batched fast path's throughput,
-syscalls-per-message, and speedup) and the deterministic transport
-ablation (``repro-bench-transport/1``: goodput per scenario and mode).
+syscalls-per-message, and speedup), the deterministic transport
+ablation (``repro-bench-transport/1``: goodput per scenario and mode),
+and the collective-latency sweep (``repro-bench-collectives/1``: mean
+barrier/reduce latency per substrate, mode, and node count, plus the
+host-vs-NIC speedup ratios).
 
 Direction matters: latency regresses *up*, goodput regresses *down*.
 Improvements of any size and regressions inside the threshold are
@@ -95,10 +98,28 @@ def _transport_headlines(payload: dict) -> List[Tuple[str, str, float]]:
     return metrics
 
 
+def _collectives_headlines(payload: dict) -> List[Tuple[str, str, float]]:
+    """Every measured latency cell, plus the host/nic speedup ratios.
+
+    All values are simulated time, so they are deterministic and any
+    drift is a real behaviour change.  The ``engine`` events/sec
+    snapshot is deliberately *not* a headline — it is wall-clock and
+    machine-dependent."""
+    metrics: List[Tuple[str, str, float]] = []
+    for p in payload["points"]:
+        metrics.append((f"{p['op']}[{p['substrate']},{p['mode']},"
+                        f"n{p['nodes']}].mean_us", "lower", p["mean_us"]))
+    for s in payload["speedups"]:
+        metrics.append((f"speedup[{s['substrate']},n{s['nodes']}].{s['op']}",
+                        "higher", s["speedup"]))
+    return metrics
+
+
 _HEADLINES = {
     "repro-bench-live/1": _live_headlines,
     "repro-bench-live/2": _live_v2_headlines,
     "repro-bench-transport/1": _transport_headlines,
+    "repro-bench-collectives/1": _collectives_headlines,
 }
 
 

@@ -2,15 +2,22 @@
 
 Section 4.4.3 notes that, unlike MAC-addressed U-Net/FE, "U-Net/ATM
 does not suffer this problem as virtual circuits are established
-network-wide."  This module provides that: a chain of ASX-200 switches
+network-wide."  This module provides that: a fabric of ASX-200 switches
 joined by trunk links, with signaling that programs the VCI route on
 every switch along the path, so endpoints communicate across the fabric
 with no encapsulation and only the per-switch forwarding latency added.
+
+The switch graph is any :class:`~repro.fabric.topology.Topology` — the
+default is the legacy linear chain, and the Clos builders in
+``repro.fabric`` pass a leaf/spine graph.  Route programming walks an
+arbitrary switch path computed by the topology layer, and successive
+VCs are spread round-robin across parallel shortest paths, so a Clos
+fabric's spines all carry traffic.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..core.api import Host, UserEndpoint
 from ..core.channels import AtmTag, register_channel
@@ -22,14 +29,18 @@ from .phy import OC3_SONET, AtmPhy, CellLink
 from .switch import AtmSwitch
 from .unet_atm import AtmTimings, UNetAtmBackend
 
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from ..fabric.topology import Topology
+
 __all__ = ["AtmFabric"]
 
 
 class AtmFabric:
-    """A linear chain of ATM switches with network-wide VCs.
+    """ATM switches joined per a declarative topology, with network-wide VCs.
 
     Hosts attach to any switch; :meth:`connect` sets up a duplex virtual
-    circuit whose VCI is programmed hop by hop along the chain.
+    circuit whose VCI is programmed hop by hop along a shortest switch
+    path, rotating across parallel paths connection by connection.
     """
 
     def __init__(
@@ -38,20 +49,31 @@ class AtmFabric:
         switches: int = 2,
         trunk_phy: AtmPhy = OC3_SONET,
         trunk_propagation_us: float = 2.0,
+        topology: Optional["Topology"] = None,
     ) -> None:
-        if switches < 1:
-            raise ValueError("need at least one switch")
+        if topology is None:
+            # imported lazily: repro.fabric imports this module back
+            from ..fabric.topology import linear_topology
+
+            if switches < 1:
+                raise ValueError("need at least one switch")
+            topology = linear_topology(switches)
         self.sim = sim
-        self.switches: List[AtmSwitch] = [AtmSwitch(sim, name=f"asx200-{i}") for i in range(switches)]
-        self._next_port: List[int] = [0] * switches
-        #: per switch: trunk port numbers toward the previous / next switch
-        self._trunk_up: Dict[int, int] = {}
-        self._trunk_down: Dict[int, int] = {}
+        self.topology = topology
+        self.switches: List[AtmSwitch] = [
+            AtmSwitch(sim, name=f"asx200-{i}") for i in range(topology.num_switches)
+        ]
+        self._next_port: List[int] = [0] * topology.num_switches
+        #: (switch, neighbour) -> port on ``switch`` whose egress trunk
+        #: leads to ``neighbour``
+        self._trunk_port: Dict[Tuple[int, int], int] = {}
+        self._trunk_links: Dict[Tuple[int, int], CellLink] = {}
         self._host_port: Dict[UNetAtmBackend, Tuple[int, int]] = {}
         self._next_vci = 32
+        self._path_key = 0
         self.hosts: List[Host] = []
-        for i in range(switches - 1):
-            self._join(i, i + 1, trunk_phy, trunk_propagation_us)
+        for a, b in topology.trunks:
+            self._join(a, b, trunk_phy, trunk_propagation_us)
 
     def _allocate_port(self, switch_index: int) -> int:
         port = self._next_port[switch_index]
@@ -59,18 +81,25 @@ class AtmFabric:
         return port
 
     def _join(self, a: int, b: int, phy: AtmPhy, propagation_us: float) -> None:
-        """Duplex trunk between adjacent switches ``a`` and ``b``."""
+        """Duplex trunk between switches ``a`` and ``b``."""
         toward_b = CellLink(self.sim, phy, propagation_us, name=f"trunk{a}->{b}")
         toward_b.deliver = self.switches[b].on_cell
         port_a = self._allocate_port(a)
         self.switches[a].attach_port(port_a, toward_b)
-        self._trunk_up[a] = port_a
+        self._trunk_port[(a, b)] = port_a
+        self._trunk_links[(a, b)] = toward_b
 
         toward_a = CellLink(self.sim, phy, propagation_us, name=f"trunk{b}->{a}")
         toward_a.deliver = self.switches[a].on_cell
         port_b = self._allocate_port(b)
         self.switches[b].attach_port(port_b, toward_a)
-        self._trunk_down[b] = port_b
+        self._trunk_port[(b, a)] = port_b
+        self._trunk_links[(b, a)] = toward_a
+
+    def trunk_link(self, a: int, b: int) -> CellLink:
+        """The egress trunk from switch ``a`` toward adjacent ``b``
+        (fault injection and tests interpose on its ``deliver``)."""
+        return self._trunk_links[(a, b)]
 
     def add_host(
         self,
@@ -104,30 +133,38 @@ class AtmFabric:
         self._next_vci += 1
         return vci
 
-    def _program_path(self, vci: int, src_switch: int, dst_switch: int, dst_port: int) -> None:
-        """Program ``vci`` hop by hop from src toward the destination."""
-        current = src_switch
-        while current != dst_switch:
-            if current < dst_switch:
-                self.switches[current].program_route(vci, self._trunk_up[current])
-                current += 1
-            else:
-                self.switches[current].program_route(vci, self._trunk_down[current])
-                current -= 1
-        self.switches[dst_switch].program_route(vci, dst_port)
+    def _program_path(self, vci: int, path: List[int], dst_port: int) -> None:
+        """Program ``vci`` hop by hop along an arbitrary switch path."""
+        for here, nxt in zip(path, path[1:]):
+            self.switches[here].program_route(vci, self._trunk_port[(here, nxt)])
+        self.switches[path[-1]].program_route(vci, dst_port)
+
+    def _connect_backends(
+        self, backend_a: UNetAtmBackend, backend_b: UNetAtmBackend
+    ) -> Tuple[int, int]:
+        """Duplex VC between two attached NICs; returns (vci a→b, vci b→a).
+
+        Both directions ride the same switch path (symmetric RTT); the
+        path key rotates per connection to spread VCs across parallel
+        spines.
+        """
+        if backend_a not in self._host_port or backend_b not in self._host_port:
+            raise ChannelError("both hosts must be attached to the fabric")
+        switch_a, port_a = self._host_port[backend_a]
+        switch_b, port_b = self._host_port[backend_b]
+        path = self.topology.path(switch_a, switch_b, key=self._path_key)
+        self._path_key += 1
+        vci_ab = self._allocate_vci()
+        vci_ba = self._allocate_vci()
+        self._program_path(vci_ab, path, port_b)
+        self._program_path(vci_ba, list(reversed(path)), port_a)
+        return vci_ab, vci_ba
 
     def connect(self, a: UserEndpoint, b: UserEndpoint) -> Tuple[int, int]:
         """Network-wide duplex VC between two endpoints."""
         backend_a: UNetAtmBackend = a.host.backend
         backend_b: UNetAtmBackend = b.host.backend
-        if backend_a not in self._host_port or backend_b not in self._host_port:
-            raise ChannelError("both hosts must be attached to the fabric")
-        switch_a, port_a = self._host_port[backend_a]
-        switch_b, port_b = self._host_port[backend_b]
-        vci_ab = self._allocate_vci()
-        vci_ba = self._allocate_vci()
-        self._program_path(vci_ab, switch_a, switch_b, port_b)
-        self._program_path(vci_ba, switch_b, switch_a, port_a)
+        vci_ab, vci_ba = self._connect_backends(backend_a, backend_b)
         channel_a = len(a.endpoint.channels)
         channel_b = len(b.endpoint.channels)
         register_channel(a.endpoint, channel_a, AtmTag(tx_vci=vci_ab, rx_vci=vci_ba), peer=b.host.name)
@@ -136,8 +173,16 @@ class AtmFabric:
         backend_b.demux.register(vci_ab, b.endpoint, channel_b)
         return channel_a, channel_b
 
+    def connect_collective(
+        self, backend_a: UNetAtmBackend, backend_b: UNetAtmBackend
+    ) -> Tuple[int, int]:
+        """A duplex VC for NIC-resident collectives: routes are
+        programmed fabric-wide but the VCIs are *not* demuxed to any
+        endpoint — the NIC firmware's collective engine owns them."""
+        return self._connect_backends(backend_a, backend_b)
+
     def hops_between(self, a: UserEndpoint, b: UserEndpoint) -> int:
         """Number of switches a message between a and b traverses."""
         switch_a, _ = self._host_port[a.host.backend]
         switch_b, _ = self._host_port[b.host.backend]
-        return abs(switch_a - switch_b) + 1
+        return self.topology.hops(switch_a, switch_b)

@@ -67,3 +67,7 @@ class AtmNetwork:
     def connect(self, a, b):
         """Duplex channel between two user endpoints (signaling service)."""
         return self.signaling.connect(a, b)
+
+    def connect_collective(self, backend_a, backend_b):
+        """Duplex VC owned by the NIC-resident collective engines."""
+        return self.signaling.connect_collective(backend_a, backend_b)

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from ..sim import Simulator, Store
+from ..sim import Simulator
 from .cells import CELL_PAYLOAD_SIZE, CELL_SIZE, Cell
 
 __all__ = ["AtmPhy", "OC3_SONET", "TAXI_140", "CellLink"]
@@ -67,9 +67,16 @@ TAXI_140 = AtmPhy(name="TAXI-140", gross_mbps=140.0, payload_fraction=1.0, frame
 class CellLink:
     """Unidirectional point-to-point cell pipe.
 
-    The sender-side process serializes cells back to back at the PHY's
-    cell time; delivery happens ``propagation_us`` later through the
+    Cells serialize back to back at the PHY's cell time; delivery happens
+    ``propagation_us`` (plus the framer latency) later through the
     ``deliver`` callback (set by whoever owns the receiving end).
+
+    The pipe is *analytic*: instead of a pump process blocking on a
+    store (roughly six kernel events per cell), ``submit`` computes the
+    serialization window from a running ``busy-until`` clock and
+    schedules a single delivery callback.  The late-bound ``deliver``
+    attribute is read at fire time, so fault pipelines and link-flap
+    stages that swap it keep working.
     """
 
     def __init__(
@@ -87,31 +94,49 @@ class CellLink:
         self.deliver: Optional[Callable[[Cell], None]] = None
         #: finite output buffering (switch egress ports): cells beyond
         #: this queue depth are dropped, as in a real switch under incast
-        self._outbox: Store[Cell] = Store(sim, capacity=buffer_cells, name=f"{name}.outbox")
+        self.buffer_cells = buffer_cells
+        self._busy_until = 0.0
+        self._pending = 0
         self.cells_carried = 0
         self.cells_dropped = 0
-        sim.process(self._pump(), name=f"{name}.pump")
 
     def submit(self, cell: Cell) -> None:
         """Queue a cell for transmission (sender side, non-blocking).
 
-        Drops (and counts) the cell when the output buffer is full.
+        Drops (and counts) the cell when the output buffer is full: one
+        cell may be serializing onto the wire plus ``buffer_cells``
+        queued behind it, matching a real switch egress port under
+        incast.  A queue slot frees when its cell finishes serializing.
         """
-        if not self._outbox.try_put(cell):
+        if self.buffer_cells is not None and self._pending > self.buffer_cells:
             self.cells_dropped += 1
+            return
+        sim = self.sim
+        now = sim.now
+        start = self._busy_until if self._busy_until > now else now
+        end = start + self.phy.cell_time_us
+        self._busy_until = end
+        if self.buffer_cells is not None:
+            self._pending += 1
+            sim.call_in(end - now, self._serialized_one)
+        sim.call_in(end + self.propagation_us + self.phy.framer_latency_us - now,
+                    self._deliver_one, cell)
 
     @property
     def queued(self) -> int:
-        return len(self._outbox)
+        """Cells accepted but not yet fully serialized (incl. in flight)."""
+        if self.buffer_cells is not None:
+            return self._pending
+        remaining = self._busy_until - self.sim.now
+        if remaining <= 0.0:
+            return 0
+        cells = int(remaining / self.phy.cell_time_us)
+        return cells + (1 if remaining - cells * self.phy.cell_time_us > 1e-12 else 0)
 
-    def _pump(self):
-        while True:
-            cell = yield self._outbox.get()
-            yield self.sim.timeout(self.phy.cell_time_us)
-            self.cells_carried += 1
-            self.sim.process(self._deliver_later(cell), name=f"{self.name}.deliver")
+    def _serialized_one(self) -> None:
+        self._pending -= 1
 
-    def _deliver_later(self, cell: Cell):
-        yield self.sim.timeout(self.propagation_us + self.phy.framer_latency_us)
+    def _deliver_one(self, cell: Cell) -> None:
+        self.cells_carried += 1
         if self.deliver is not None:
             self.deliver(cell)

@@ -60,3 +60,15 @@ class AtmSignaling:
         backend_a.demux.register(vci_ba, a.endpoint, channel_a)
         backend_b.demux.register(vci_ab, b.endpoint, channel_b)
         return channel_a, channel_b
+
+    def connect_collective(self, backend_a: UNetAtmBackend, backend_b: UNetAtmBackend) -> Tuple[int, int]:
+        """A duplex VC for NIC-resident collectives: switch routes are
+        programmed but the VCIs are *not* demuxed to any endpoint — the
+        NIC firmware's collective engine owns them."""
+        if backend_a not in self._ports or backend_b not in self._ports:
+            raise ChannelError("both hosts must be attached to the switch before connecting")
+        vci_ab = self._allocate_vci()
+        vci_ba = self._allocate_vci()
+        self.switch.program_route(vci_ab, self._ports[backend_b])
+        self.switch.program_route(vci_ba, self._ports[backend_a])
+        return vci_ab, vci_ba

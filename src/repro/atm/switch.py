@@ -47,7 +47,7 @@ class AtmSwitch:
         if port in self._ports:
             raise ValueError(f"{self.name}: port {port} already attached")
         if self.output_buffer_cells is not None:
-            egress._outbox.capacity = self.output_buffer_cells
+            egress.buffer_cells = self.output_buffer_cells
         self._ports[port] = egress
 
     @property
@@ -70,9 +70,10 @@ class AtmSwitch:
         if port is None:
             self.unknown_vci_drops += 1
             return
-        self.sim.process(self._forward(cell, port), name=f"{self.name}.fwd")
+        # one bare callback per cell instead of a forwarding process —
+        # the switch fabric is the hottest path in fat-tree sweeps
+        self.sim.call_in(self.forward_us, self._forward, cell, port)
 
-    def _forward(self, cell: Cell, port: int):
-        yield self.sim.timeout(self.forward_us)
+    def _forward(self, cell: Cell, port: int) -> None:
         self.cells_forwarded += 1
         self._ports[port].submit(cell)

@@ -25,11 +25,12 @@ bandwidth ceiling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional
+from typing import Callable, Dict, Generator, List, Optional
 
 from ..core.base import UNetBackend
 from ..core.descriptors import RecvDescriptor
 from ..core.endpoint import Endpoint
+from ..core.errors import ChannelError
 from ..core.mux import ShardedDemux
 from ..hw.bus import PCI_BUS, BusModel, DmaEngine
 from ..sim import Simulator, Store, TraceRecorder
@@ -80,6 +81,9 @@ class AtmTimings:
     rx_buffer_alloc_us: float = 14.0
     #: slow path, last cell: CRC check and receive-descriptor construction
     rx_last_cell_us: float = 10.0
+    #: NIC-resident collective engine: combine/forward one packet entirely
+    #: in firmware — no bus crossing, no descriptor, no host interrupt
+    collective_op_us: float = 2.6
 
 
 #: The SBus-based SBA-200 used by the paper's Split-C ATM cluster
@@ -122,6 +126,12 @@ class UNetAtmBackend(UNetBackend):
         self.tx_link: Optional[CellLink] = None
         #: single-cell receive fast path enabled (ablation knob)
         self.single_cell_fast_path = True
+        #: optional PDU-size cap below AAL5 (path-MTU rule in mixed fabrics)
+        self.max_pdu_cap: Optional[int] = None
+        #: reserved VCIs owned by the NIC-resident collective engine
+        self._collective_vcis: Dict[int, "Callable[[bytes], None]"] = {}
+        self._collective_reasm: Dict[int, List[Cell]] = {}
+        self._collective_txq: Optional[Store] = None
         self._tx_doorbell: Store[Endpoint] = Store(sim, name=f"{name}.doorbell")
         self._tx_pending: Dict[int, bool] = {}
         self._reassembly: Dict[int, _Reassembly] = {}
@@ -139,6 +149,8 @@ class UNetAtmBackend(UNetBackend):
     # ------------------------------------------------------------------ API
     @property
     def max_pdu(self) -> int:
+        if self.max_pdu_cap is not None:
+            return min(AAL5_MAX_PDU, self.max_pdu_cap)
         return AAL5_MAX_PDU
 
     @property
@@ -219,6 +231,9 @@ class UNetAtmBackend(UNetBackend):
                                   begin=is_first)
             target = self.demux.lookup(cell.vci)
             if target is None:
+                handler = self._collective_vcis.get(cell.vci)
+                if handler is not None:
+                    yield from self._rx_collective(cell, handler)
                 continue
             endpoint, channel_id = target
             if endpoint.quarantined:
@@ -260,6 +275,51 @@ class UNetAtmBackend(UNetBackend):
                 del self._reassembly[cell.vci]
                 if not state.dropping:
                     yield from self._rx_complete(state, endpoint, channel_id)
+
+    # ---------------------------------------------------- collective engine
+    def register_collective_vci(self, vci: int, handler: Callable[[bytes], None]) -> None:
+        """Reserve ``vci`` for the NIC-resident collective engine.
+
+        Cells arriving on it are reassembled and consumed inside the
+        firmware — no buffer allocation, no DMA, no host interrupt.
+        """
+        if self.demux.lookup(vci) is not None:
+            raise ChannelError(f"VCI {vci} already demultiplexes to an endpoint")
+        self._collective_vcis[vci] = handler
+
+    def send_collective(self, vci: int, payload: bytes) -> None:
+        """Firmware-originated send: segment and transmit, no host at all."""
+        if self._collective_txq is None:
+            self._collective_txq = Store(self.sim, name=f"{self.name}.colltx")
+            self.sim.process(self._collective_tx_firmware(),
+                             name=f"{self.name}.i960-coll")
+        self._collective_txq.try_put((vci, payload))
+
+    def _collective_tx_firmware(self) -> Generator:
+        t = self.timings
+        while True:
+            vci, payload = yield self._collective_txq.get()
+            yield from self._step(ATM_TX_TRACE, "collective engine send",
+                                  t.collective_op_us)
+            for cell in aal5_segment(payload, vci=vci):
+                yield self.sim.timeout(t.tx_per_cell_us)
+                if self.tx_link is not None:
+                    self.tx_link.submit(cell)
+
+    def _rx_collective(self, cell: Cell, handler: Callable[[bytes], None]) -> Generator:
+        cells = self._collective_reasm.setdefault(cell.vci, [])
+        cells.append(cell)
+        if not cell.last:
+            return
+        del self._collective_reasm[cell.vci]
+        yield from self._step(ATM_RX_TRACE, "collective engine combine",
+                              self.timings.collective_op_us)
+        try:
+            payload = aal5_reassemble(cells)
+        except Aal5Error:
+            self.crc_errors += 1
+            return
+        handler(payload)
 
     def _rx_single_cell(self, cell: Cell, endpoint: Endpoint, channel_id: int) -> Generator:
         """Fast path: the whole message lands in the receive descriptor."""

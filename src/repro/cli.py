@@ -237,7 +237,8 @@ def _cmd_splitc(args) -> int:
         print(f"unknown benchmark {args.benchmark!r}; choose from {_SPLITC_BENCHMARKS}",
               file=sys.stderr)
         return 2
-    cluster = Cluster(args.nodes, substrate=args.substrate)
+    cluster = Cluster(args.nodes, substrate=args.substrate,
+                      collectives=args.collectives)
     if args.benchmark == "mm":
         cfg = MatmulConfig(blocks=args.blocks, block_size=args.block_size,
                            prefetch=args.prefetch)
@@ -480,6 +481,24 @@ def _cmd_bench(args) -> int:
                                                threshold=args.threshold)
         print(render_compare(deltas, problems, threshold=args.threshold))
         return 0 if not problems else 1
+    if args.collectives:
+        from .collectives.bench import (
+            NODE_COUNTS, render_collectives_bench, run_collectives_bench,
+            write_collectives_bench,
+        )
+
+        payload = run_collectives_bench(
+            node_counts=tuple(args.nodes) if args.nodes else NODE_COUNTS,
+            progress=lambda m: print(f"  {m}"),
+        )
+        print(render_collectives_bench(payload))
+        output = args.output
+        if output == "BENCH_live.json":  # the live rig's default, not ours
+            output = "BENCH_collectives.json"
+        if output:
+            write_collectives_bench(output, payload)
+            print(f"wrote {output}")
+        return 0
     if not args.live:
         print("the simulated figures live under `fig5` / `fig6`; pass --live "
               "to run the wall-clock rig on real sockets", file=sys.stderr)
@@ -674,7 +693,11 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("benchmark", help=f"one of {', '.join(_SPLITC_BENCHMARKS)}")
     ps.add_argument("--nodes", type=int, default=4)
     ps.add_argument("--substrate", default="fe-switch",
-                    choices=("fe-hub", "fe-switch", "fe-beowulf", "atm"))
+                    choices=("fe-hub", "fe-switch", "fe-beowulf", "fe-clos",
+                             "atm", "atm-clos", "mixed"))
+    ps.add_argument("--collectives", default="host", choices=("host", "nic"),
+                    help="barrier/broadcast/reduce implementation: host-"
+                         "coordinated node-0 scheme or NIC-resident trees")
     ps.add_argument("--keys", type=int, default=2048, help="keys per node (sorts)")
     ps.add_argument("--blocks", type=int, default=4, help="blocks per side (mm)")
     ps.add_argument("--block-size", type=int, default=16, help="block side (mm)")
@@ -737,6 +760,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "batched)")
     pn.add_argument("--skip-missing", action="store_true",
                     help="exit 0 (not 2) when no live transport exists here")
+    pn.add_argument("--collectives", action="store_true",
+                    help="run the deterministic collective-latency sweep "
+                         "(host vs NIC trees on fat-tree clusters) instead "
+                         "of the live rig; writes BENCH_collectives.json")
+    pn.add_argument("--nodes", type=int, nargs="+", default=None,
+                    help="node counts for --collectives (default 8 32 128 256)")
     pn.add_argument("--compare", nargs=2, metavar=("BASELINE", "CANDIDATE"),
                     default=None,
                     help="diff two BENCH snapshots instead of running: exit 1 "

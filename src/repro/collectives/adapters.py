@@ -1,0 +1,111 @@
+"""Bind the collective engine to real NIC hardware, per substrate.
+
+* **ATM** — each tree edge gets a duplex VC programmed fabric-wide
+  (:meth:`AtmFabric.connect_collective`), but the VCIs are *not*
+  demultiplexed to any endpoint: the PCA-200's i960 consumes them in
+  firmware (:meth:`UNetAtmBackend.register_collective_vci`) and
+  originates replies itself (:meth:`UNetAtmBackend.send_collective`).
+* **Fast Ethernet** — collective packets ride frames on the reserved
+  U-Net port :data:`~repro.ethernet.frames.COLLECTIVE_PORT`, addressed
+  by peer MAC; the (hypothetical) on-controller engine of the DC21140
+  consumes and originates them without touching host memory.
+
+``wire_atm_collectives`` / ``wire_fe_collectives`` build one engine per
+host over a shared k-ary tree and return them in node order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..ethernet.frames import UNET_FE_MAX_PDU
+from .engine import CollectiveConfig, NicCollectiveEngine
+from .tree import KAryTree
+
+__all__ = [
+    "AtmCollectiveAdapter",
+    "FeCollectiveAdapter",
+    "wire_atm_collectives",
+    "wire_fe_collectives",
+]
+
+#: cap on one ATM collective packet (a few dozen cells; plenty for
+#: barriers and small reduce vectors, bounded so firmware buffering is)
+ATM_COLLECTIVE_MAX_PACKET = 4096
+
+
+class AtmCollectiveAdapter:
+    """Sends collective packets over per-edge reserved VCIs."""
+
+    max_payload = ATM_COLLECTIVE_MAX_PACKET
+
+    def __init__(self, backend) -> None:
+        self.backend = backend
+        #: peer node -> VCI whose route leads to that peer
+        self.tx_vci: Dict[int, int] = {}
+
+    def send(self, peer: int, packet: bytes) -> None:
+        self.backend.send_collective(self.tx_vci[peer], packet)
+
+
+class FeCollectiveAdapter:
+    """Sends collective packets as frames on the reserved U-Net port."""
+
+    max_payload = UNET_FE_MAX_PDU
+
+    def __init__(self, backend) -> None:
+        self.backend = backend
+        #: peer node -> that peer's MAC address
+        self.peer_mac: Dict[int, int] = {}
+
+    def send(self, peer: int, packet: bytes) -> None:
+        self.backend.send_collective(self.peer_mac[peer], packet)
+
+
+def wire_atm_collectives(
+    fabric,
+    hosts: Sequence,
+    fanout: int = 4,
+    config: Optional[CollectiveConfig] = None,
+) -> List[NicCollectiveEngine]:
+    """One engine per host; tree edges become fabric-routed VCs."""
+    tree = KAryTree(len(hosts), fanout=fanout)
+    sim = fabric.sim
+    adapters = [AtmCollectiveAdapter(host.backend) for host in hosts]
+    engines = [
+        NicCollectiveEngine(sim, node, tree, adapters[node], config)
+        for node in range(len(hosts))
+    ]
+    for child in range(1, len(hosts)):
+        parent = tree.parent(child)
+        backend_p = hosts[parent].backend
+        backend_c = hosts[child].backend
+        vci_pc, vci_cp = fabric.connect_collective(backend_p, backend_c)
+        adapters[parent].tx_vci[child] = vci_pc
+        adapters[child].tx_vci[parent] = vci_cp
+        backend_c.register_collective_vci(vci_pc, engines[child].on_packet)
+        backend_p.register_collective_vci(vci_cp, engines[parent].on_packet)
+    return engines
+
+
+def wire_fe_collectives(
+    network,
+    hosts: Sequence,
+    fanout: int = 4,
+    config: Optional[CollectiveConfig] = None,
+) -> List[NicCollectiveEngine]:
+    """One engine per host; tree edges address peers by MAC."""
+    tree = KAryTree(len(hosts), fanout=fanout)
+    sim = network.sim
+    adapters = [FeCollectiveAdapter(host.backend) for host in hosts]
+    engines = [
+        NicCollectiveEngine(sim, node, tree, adapters[node], config)
+        for node in range(len(hosts))
+    ]
+    for node, host in enumerate(hosts):
+        host.backend.register_collective(engines[node].on_packet)
+    for child in range(1, len(hosts)):
+        parent = tree.parent(child)
+        adapters[parent].peer_mac[child] = hosts[child].backend.mac
+        adapters[child].peer_mac[parent] = hosts[parent].backend.mac
+    return engines

@@ -1,0 +1,310 @@
+"""Collective-latency sweep: host node-0 scheme vs NIC-resident trees.
+
+The ablation behind the scale-out story: the same SPMD program runs a
+barrier phase and an all-reduce phase on fat-tree clusters of 8 to 256
+nodes, once with Split-C's host-coordinated collectives (every node
+talks to node 0) and once with the NIC-resident k-ary trees.  All
+latencies are *simulated* time, so the snapshot is deterministic and
+CI can byte-compare it; the wall-clock side of the story — how fast
+the event kernel chews through a 256-node sweep — rides along in the
+``engine`` section as events/sec, which is informational and never a
+headline metric.
+
+Two cells of the grid are impossible by construction, and the bench
+records *why* instead of silently shrinking the sweep:
+
+* Fast Ethernet host mode at 256 nodes — the one-byte U-Net port ID
+  (Section 4.3) cannot hold the 255-channel mesh that node-0
+  coordination builds, so the run dies allocating ports.  A protocol
+  limit, not a simulator one.
+* host-mode reduce above 32 nodes — ``all_store_sync`` announces to
+  every peer, so one reduction costs O(N^2) packets (a 256-node
+  iteration is ~9M simulated events).  The point of the NIC trees is
+  that this storm disappears; the bench documents the cliff at small N
+  and does not burn minutes proving the same asymptote at large N.
+
+The output is one JSON document (``BENCH_collectives.json``),
+schema-checked by :func:`validate_collectives_bench` before it is
+written, with headline metrics gated by ``bench --compare``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "COLLECTIVES_BENCH_FORMAT",
+    "NODE_COUNTS",
+    "SUBSTRATES",
+    "MODES",
+    "run_collectives_bench",
+    "validate_collectives_bench",
+    "write_collectives_bench",
+    "render_collectives_bench",
+]
+
+COLLECTIVES_BENCH_FORMAT = "repro-bench-collectives/1"
+
+NODE_COUNTS = (8, 32, 128, 256)
+SUBSTRATES = ("atm-clos", "fe-clos")
+MODES = ("host", "nic")
+
+BARRIER_ITERS = 100
+REDUCE_ITERS = 100
+#: host-mode reduce is O(N^2) per iteration; fewer samples suffice
+HOST_REDUCE_ITERS = 20
+HOST_REDUCE_MAX_NODES = 32
+
+_PORT_REASON = ("one-byte U-Net port IDs cannot hold the node-0 mesh "
+                "(needs n-1 channels per node)")
+_STORM_REASON = ("host reduce rides all_store_sync, O(N^2) announces per "
+                 "iteration; measured up to 32 nodes only")
+
+
+def point_support(substrate: str, mode: str, nodes: int, op: str) -> Tuple[bool, str]:
+    """Whether a grid cell can run, and the reason when it cannot."""
+    if mode == "host":
+        if substrate.startswith("fe") and nodes - 1 >= 0xFF:
+            return False, _PORT_REASON
+        if op == "reduce" and nodes > HOST_REDUCE_MAX_NODES:
+            return False, _STORM_REASON
+    return True, ""
+
+
+def _sweep_program(nodes: int, barrier_iters: int, reduce_iters: int) -> Callable:
+    """SPMD measurement kernel; node 0's return value is the record."""
+    expected = nodes * (nodes + 1) // 2
+
+    def program(runtime):
+        values = runtime.heap.allocate("v", 4, np.int64)
+        # warm-up: brings lazy channels / collective trees into steady state
+        yield from runtime.barrier()
+        t0 = runtime.sim.now
+        for _ in range(barrier_iters):
+            yield from runtime.barrier()
+        t1 = runtime.sim.now
+        for _ in range(reduce_iters):
+            values[:] = runtime.node + 1
+            yield from runtime.all_reduce("v", op="sum")
+        t2 = runtime.sim.now
+        if reduce_iters and int(values[0]) != expected:
+            raise AssertionError(
+                f"node {runtime.node}: reduce produced {int(values[0])}, "
+                f"expected {expected}")
+        return {
+            "barrier_us": (t1 - t0) / barrier_iters,
+            "reduce_us": (t2 - t1) / reduce_iters if reduce_iters else None,
+        }
+
+    return program
+
+
+def _run_point(substrate: str, mode: str, nodes: int,
+               barrier_iters: int, reduce_iters: int) -> Dict:
+    from ..live.clock import WallClock
+    from ..splitc.cluster import Cluster
+
+    wall_clock = WallClock()
+    cluster = Cluster(nodes, substrate=substrate, collectives=mode)
+    results = cluster.run(_sweep_program(nodes, barrier_iters, reduce_iters),
+                          limit=5e9)
+    wall = wall_clock.now_us() / 1e6
+    events = cluster.sim.events_processed
+    return {
+        "barrier_us": results[0]["barrier_us"],
+        "reduce_us": results[0]["reduce_us"],
+        "wall_s": wall,
+        "sim_events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+    }
+
+
+def run_collectives_bench(node_counts: Sequence[int] = NODE_COUNTS,
+                          substrates: Sequence[str] = SUBSTRATES,
+                          barrier_iters: int = BARRIER_ITERS,
+                          reduce_iters: int = REDUCE_ITERS,
+                          progress: Optional[Callable[[str], None]] = None,
+                          ) -> Dict:
+    """Run the sweep and assemble the ``BENCH_collectives.json`` payload."""
+    from ..live.clock import WallClock
+
+    say = progress or (lambda message: None)
+    points: List[Dict] = []
+    skipped: List[Dict] = []
+    engine: List[Dict] = []
+    wall_clock = WallClock()
+    for substrate in substrates:
+        for nodes in node_counts:
+            for mode in MODES:
+                barrier_ok, why = point_support(substrate, mode, nodes, "barrier")
+                if not barrier_ok:
+                    skipped.append({"substrate": substrate, "mode": mode,
+                                    "nodes": nodes, "op": "barrier", "reason": why})
+                    skipped.append({"substrate": substrate, "mode": mode,
+                                    "nodes": nodes, "op": "reduce", "reason": why})
+                    say(f"{substrate} n={nodes} {mode}: skipped ({why})")
+                    continue
+                reduce_ok, why = point_support(substrate, mode, nodes, "reduce")
+                r_iters = (0 if not reduce_ok
+                           else HOST_REDUCE_ITERS if mode == "host"
+                           else reduce_iters)
+                if not reduce_ok:
+                    skipped.append({"substrate": substrate, "mode": mode,
+                                    "nodes": nodes, "op": "reduce", "reason": why})
+                record = _run_point(substrate, mode, nodes, barrier_iters, r_iters)
+                points.append({"substrate": substrate, "mode": mode,
+                               "nodes": nodes, "op": "barrier",
+                               "iterations": barrier_iters,
+                               "mean_us": record["barrier_us"]})
+                if record["reduce_us"] is not None:
+                    points.append({"substrate": substrate, "mode": mode,
+                                   "nodes": nodes, "op": "reduce",
+                                   "iterations": r_iters,
+                                   "mean_us": record["reduce_us"]})
+                engine.append({"substrate": substrate, "mode": mode,
+                               "nodes": nodes, "wall_s": record["wall_s"],
+                               "sim_events": record["sim_events"],
+                               "events_per_sec": record["events_per_sec"]})
+                say(f"{substrate} n={nodes} {mode}: "
+                    f"barrier {record['barrier_us']:.1f}us"
+                    + (f", reduce {record['reduce_us']:.1f}us"
+                       if record["reduce_us"] is not None else "")
+                    + f" ({record['events_per_sec']:,.0f} ev/s)")
+    speedups = _speedups(points)
+    return {
+        "format": COLLECTIVES_BENCH_FORMAT,
+        "elapsed_s": wall_clock.now_us() / 1e6,
+        "node_counts": list(node_counts),
+        "substrates": list(substrates),
+        "points": points,
+        "skipped": skipped,
+        "speedups": speedups,
+        "engine": engine,
+    }
+
+
+def _speedups(points: List[Dict]) -> List[Dict]:
+    """host/nic latency ratio wherever both modes measured a cell."""
+    index = {(p["substrate"], p["mode"], p["nodes"], p["op"]): p["mean_us"]
+             for p in points}
+    out: List[Dict] = []
+    for (substrate, mode, nodes, op), host_us in sorted(index.items()):
+        if mode != "host":
+            continue
+        nic_us = index.get((substrate, "nic", nodes, op))
+        if nic_us is None:
+            continue
+        out.append({"substrate": substrate, "nodes": nodes, "op": op,
+                    "host_us": host_us, "nic_us": nic_us,
+                    "speedup": host_us / nic_us})
+    return out
+
+
+# ---------------------------------------------------------------- validation
+_POINT = {"substrate": str, "mode": str, "nodes": int, "op": str,
+          "iterations": int, "mean_us": float}
+_SKIP = {"substrate": str, "mode": str, "nodes": int, "op": str, "reason": str}
+_SPEEDUP = {"substrate": str, "nodes": int, "op": str,
+            "host_us": float, "nic_us": float, "speedup": float}
+_ENGINE = {"substrate": str, "mode": str, "nodes": int,
+           "wall_s": float, "sim_events": int, "events_per_sec": float}
+
+COLLECTIVES_BENCH_SCHEMA = {
+    "format": str,
+    "elapsed_s": float,
+    "node_counts": [int],
+    "substrates": [str],
+    "points": [_POINT],
+    "skipped": [_SKIP],
+    "speedups": [_SPEEDUP],
+    "engine": [_ENGINE],
+}
+
+
+def _check(value, spec, path: str, errors: List[str]) -> None:
+    if isinstance(spec, list):
+        if not isinstance(value, list):
+            errors.append(f"{path}: expected a list")
+            return
+        for i, item in enumerate(value):
+            _check(item, spec[0], f"{path}[{i}]", errors)
+    elif isinstance(spec, dict):
+        if not isinstance(value, dict):
+            errors.append(f"{path}: expected an object")
+            return
+        for key, sub in spec.items():
+            if key not in value:
+                errors.append(f"{path}.{key}: missing")
+            else:
+                _check(value[key], sub, f"{path}.{key}", errors)
+    elif spec is float:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{path}: expected a number, got {type(value).__name__}")
+    elif not isinstance(value, spec) or (isinstance(value, bool) and spec is int):
+        errors.append(f"{path}: expected {spec.__name__}, got {type(value).__name__}")
+
+
+def validate_collectives_bench(payload: Dict) -> List[str]:
+    """Schema-check a BENCH_collectives payload; empty list means valid."""
+    errors: List[str] = []
+    _check(payload, COLLECTIVES_BENCH_SCHEMA, "$", errors)
+    if not errors and payload["format"] != COLLECTIVES_BENCH_FORMAT:
+        errors.append(f"$.format: {payload['format']!r} != "
+                      f"{COLLECTIVES_BENCH_FORMAT!r}")
+    if not errors and not payload["points"]:
+        errors.append("$.points: empty sweep")
+    return errors
+
+
+def write_collectives_bench(path: str, payload: Dict) -> None:
+    """Validate, then write ``BENCH_collectives.json``."""
+    errors = validate_collectives_bench(payload)
+    if errors:
+        raise ValueError("refusing to write an invalid benchmark payload:\n  "
+                         + "\n  ".join(errors))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_collectives_bench(payload: Dict) -> str:
+    """Terminal summary: latency grid, speedups, engine throughput."""
+    from ..analysis.report import format_table
+
+    index = {(p["substrate"], p["mode"], p["nodes"], p["op"]): p["mean_us"]
+             for p in payload["points"]}
+    skipped = {(s["substrate"], s["mode"], s["nodes"], s["op"])
+               for s in payload["skipped"]}
+    rows = []
+    for substrate in payload["substrates"]:
+        for nodes in payload["node_counts"]:
+            row = [substrate, str(nodes)]
+            for op in ("barrier", "reduce"):
+                for mode in MODES:
+                    key = (substrate, mode, nodes, op)
+                    if key in index:
+                        row.append(f"{index[key]:.1f}")
+                    else:
+                        row.append("--" if key in skipped else "")
+            rows.append(row)
+    lines = [format_table(
+        ("substrate", "nodes", "barrier host", "barrier nic",
+         "reduce host", "reduce nic"),
+        rows,
+        title="Collective latency, mean us per op (-- = unsupported)")]
+    for entry in payload["speedups"]:
+        lines.append(f"  {entry['op']}[{entry['substrate']},n{entry['nodes']}]: "
+                     f"nic is {entry['speedup']:.2f}x the host scheme "
+                     f"({entry['host_us']:.1f} -> {entry['nic_us']:.1f} us)")
+    total_events = sum(e["sim_events"] for e in payload["engine"])
+    total_wall = sum(e["wall_s"] for e in payload["engine"])
+    if total_wall > 0:
+        lines.append(f"  engine: {total_events:,} events in {total_wall:.1f}s "
+                     f"wall ({total_events / total_wall:,.0f} events/sec)")
+    reasons = {s["reason"] for s in payload["skipped"]}
+    for reason in sorted(reasons):
+        lines.append(f"  unsupported cells: {reason}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""k-ary combining/dissemination trees for NIC-resident collectives.
+
+Yu et al.'s NIC-based collective protocol organizes the nodes of a job
+into a k-ary tree: barrier arrivals and reduce contributions *combine*
+upward (each NIC waits for its children plus its own host, then sends
+one message to its parent), and releases/broadcast payloads *disseminate*
+downward.  The tree is the implicit array-heap shape — node ``i``'s
+parent is ``(i - 1) // k`` — so every node derives its neighbours from
+``(n, fanout)`` alone, with no membership protocol.
+
+Generations are 16-bit and wrap; :func:`gen_after` compares modulo
+2**16 with a half-window, so a collective sequence runs forever on a
+fixed-width hardware counter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["KAryTree", "GEN_MOD", "gen_after", "next_gen"]
+
+#: generation counters are 16-bit, as NIC firmware would keep them
+GEN_MOD = 1 << 16
+
+
+def next_gen(gen: int) -> int:
+    return (gen + 1) % GEN_MOD
+
+
+def gen_after(a: int, b: int) -> bool:
+    """True when generation ``a`` is newer than ``b`` (modulo wrap)."""
+    return 0 < (a - b) % GEN_MOD < GEN_MOD // 2
+
+
+class KAryTree:
+    """The array-heap k-ary tree over nodes ``0..n-1`` rooted at 0."""
+
+    def __init__(self, n: int, fanout: int = 4) -> None:
+        if n < 1:
+            raise ValueError("tree needs at least one node")
+        if fanout < 1:
+            raise ValueError("fanout must be at least 1")
+        self.n = n
+        self.fanout = fanout
+
+    @property
+    def root(self) -> int:
+        return 0
+
+    def parent(self, node: int) -> Optional[int]:
+        self._check(node)
+        if node == 0:
+            return None
+        return (node - 1) // self.fanout
+
+    def children(self, node: int) -> List[int]:
+        self._check(node)
+        first = node * self.fanout + 1
+        return [c for c in range(first, min(first + self.fanout, self.n))]
+
+    def depth(self, node: int) -> int:
+        """Edges between ``node`` and the root."""
+        self._check(node)
+        hops = 0
+        while node != 0:
+            node = (node - 1) // self.fanout
+            hops += 1
+        return hops
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise ValueError(f"node {node} outside tree of {self.n}")

@@ -17,7 +17,7 @@ from typing import Callable, List, Optional
 
 from ..hw.bus import PCI_BUS, BusModel, DmaEngine
 from ..sim import BoundedRing, Simulator, Store, TraceRecorder
-from .frames import ETH_HEADER_SIZE, EthernetFrame, MacAddress
+from .frames import COLLECTIVE_PORT, ETH_HEADER_SIZE, EthernetFrame, MacAddress
 from .medium import Attachment, ExcessiveCollisions
 
 __all__ = ["Dc21140", "NicTimings", "TxRingDescriptor", "RxRingBuffer"]
@@ -37,6 +37,9 @@ class NicTimings:
     #: interrupt-entry cost this reproduces the paper's "roughly 2 us"
     #: between frame data in memory and the handler running
     rx_interrupt_delay_us: float = 1.44
+    #: hypothetical on-NIC collective engine: process one collective
+    #: packet on the controller (no bus crossing, no interrupt)
+    collective_op_us: float = 2.0
 
 
 @dataclass
@@ -83,6 +86,9 @@ class Dc21140:
         self.rx_ring_capacity = rx_ring_size
         #: kernel installs this to be interrupted on receive
         self.interrupt: Optional[Callable[[], None]] = None
+        #: collective engine handler: frames on COLLECTIVE_PORT are
+        #: consumed here on the controller — no ring, no interrupt
+        self.collective_rx: Optional[Callable[[bytes], None]] = None
         #: kernel installs this to learn of freed TX ring slots
         self.on_tx_space: Optional[Callable[[], None]] = None
         self._poll_demand: Store[bool] = Store(sim, name=f"{name}.polldemand")
@@ -166,7 +172,27 @@ class Dc21140:
             # the chip's CRC checker rejects damaged frames in hardware
             self.rx_crc_drops += 1
             return
+        if self.collective_rx is not None and frame.dst_port == COLLECTIVE_PORT:
+            self.sim.process(self._rx_collective(frame), name=f"{self.name}.collrx")
+            return
         self.sim.process(self._rx_frame(frame), name=f"{self.name}.rx")
+
+    # ---------------------------------------------------- collective engine
+    # A what-if extension (the DC21140 itself has no programmable core):
+    # a small on-controller engine consumes and originates collective
+    # packets without touching host memory.  See DESIGN.md.
+    def _rx_collective(self, frame: EthernetFrame):
+        yield self.sim.timeout(self.timings.collective_op_us)
+        self.collective_rx(frame.payload)
+
+    def send_collective(self, frame: EthernetFrame) -> None:
+        """Collective engine TX: the controller originates the frame —
+        no trap, no descriptor ring, no host DMA."""
+        self.sim.process(self._tx_collective(frame), name=f"{self.name}.colltx")
+
+    def _tx_collective(self, frame: EthernetFrame):
+        yield self.sim.timeout(self.timings.collective_op_us)
+        yield self._tx_fifo.put(TxRingDescriptor(frame=frame, completed=True))
 
     def _rx_frame(self, frame: EthernetFrame):
         t = self.timings

@@ -24,6 +24,7 @@ __all__ = [
     "ETH_IFG_BYTES",
     "UNET_FE_HEADER_SIZE",
     "UNET_FE_MAX_PDU",
+    "COLLECTIVE_PORT",
     "wire_time_us",
 ]
 
@@ -38,6 +39,11 @@ ETH_IFG_BYTES = 12
 UNET_FE_HEADER_SIZE = 2
 #: "1498 bytes, the maximum PDU supported by U-Net/FE" (Section 4.4.2)
 UNET_FE_MAX_PDU = ETH_MAX_PAYLOAD - UNET_FE_HEADER_SIZE
+
+#: U-Net port reserved for the NIC-resident collective engine: frames
+#: addressed to it are consumed on the controller itself and never cross
+#: the bus (port 0 is likewise reserved, for IP encapsulation)
+COLLECTIVE_PORT = 0xFF
 
 MacAddress = int  # 48-bit addresses kept as ints for cheap hashing
 

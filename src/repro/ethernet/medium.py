@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from ..sim import Event, Simulator, Store
+from ..sim import Event, Simulator
 from ..sim.rng import RngRegistry
 from .frames import EthernetFrame, wire_time_us
 
@@ -172,7 +172,15 @@ class HubAttachment(Attachment):
 
 
 class SimplexChannel:
-    """One direction of a full-duplex link: serialize, propagate, deliver."""
+    """One direction of a full-duplex link: serialize, propagate, deliver.
+
+    Like :class:`~repro.atm.phy.CellLink` this is analytic: ``submit``
+    computes the serialization window from a running busy-until clock
+    and schedules the delivery callback and completion event directly —
+    no pump process, no store, a fraction of the kernel events per
+    frame.  The late-bound ``deliver`` attribute is read at fire time so
+    fault pipelines can interpose.
+    """
 
     def __init__(
         self,
@@ -183,6 +191,8 @@ class SimplexChannel:
         deliver_at_header: bool = False,
         buffer_frames: Optional[int] = None,
     ) -> None:
+        from .frames import ETH_HEADER_SIZE, ETH_PREAMBLE_BYTES
+
         self.sim = sim
         self.rate_mbps = rate_mbps
         self.propagation_us = propagation_us
@@ -192,44 +202,50 @@ class SimplexChannel:
         #: channel still stays busy for the full serialization time.
         self.deliver_at_header = deliver_at_header
         #: finite output buffering: frames beyond this depth are dropped
-        self._outbox: Store = Store(sim, capacity=buffer_frames, name=f"{name}.outbox")
+        self.buffer_frames = buffer_frames
+        self._header_time = (ETH_PREAMBLE_BYTES + ETH_HEADER_SIZE) * 8 / rate_mbps
+        self._busy_until = 0.0
+        self._pending = 0
         self.deliver: Optional[Callable[[EthernetFrame], None]] = None
         self.frames_carried = 0
         self.frames_dropped = 0
-        sim.process(self._pump(), name=f"{name}.pump")
 
     def submit(self, frame: EthernetFrame) -> Event:
         """Queue ``frame``; the returned event fires when it has fully
-        serialized onto the wire (immediately, if the buffer drops it)."""
-        done = self.sim.event(name=f"{self.name}.serialized")
-        if not self._outbox.try_put((frame, done)):
+        serialized onto the wire (immediately, if the buffer drops it).
+
+        One frame may be serializing plus ``buffer_frames`` queued
+        behind it; a queue slot frees at that frame's end-of-wire time.
+        """
+        sim = self.sim
+        if self.buffer_frames is not None and self._pending > self.buffer_frames:
             self.frames_dropped += 1
-            done.succeed()  # dropped: the sender's wire time is over
-        return done
+            return sim.timeout(0.0)  # dropped: the sender's wire time is over
+        now = sim.now
+        start = self._busy_until if self._busy_until > now else now
+        total = wire_time_us(frame, self.rate_mbps)
+        end = start + total
+        self._busy_until = end
+        if self.buffer_frames is not None:
+            self._pending += 1
+            sim.call_in(end - now, self._serialized_one)
+        deliver_at = (start + min(self._header_time, total)
+                      if self.deliver_at_header else end)
+        sim.call_in(deliver_at + self.propagation_us - now, self._deliver_one, frame)
+        return sim.timeout(end - now)
 
     @property
     def queued(self) -> int:
-        return len(self._outbox)
+        """Frames accepted but not yet fully serialized (incl. in flight)."""
+        if self.buffer_frames is not None:
+            return self._pending
+        return 1 if self._busy_until > self.sim.now else 0
 
-    def _pump(self):
-        from .frames import ETH_HEADER_SIZE, ETH_PREAMBLE_BYTES
+    def _serialized_one(self) -> None:
+        self._pending -= 1
 
-        header_time = (ETH_PREAMBLE_BYTES + ETH_HEADER_SIZE) * 8 / self.rate_mbps
-        while True:
-            frame, done = yield self._outbox.get()
-            total = wire_time_us(frame, self.rate_mbps)
-            if self.deliver_at_header:
-                yield self.sim.timeout(min(header_time, total))
-                self.sim.process(self._deliver_later(frame), name=f"{self.name}.deliver")
-                yield self.sim.timeout(max(0.0, total - header_time))
-            else:
-                yield self.sim.timeout(total)
-                self.sim.process(self._deliver_later(frame), name=f"{self.name}.deliver")
-            self.frames_carried += 1
-            done.succeed()
-
-    def _deliver_later(self, frame: EthernetFrame):
-        yield self.sim.timeout(self.propagation_us)
+    def _deliver_one(self, frame: EthernetFrame) -> None:
+        self.frames_carried += 1
         if self.deliver is not None:
             self.deliver(frame)
 

@@ -16,9 +16,9 @@ from typing import Dict
 
 from ..sim import Simulator
 from .frames import EthernetFrame, MacAddress
-from .medium import DuplexLink
+from .medium import DuplexLink, SimplexChannel
 
-__all__ = ["SwitchModel", "BAY_28115", "FN100", "EthernetSwitch"]
+__all__ = ["SwitchModel", "BAY_28115", "FN100", "EthernetSwitch", "TrunkPort"]
 
 
 @dataclass(frozen=True)
@@ -39,6 +39,20 @@ BAY_28115 = SwitchModel(name="Bay-28115", ports=16, latency_us=4.0, store_and_fo
 #: Cabletron FastNet-100 8-port switch (store-and-forward; the slowest
 #: of the three Figure-5 configurations at 91 us for 40 bytes)
 FN100 = SwitchModel(name="Cabletron-FN100", ports=8, latency_us=10.0, store_and_forward=True)
+
+
+class TrunkPort:
+    """A switch-to-switch port: just an egress channel, no station.
+
+    Quacks enough like :class:`~repro.ethernet.medium.DuplexLink` (a
+    ``downlink`` egress the switch submits into) for the forwarding and
+    drop-accounting paths not to care which kind of port they hit.
+    """
+
+    __slots__ = ("downlink",)
+
+    def __init__(self, egress: SimplexChannel) -> None:
+        self.downlink = egress
 
 
 class EthernetSwitch:
@@ -89,7 +103,7 @@ class EthernetSwitch:
             uplink_delivers_at_header=not self.model.store_and_forward,
         )
         if self.output_buffer_frames is not None:
-            link.downlink._outbox.capacity = self.output_buffer_frames
+            link.downlink.buffer_frames = self.output_buffer_frames
         self._links[port] = link
         if not self.learning:
             self._mac_table[mac] = port
@@ -97,14 +111,36 @@ class EthernetSwitch:
         link.uplink.deliver = lambda frame, _port=port: self._on_frame(frame, _port)
         return link
 
+    def attach_trunk(self, egress: SimplexChannel) -> int:
+        """Connect a switch-to-switch trunk; returns its port number.
+
+        ``egress`` carries frames away from this switch; the fabric
+        builder wires its ``deliver`` into the far switch's
+        :meth:`ingress` and wires the reverse trunk symmetrically.
+        """
+        if len(self._links) >= self.model.ports:
+            raise ValueError(f"{self.model.name} has only {self.model.ports} ports")
+        if self.output_buffer_frames is not None:
+            egress.buffer_frames = self.output_buffer_frames
+        port = len(self._links)
+        self._links[port] = TrunkPort(egress)
+        return port
+
+    def ingress(self, port: int):
+        """The frame-arrival callback for trunk wiring (binds ``port``)."""
+        return lambda frame: self._on_frame(frame, port)
+
+    def program_mac(self, mac: MacAddress, port: int) -> None:
+        """Statically program a forwarding entry (fabric signaling plane)."""
+        if port not in self._links:
+            raise ValueError(f"{self.model.name}: no such port {port}")
+        self._mac_table[mac] = port
+
     def knows(self, mac: MacAddress) -> bool:
         """True once the bridge has a forwarding entry for ``mac``."""
         return mac in self._mac_table
 
     def _on_frame(self, frame: EthernetFrame, ingress_port: int) -> None:
-        self.sim.process(self._forward(frame, ingress_port), name=f"{self.model.name}.fwd")
-
-    def _forward(self, frame: EthernetFrame, ingress_port: int):
         if self.learning:
             # transparent bridging: remember where the sender lives
             self._mac_table[frame.src_mac] = ingress_port
@@ -117,17 +153,22 @@ class EthernetSwitch:
                 self.unknown_mac_drops += 1
                 return
             # unknown destination: flood every other port
-            yield self.sim.timeout(self.model.latency_us)
-            self.frames_flooded += 1
-            for port, link in self._links.items():
-                if port != ingress_port:
-                    link.downlink.submit(frame)
+            self.sim.call_in(self.model.latency_us, self._flood, frame, ingress_port)
             return
         # cut-through switches receive the frame at header time (the
         # ingress channel is configured to deliver early); store-and-
         # forward switches receive it at end-of-frame.  Either way the
         # address lookup costs the model's latency before the egress
-        # port starts serializing.
-        yield self.sim.timeout(self.model.latency_us)
+        # port starts serializing.  One bare callback per frame — no
+        # forwarding process — keeps big fabrics cheap.
+        self.sim.call_in(self.model.latency_us, self._forward, frame, egress_port)
+
+    def _flood(self, frame: EthernetFrame, ingress_port: int) -> None:
+        self.frames_flooded += 1
+        for port, link in self._links.items():
+            if port != ingress_port:
+                link.downlink.submit(frame)
+
+    def _forward(self, frame: EthernetFrame, egress_port: int) -> None:
         self.frames_forwarded += 1
         self._links[egress_port].downlink.submit(frame)

@@ -29,7 +29,7 @@ from ..hw.cpu import CpuModel
 from ..hw.interrupts import InterruptController
 from ..sim import Resource, Simulator, TraceRecorder
 from .dc21140 import Dc21140, NicTimings, TxRingDescriptor
-from .frames import UNET_FE_MAX_PDU, EthernetFrame, MacAddress
+from .frames import COLLECTIVE_PORT, UNET_FE_MAX_PDU, EthernetFrame, MacAddress
 from .ip import UNET_FE_IP_MAX_PDU, IpHeaderError, build_ipv4_udp, parse_ipv4_udp
 
 __all__ = ["FeTimings", "UNetFeBackend", "TX_TRACE", "RX_TRACE"]
@@ -158,9 +158,23 @@ class UNetFeBackend(UNetBackend):
     def allocate_port(self) -> int:
         port = self._next_port
         self._next_port += 1
-        if port > 0xFF:
+        if port >= COLLECTIVE_PORT:
+            # 0xFF belongs to the NIC-resident collective engine
             raise RuntimeError("out of U-Net port IDs on this interface")
         return port
+
+    # ---------------------------------------------------- collective engine
+    def register_collective(self, handler) -> None:
+        """Install the NIC-resident collective engine's packet handler."""
+        self.nic.collective_rx = handler
+
+    def send_collective(self, dst_mac: MacAddress, payload: bytes) -> None:
+        """NIC-originated collective send (no trap, no kernel service)."""
+        self.nic.send_collective(EthernetFrame(
+            dst_mac=dst_mac, src_mac=self.mac,
+            dst_port=COLLECTIVE_PORT, src_port=COLLECTIVE_PORT,
+            payload=payload,
+        ))
 
     def attach(self, attachment) -> None:
         self.nic.attach(attachment)

@@ -1,0 +1,127 @@
+"""Declarative switch topologies for multi-stage fabrics.
+
+A :class:`Topology` is a tiny undirected graph over switch indices plus
+deterministic path computation.  It generalizes the two shapes the
+substrates grew up with — a single switch and a linear chain — into
+anything the builders below can describe, most importantly the 2-level
+Clos/fat-tree that scale-out clusters use: a row of *leaf* switches
+(hosts attach here) fully meshed to a row of *spine* switches, giving
+every leaf pair ``spines`` parallel two-hop paths.
+
+Path selection is deterministic: :meth:`Topology.path` enumerates all
+shortest paths in lexicographic order and picks one by ``key``-modulo,
+so callers spread successive connections across parallel spines simply
+by passing an incrementing key — no RNG, fully reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "Topology",
+    "linear_topology",
+    "clos_topology",
+    "leaves_for",
+]
+
+
+class Topology:
+    """An undirected graph over switch indices ``0..num_switches-1``."""
+
+    def __init__(self, num_switches: int, trunks: Sequence[Tuple[int, int]],
+                 name: str = "topology") -> None:
+        if num_switches < 1:
+            raise ValueError("need at least one switch")
+        self.num_switches = num_switches
+        self.name = name
+        self.trunks: List[Tuple[int, int]] = []
+        self._adj: Dict[int, List[int]] = {i: [] for i in range(num_switches)}
+        for a, b in trunks:
+            if not (0 <= a < num_switches and 0 <= b < num_switches):
+                raise ValueError(f"trunk ({a},{b}) references a missing switch")
+            if a == b:
+                raise ValueError(f"self-trunk on switch {a}")
+            if b in self._adj[a]:
+                raise ValueError(f"duplicate trunk ({a},{b})")
+            self.trunks.append((a, b))
+            self._adj[a].append(b)
+            self._adj[b].append(a)
+        for neighbours in self._adj.values():
+            neighbours.sort()
+        self._path_cache: Dict[Tuple[int, int], List[List[int]]] = {}
+
+    def neighbours(self, switch: int) -> List[int]:
+        return list(self._adj[switch])
+
+    def shortest_paths(self, src: int, dst: int, limit: int = 64) -> List[List[int]]:
+        """All shortest src→dst switch paths, lexicographic, capped at
+        ``limit`` (a Clos has ``spines`` of them; the cap only guards
+        pathological hand-built meshes)."""
+        if src == dst:
+            return [[src]]
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        # BFS distance field from dst, then walk strictly downhill from
+        # src — every downhill walk is a shortest path.
+        dist = {dst: 0}
+        frontier = [dst]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for neighbour in self._adj[node]:
+                    if neighbour not in dist:
+                        dist[neighbour] = dist[node] + 1
+                        nxt.append(neighbour)
+            frontier = nxt
+        if src not in dist:
+            raise ValueError(f"switches {src} and {dst} are not connected")
+        paths: List[List[int]] = []
+        stack: List[Tuple[int, List[int]]] = [(src, [src])]
+        while stack and len(paths) < limit:
+            node, walked = stack.pop()
+            if node == dst:
+                paths.append(walked)
+                continue
+            # reversed push order keeps the pop order lexicographic
+            for neighbour in reversed(self._adj[node]):
+                if dist.get(neighbour, -1) == dist[node] - 1:
+                    stack.append((neighbour, walked + [neighbour]))
+        self._path_cache[(src, dst)] = paths
+        return paths
+
+    def path(self, src: int, dst: int, key: int = 0) -> List[int]:
+        """One shortest path, spread across parallel choices by ``key``."""
+        paths = self.shortest_paths(src, dst)
+        return paths[key % len(paths)]
+
+    def hops(self, src: int, dst: int) -> int:
+        """Number of switches on a shortest path (1 when src == dst)."""
+        return len(self.path(src, dst))
+
+
+def linear_topology(switches: int) -> Topology:
+    """The legacy shape: a chain ``0 - 1 - ... - n-1``."""
+    return Topology(switches, [(i, i + 1) for i in range(switches - 1)],
+                    name=f"chain-{switches}")
+
+
+def clos_topology(leaves: int, spines: int) -> Topology:
+    """A 2-level Clos/fat-tree: switches ``0..leaves-1`` are leaves,
+    ``leaves..leaves+spines-1`` are spines, every leaf trunks to every
+    spine.  Leaf pairs get ``spines`` parallel 3-switch paths."""
+    if leaves < 1 or spines < 1:
+        raise ValueError("need at least one leaf and one spine")
+    trunks = [(leaf, leaves + spine) for leaf in range(leaves) for spine in range(spines)]
+    topo = Topology(leaves + spines, trunks, name=f"clos-{leaves}x{spines}")
+    topo.leaves = leaves          # type: ignore[attr-defined]
+    topo.spines = spines          # type: ignore[attr-defined]
+    return topo
+
+
+def leaves_for(hosts: int, hosts_per_leaf: int) -> int:
+    """How many leaf switches a cluster of ``hosts`` needs."""
+    if hosts < 1 or hosts_per_leaf < 1:
+        raise ValueError("need at least one host and one host per leaf")
+    return (hosts + hosts_per_leaf - 1) // hosts_per_leaf

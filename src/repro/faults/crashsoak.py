@@ -102,6 +102,10 @@ class CrashSoakResult:
     peer_dead_drops: int = 0
     retransmissions: int = 0
     completion_time_us: float = 0.0
+    #: engine throughput: simulator events processed and wall seconds
+    #: (zero for the live/sigkill substrates, which have no simulator)
+    sim_events: int = 0
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -230,7 +234,9 @@ def run_crash_scenario(scenario: CrashScenario, seed: int = 0xC0FFEE,
 
 def _run_sim_crash(scenario: CrashScenario, progress=None) -> CrashSoakResult:
     from ..hw import PENTIUM_120
+    from ..live.clock import WallClock
 
+    wall_clock = WallClock()
     sim = Simulator()
     net = _build_network(scenario.substrate, sim)
     h0 = net.add_host("n0", PENTIUM_120)
@@ -331,6 +337,8 @@ def _run_sim_crash(scenario: CrashScenario, progress=None) -> CrashSoakResult:
         peer_dead_drops=drops.get("peer_dead_drops", 0),
         retransmissions=am0._peers_by_node[1].retransmissions,
         completion_time_us=completion,
+        sim_events=sim.events_processed,
+        wall_s=wall_clock.now_us() / 1e6,
     )
 
 
@@ -580,6 +588,11 @@ def render_crash_table(results: Sequence[CrashSoakResult]) -> str:
             f"{r.scenario:<12} {r.substrate:<10} {r.sent:>5} {r.delivered:>6} "
             f"{r.duplicated:>4} {r.abandoned:>6} {r.restarts:>6} {rec:>14} "
             f"{r.stale_epoch_drops:>6} {'yes' if r.ok else 'NO':>4}")
+    from ..analysis.report import engine_rate_line
+
+    rate = engine_rate_line(results)
+    if rate:
+        lines.append(f"  {rate}")
     return "\n".join(lines)
 
 

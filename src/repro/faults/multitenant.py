@@ -240,6 +240,10 @@ class _Outcome:
     duration_us: float
     now: float
     completed: bool
+    #: engine throughput: simulator events processed and wall seconds
+    #: (zero for live runs, which have no simulator)
+    sim_events: int = 0
+    wall_s: float = 0.0
 
     def delivered_bytes(self) -> int:
         return sum(t.delivered_bytes for t in self.tenants)
@@ -375,7 +379,9 @@ def _record_echo(t: _Tenant, data: bytes, now: float) -> None:
 # ------------------------------------------------------------------ simulation
 def _run_sim(scenario: MultitenantScenario, seed: int) -> _Outcome:
     from ..hw import PENTIUM_120
+    from ..live.clock import WallClock
 
+    wall_clock = WallClock()
     sim = Simulator()
     registry = RngRegistry(seed)
     net = _build_network("atm" if scenario.substrate == "atm" else "ethernet", sim)
@@ -489,7 +495,9 @@ def _run_sim(scenario: MultitenantScenario, seed: int) -> _Outcome:
 
     sim.run(until=t_end)
     return _Outcome(tenants=tenants, hosts=hosts, aggregator=aggregator,
-                    duration_us=t_end, now=sim.now, completed=True)
+                    duration_us=t_end, now=sim.now, completed=True,
+                    sim_events=sim.events_processed,
+                    wall_s=wall_clock.now_us() / 1e6)
 
 
 # ------------------------------------------------------------------ live
@@ -648,6 +656,9 @@ class MultitenantResult:
     fates: Dict[str, int]
     hosts: List[dict]
     tenant_rows: List[dict]
+    #: engine throughput (main run only; the quiet baseline is excluded)
+    sim_events: int = 0
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -835,6 +846,8 @@ def _finalize(scenario: MultitenantScenario, seed: int, outcome: _Outcome,
         hosts=[dict(host.admission.stats(), host=host.name)
                for host in outcome.hosts],
         tenant_rows=rows,
+        sim_events=outcome.sim_events,
+        wall_s=outcome.wall_s,
     )
 
 
@@ -859,7 +872,7 @@ def run_multitenant(scenario: MultitenantScenario, seed: int = 0xC0FFEE,
 # ------------------------------------------------------------------ reporting
 def render_multitenant_table(results: Sequence[MultitenantResult]) -> str:
     """Per-class SLO summary for each run, plus violations."""
-    from ..analysis.report import format_table
+    from ..analysis.report import engine_rate_line, format_table
 
     rows = []
     for r in results:
@@ -884,6 +897,9 @@ def render_multitenant_table(results: Sequence[MultitenantResult]) -> str:
         title="Multi-tenant churn soak",
     )
     lines = [table]
+    rate = engine_rate_line(results)
+    if rate:
+        lines.append(f"  {rate}")
     for r in results:
         for violation in r.violations:
             lines.append(f"  !! {r.scenario}: {violation}")

@@ -112,6 +112,9 @@ class OverloadResult:
     endpoint_rows: List[dict] = field(default_factory=list)
     #: attached receiver-fault statistics, if the scenario had one
     fault_stats: Dict[str, dict] = field(default_factory=dict)
+    #: engine throughput: simulator events processed and wall seconds
+    sim_events: int = 0
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -212,7 +215,9 @@ def run_overload(
     """Run ``scenario`` once under ``policy`` (and optionally credit flow)."""
     from ..ethernet import SwitchedNetwork
     from ..hw import PENTIUM_120
+    from ..live.clock import WallClock
 
+    wall_clock = WallClock()
     sim = Simulator()
     registry = RngRegistry(seed)
     net = SwitchedNetwork(sim)
@@ -394,6 +399,8 @@ def run_overload(
         backend_drops=backend_drops,
         endpoint_rows=monitor.report(),
         fault_stats=fault_stats,
+        sim_events=sim.events_processed,
+        wall_s=wall_clock.now_us() / 1e6,
     )
 
 
@@ -418,7 +425,7 @@ def compare_credit(
 
 def render_overload_table(results: Sequence[OverloadResult]) -> str:
     """One row per run, via the standard report table."""
-    from ..analysis.report import format_table
+    from ..analysis.report import engine_rate_line, format_table
 
     rows = []
     for r in results:
@@ -444,6 +451,9 @@ def render_overload_table(results: Sequence[OverloadResult]) -> str:
         title="Overload soak report",
     )
     lines = [table]
+    rate = engine_rate_line(results)
+    if rate:
+        lines.append(f"  {rate}")
     for r in results:
         for violation in r.violations:
             lines.append(f"  !! {r.scenario}/{r.mode}: {violation}")

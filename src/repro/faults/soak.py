@@ -86,6 +86,10 @@ class SoakResult:
     rtt_samples: int
     srtt_us: Optional[float]
     fault_stats: Dict[str, dict] = field(default_factory=dict)
+    #: engine throughput: events the simulator processed and the
+    #: wall-clock seconds the run took (events/s is the fast-path metric)
+    sim_events: int = 0
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -154,7 +158,9 @@ def run_scenario(
 ) -> SoakResult:
     """Run ``scenario`` once under ``config`` and check every invariant."""
     from ..hw import PENTIUM_120
+    from ..live.clock import WallClock
 
+    wall_clock = WallClock()
     sim = Simulator()
     net = _build_network(scenario.substrate, sim)
     h0 = net.add_host("n0", PENTIUM_120)
@@ -258,6 +264,8 @@ def run_scenario(
         rtt_samples=peer.rtt_samples,
         srtt_us=peer.srtt,
         fault_stats=fault_stats,
+        sim_events=sim.events_processed,
+        wall_s=wall_clock.now_us() / 1e6,
     )
 
 
@@ -311,7 +319,7 @@ def wins(fixed: SoakResult, adaptive: SoakResult) -> List[str]:
 
 def render_soak_table(results: Sequence[SoakResult]) -> str:
     """One row per run, via the standard report table."""
-    from ..analysis.report import format_table
+    from ..analysis.report import engine_rate_line, format_table
 
     rows = []
     for r in results:
@@ -326,12 +334,14 @@ def render_soak_table(results: Sequence[SoakResult]) -> str:
             r.duplicates,
             f"{r.srtt_us:.0f}" if r.srtt_us is not None else "-",
         ])
-    return format_table(
+    table = format_table(
         ("scenario", "mode", "invariants", "time_ms", "rexmit", "rto_fire", "fast_rx",
          "dup_rx", "srtt_us"),
         rows,
         title="Chaos soak report",
     )
+    rate = engine_rate_line(results)
+    return f"{table}\n  {rate}" if rate else table
 
 
 def render_comparison(results: Sequence[SoakResult]) -> str:

@@ -196,6 +196,9 @@ class TransportResult:
     queue_marked: int = 0
     queue_dropped: int = 0
     fault_stats: Dict[str, dict] = field(default_factory=dict)
+    #: engine throughput: simulator events processed and wall seconds
+    sim_events: int = 0
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -233,7 +236,10 @@ def run_transport(scenario: TransportScenario, mode: str,
     if mode not in TRANSPORT_MODES:
         raise ValueError(f"unknown transport mode {mode!r}; "
                          f"choose from {sorted(TRANSPORT_MODES)}")
+    from ..live.clock import WallClock
+
     config = TRANSPORT_MODES[mode]()
+    wall_clock = WallClock()
     sim = Simulator()
     net = SwitchedNetwork(sim)
     sink_host = net.add_host("sink", PENTIUM_120)
@@ -348,6 +354,8 @@ def run_transport(scenario: TransportScenario, mode: str,
         queue_marked=queue_marked,
         queue_dropped=queue_dropped,
         fault_stats=fault_stats,
+        sim_events=sim.events_processed,
+        wall_s=wall_clock.now_us() / 1e6,
     )
 
 
@@ -477,7 +485,7 @@ def write_transport_report(path: str, results: Sequence[TransportResult],
 
 def render_transport_table(results: Sequence[TransportResult]) -> str:
     """One row per (scenario, mode) plus the per-scenario verdicts."""
-    from ..analysis.report import format_table
+    from ..analysis.report import engine_rate_line, format_table
 
     rows = []
     for r in results:
@@ -495,6 +503,9 @@ def render_transport_table(results: Sequence[TransportResult]) -> str:
         rows,
         title="Transport ablation: go-back-N vs SACK vs ECN",
     )]
+    rate = engine_rate_line(results)
+    if rate:
+        lines.append(f"  {rate}")
     by_key = {(r.scenario, r.mode): r for r in results}
     for name in dict.fromkeys(r.scenario for r in results):
         gbn = by_key.get((name, "gbn"))

@@ -38,6 +38,28 @@ ENDPOINT_CONFIG = EndpointConfig(
 )
 RX_BUFFERS = 128
 
+#: past this node count the cluster switches to a leaner per-endpoint
+#: sizing — 256 nodes x 512 buffers of 2 KB would be a gigabyte of
+#: simulated buffer space nobody touches
+LEAN_THRESHOLD = 64
+
+
+def _lean_endpoint_config(n: int) -> EndpointConfig:
+    """Endpoint sizing for large clusters.
+
+    The receive queue must still absorb the host-coordinated barrier
+    incast at node 0 (every peer's arrival packet plus an announce), so
+    it scales with ``n``; the buffer area shrinks from 1 MB to 384 KB
+    per node but keeps room for the :data:`RX_BUFFERS` donated at
+    endpoint creation plus a working set of send buffers.
+    """
+    return EndpointConfig(
+        num_buffers=RX_BUFFERS + 64,
+        buffer_size=2048,
+        send_queue_depth=64,
+        recv_queue_depth=max(512, 2 * n),
+    )
+
 
 def fe_cluster_cpus(n: int) -> List[CpuModel]:
     """The paper's FE cluster: one Pentium-90, the rest Pentium-120s."""
@@ -50,8 +72,23 @@ def atm_cluster_cpus(n: int) -> List[CpuModel]:
     return ([SPARCSTATION_20] * half + [SPARCSTATION_10] * (n - half))[:n]
 
 
+def _clos_shape(n: int) -> tuple:
+    """(leaves, spines, hosts_per_leaf) for an ``n``-host fat tree.
+
+    Leaves hold up to 16 hosts (a realistic leaf port budget) and the
+    spine tier is half the leaf tier, capped at 8 — e.g. 256 hosts on
+    16 leaves x 8 spines.
+    """
+    leaves = max(2, -(-n // 16))
+    per_leaf = -(-n // leaves)
+    spines = max(2, min(8, -(-leaves // 2)))
+    return leaves, spines, per_leaf
+
+
 class Cluster:
-    """N workstations, fully channel-connected, running Split-C."""
+    """N workstations, channel-connected on demand, running Split-C."""
+
+    SUBSTRATES = ("fe-hub", "fe-switch", "fe-beowulf", "fe-clos", "atm", "atm-clos", "mixed")
 
     def __init__(
         self,
@@ -63,11 +100,18 @@ class Cluster:
         switch_model: SwitchModel = BAY_28115,
         atm_phy: AtmPhy = TAXI_140,
         sim: Optional[Simulator] = None,
+        collectives: str = "host",
+        collective_fanout: int = 4,
+        lazy_channels: bool = True,
+        endpoint_config: Optional[EndpointConfig] = None,
     ) -> None:
         if n < 1:
             raise ValueError("cluster needs at least one node")
+        if collectives not in ("host", "nic"):
+            raise ValueError(f"unknown collectives mode {collectives!r} (host, nic)")
         self.n = n
         self.substrate = substrate
+        self.collectives = collectives
         self.sim = sim or Simulator()
         if cpus is None:
             cpus = fe_cluster_cpus(n) if substrate.startswith("fe") else atm_cluster_cpus(n)
@@ -75,25 +119,52 @@ class Cluster:
             raise ValueError("need one CpuModel per node")
         self.cpus = list(cpus)
         self.network = self._build_network(substrate, switch_model, atm_phy)
+        if endpoint_config is None:
+            endpoint_config = ENDPOINT_CONFIG if n <= LEAN_THRESHOLD else _lean_endpoint_config(n)
         self.hosts: List[Host] = [
             self.network.add_host(f"node{i}", self.cpus[i]) for i in range(n)
         ]
         self.endpoints: List[UserEndpoint] = [
-            host.create_endpoint(config=ENDPOINT_CONFIG, rx_buffers=RX_BUFFERS) for host in self.hosts
+            host.create_endpoint(config=endpoint_config, rx_buffers=RX_BUFFERS) for host in self.hosts
         ]
         self.ams: List[AmEndpoint] = [
             AmEndpoint(i, self.endpoints[i], config=am_config) for i in range(n)
         ]
-        # full mesh of channels
-        for i in range(n):
-            for j in range(i + 1, n):
-                ch_i, ch_j = self.network.connect(self.endpoints[i], self.endpoints[j])
-                self.ams[i].connect_peer(j, ch_i)
-                self.ams[j].connect_peer(i, ch_j)
+        self._connected_pairs: set = set()
+        if lazy_channels:
+            # channels come up on first use: O(active pairs), not O(N^2)
+            for i, am in enumerate(self.ams):
+                am.peer_resolver = self._make_resolver(i)
+        else:
+            for i in range(n):
+                for j in range(i + 1, n):
+                    self._ensure_channel(i, j)
+        self.collective_engines = (
+            self._wire_collectives(collective_fanout) if collectives == "nic" else []
+        )
         self.runtimes: List[SplitCRuntime] = [
             SplitCRuntime(i, n, self.ams[i], self.cpus[i], costs=costs) for i in range(n)
         ]
+        for runtime, engine in zip(self.runtimes, self.collective_engines):
+            runtime.use_nic_collectives(engine)
 
+    # ------------------------------------------------------------- channels
+    def _make_resolver(self, i: int):
+        def resolve(j: int) -> None:
+            if 0 <= j < self.n and j != i:
+                self._ensure_channel(i, j)
+        return resolve
+
+    def _ensure_channel(self, i: int, j: int) -> None:
+        key = (i, j) if i < j else (j, i)
+        if key in self._connected_pairs:
+            return
+        self._connected_pairs.add(key)
+        ch_i, ch_j = self.network.connect(self.endpoints[i], self.endpoints[j])
+        self.ams[i].connect_peer(j, ch_i)
+        self.ams[j].connect_peer(i, ch_j)
+
+    # -------------------------------------------------------------- fabric
     def _build_network(self, substrate: str, switch_model: SwitchModel, atm_phy: AtmPhy):
         if substrate == "fe-hub":
             return HubNetwork(self.sim)
@@ -103,13 +174,43 @@ class Cluster:
             from ..ethernet.bonding import BeowulfNetwork
 
             return BeowulfNetwork(self.sim)
+        if substrate == "fe-clos":
+            from ..fabric import ClosFeNetwork
+
+            leaves, spines, per_leaf = _clos_shape(self.n)
+            return ClosFeNetwork(self.sim, leaves=leaves, spines=spines,
+                                 hosts_per_leaf=per_leaf, model=switch_model)
         if substrate == "atm":
             network = AtmNetwork(self.sim)
             original_add = network.add_host
             network.add_host = lambda name, cpu: original_add(name, cpu, phy=atm_phy)
             return network
+        if substrate == "atm-clos":
+            from ..fabric import ClosAtmFabric
+
+            leaves, spines, per_leaf = _clos_shape(self.n)
+            fabric = ClosAtmFabric(self.sim, leaves=leaves, spines=spines,
+                                   hosts_per_leaf=per_leaf, trunk_phy=atm_phy)
+            original_add = fabric.add_host
+            fabric.add_host = lambda name, cpu: original_add(name, cpu, phy=atm_phy)
+            return fabric
+        if substrate == "mixed":
+            from ..fabric import MixedFabric
+
+            per_leaf = max(2, -(-self.n // 4))  # half per side, two leaves each
+            return MixedFabric(self.sim, hosts_per_leaf=per_leaf)
+        raise ValueError(f"unknown substrate {substrate!r} {self.SUBSTRATES}")
+
+    def _wire_collectives(self, fanout: int):
+        from ..collectives import wire_atm_collectives, wire_fe_collectives
+
+        if self.substrate in ("atm", "atm-clos"):
+            return wire_atm_collectives(self.network, self.hosts, fanout=fanout)
+        if self.substrate in ("fe-hub", "fe-switch", "fe-clos"):
+            return wire_fe_collectives(self.network, self.hosts, fanout=fanout)
         raise ValueError(
-            f"unknown substrate {substrate!r} (fe-hub, fe-switch, fe-beowulf, atm)"
+            f"collectives='nic' is not supported on substrate {self.substrate!r} "
+            "(the engine cannot span the mixed relay or bonded rails)"
         )
 
     # ---------------------------------------------------------------- run

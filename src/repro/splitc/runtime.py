@@ -22,6 +22,7 @@ from typing import Dict, Generator, List, Optional
 import numpy as np
 
 from ..am.am import AmConfig, AmEndpoint, RequestContext
+from ..collectives.engine import reduce_wire_dtype
 from ..hw.cpu import CpuModel
 from ..sim import Event, Simulator
 from .costs import DEFAULT_COSTS, KernelCosts
@@ -81,6 +82,8 @@ class SplitCRuntime:
         # fetch (split-phase bulk get) state
         self._next_fetch_tag = 0
         self._fetch_events: Dict[int, Event] = {}
+        #: NIC-resident collective engine (None = host-coordinated)
+        self.nic_collectives = None
         # time accounting (Figure 7's cpu/net split)
         self.compute_time = 0.0
         self.comm_time = 0.0
@@ -406,10 +409,21 @@ class SplitCRuntime:
         # therefore compatible with a following all_store_sync.
 
     # --------------------------------------------------------- collectives
+    def use_nic_collectives(self, engine) -> None:
+        """Route barrier/broadcast/reduce through a NIC-resident
+        collective engine instead of the host-coordinated node-0 scheme
+        (the ``collectives="nic"`` ablation)."""
+        self.nic_collectives = engine
+
     def barrier(self) -> Generator:
-        """Process: global barrier (central coordinator on node 0)."""
+        """Process: global barrier (NIC tree, or node-0 coordination)."""
         self.barriers_entered += 1
         if self.nprocs == 1:
+            return
+        if self.nic_collectives is not None:
+            start = self.sim.now
+            yield from self.nic_collectives.barrier()
+            self.comm_time += self.sim.now - start
             return
         generation = self._barrier_generation
         self._barrier_generation += 1
@@ -434,6 +448,26 @@ class SplitCRuntime:
         slice of ``name`` holding the broadcast data.
         """
         array = self.heap.array(name)
+        if self.nic_collectives is not None and root == 0 and self.nprocs > 1:
+            # the NIC tree is rooted at node 0; dissemination happens in
+            # firmware, so no trailing barrier is needed — every non-root
+            # node blocks until its payload arrives
+            engine = self.nic_collectives
+            start = self.sim.now
+            if self.node == root:
+                if values is None:
+                    raise SplitCError("root must supply broadcast values")
+                array[: len(values)] = values
+                data = np.ascontiguousarray(values, dtype=array.dtype).tobytes()
+                if len(data) > engine.max_data:
+                    raise SplitCError("broadcast_small payload exceeds one packet")
+                yield from engine.broadcast(data)
+            else:
+                data = yield from engine.broadcast()
+                incoming = np.frombuffer(data, dtype=array.dtype)
+                array[: len(incoming)] = incoming
+            self.comm_time += self.sim.now - start
+            return
         generation = self._barrier_generation  # reuse a symmetric counter
         if self.node == root:
             if values is None:
@@ -485,7 +519,24 @@ class SplitCRuntime:
         array = self.heap.array(name)
         if self.nprocs == 1:
             return
-        # combine everyone's contribution on node 0
+        engine = self.nic_collectives
+        wire_dtype = reduce_wire_dtype(array.dtype)
+        if (engine is not None and wire_dtype is not None
+                and array.nbytes <= engine.max_data):
+            # combine in NIC firmware; the fallback condition is a pure
+            # function of the (SPMD-symmetric) array, so all nodes agree
+            start = self.sim.now
+            result = yield from engine.allreduce(array.tobytes(), op=op,
+                                                dtype=wire_dtype)
+            array[:] = np.frombuffer(result, dtype=array.dtype)
+            self.comm_time += self.sim.now - start
+            return
+        # combine everyone's contribution on node 0.  The entry barrier
+        # fences the epoch: without it a fast peer's store_add for the
+        # next reduction can land on node 0 before node 0's own program
+        # has finished (re)writing its input slice, and the local write
+        # then silently overwrites the remote contribution.
+        yield from self.barrier()
         if self.node != 0:
             yield from self.store_add(0, name, 0, array, op=op)
         yield from self.all_store_sync()

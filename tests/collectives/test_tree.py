@@ -1,0 +1,82 @@
+"""Properties of the k-ary tree shape and the wrapping generation math."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import GEN_MOD, KAryTree, gen_after, next_gen
+from repro.collectives.engine import _GenWindow
+
+
+# ----------------------------------------------------------------- tree shape
+@given(n=st.integers(min_value=1, max_value=200),
+       fanout=st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_tree_is_a_rooted_spanning_tree(n, fanout):
+    tree = KAryTree(n, fanout=fanout)
+    assert tree.parent(0) is None
+    seen = set()
+    for node in range(1, n):
+        parent = tree.parent(node)
+        assert 0 <= parent < node  # parents precede children: acyclic
+        assert node in tree.children(parent)
+        seen.add(node)
+    # the children lists partition exactly the non-root nodes
+    from_children = [c for node in range(n) for c in tree.children(node)]
+    assert sorted(from_children) == sorted(seen)
+    assert len(from_children) == n - 1
+
+
+@given(n=st.integers(min_value=2, max_value=500),
+       fanout=st.integers(min_value=2, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_tree_depth_is_logarithmic(n, fanout):
+    tree = KAryTree(n, fanout=fanout)
+    depth = max(tree.depth(node) for node in range(n))
+    # a complete fanout-ary tree of this depth must be able to hold n
+    assert fanout ** depth < n * fanout
+    assert all(len(tree.children(node)) <= fanout for node in range(n))
+
+
+def test_tree_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        KAryTree(0)
+    with pytest.raises(ValueError):
+        KAryTree(4, fanout=0)
+
+
+# ----------------------------------------------------- generation arithmetic
+@given(gen=st.integers(min_value=0, max_value=GEN_MOD - 1))
+@settings(max_examples=60, deadline=None)
+def test_gen_after_is_irreflexive_and_successor_ordered(gen):
+    assert not gen_after(gen, gen)
+    assert gen_after(next_gen(gen), gen)
+    assert not gen_after(gen, next_gen(gen))
+
+
+@given(gen=st.integers(min_value=0, max_value=GEN_MOD - 1),
+       distance=st.integers(min_value=1, max_value=GEN_MOD // 2 - 1))
+@settings(max_examples=60, deadline=None)
+def test_gen_after_orders_the_half_window_across_wrap(gen, distance):
+    ahead = (gen + distance) % GEN_MOD
+    assert gen_after(ahead, gen)
+    assert not gen_after(gen, ahead)
+
+
+@given(start=st.integers(min_value=0, max_value=GEN_MOD - 1),
+       count=st.integers(min_value=1, max_value=40),
+       seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_gen_window_dedups_any_arrival_order(start, count, seed):
+    """Each generation is accepted exactly once, in any order, across wrap."""
+    import random
+
+    gens = [(start + i) % GEN_MOD for i in range(count)]
+    arrivals = gens * 2  # every generation also retransmitted
+    random.Random(seed).shuffle(arrivals)
+    window = _GenWindow()
+    window.floor = (start - 1) % GEN_MOD
+    accepted = [gen for gen in arrivals if window.add(gen)]
+    assert sorted(accepted) == sorted(gens)
+    assert window.floor == gens[-1]
+    assert not window.ahead
