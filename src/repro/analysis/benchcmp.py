@@ -8,9 +8,11 @@ wall-clock rig (``repro-bench-live/2``: p50 latency per size, goodput
 per size, incast goodput, and the batched fast path's throughput,
 syscalls-per-message, and speedup), the deterministic transport
 ablation (``repro-bench-transport/1``: goodput per scenario and mode),
-and the collective-latency sweep (``repro-bench-collectives/1``: mean
+the collective-latency sweep (``repro-bench-collectives/1``: mean
 barrier/reduce latency per substrate, mode, and node count, plus the
-host-vs-NIC speedup ratios).
+host-vs-NIC speedup ratios), and the fabric fault-tolerance soak
+(``repro-bench-fabric/1``: recovery time and post-recovery round
+latency per fault scenario).
 
 Direction matters: latency regresses *up*, goodput regresses *down*.
 Improvements of any size and regressions inside the threshold are
@@ -115,11 +117,27 @@ def _collectives_headlines(payload: dict) -> List[Tuple[str, str, float]]:
     return metrics
 
 
+def _fabric_headlines(payload: dict) -> List[Tuple[str, str, float]]:
+    """Recovery time and steady-state round latency per fault scenario.
+
+    Both are simulated time — deterministic, so any drift is a real
+    behaviour change; CI additionally byte-diffs the snapshot."""
+    metrics: List[Tuple[str, str, float]] = []
+    for entry in payload["scenarios"]:
+        row = entry["row"]
+        metrics.append((f"{entry['scenario']}.recovery_us", "lower",
+                        row["recovery_us"]))
+        metrics.append((f"{entry['scenario']}.post_recovery_mean_us", "lower",
+                        row["post_recovery_mean_us"]))
+    return metrics
+
+
 _HEADLINES = {
     "repro-bench-live/1": _live_headlines,
     "repro-bench-live/2": _live_v2_headlines,
     "repro-bench-transport/1": _transport_headlines,
     "repro-bench-collectives/1": _collectives_headlines,
+    "repro-bench-fabric/1": _fabric_headlines,
 }
 
 

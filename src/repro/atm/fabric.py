@@ -17,11 +17,12 @@ fabric's spines all carry traffic.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.api import Host, UserEndpoint
 from ..core.channels import AtmTag, register_channel
-from ..core.errors import ChannelError
+from ..core.errors import ChannelError, NoPathError
 from ..hw.bus import PCI_BUS, BusModel
 from ..hw.cpu import CpuModel
 from ..sim import Simulator
@@ -33,6 +34,18 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
     from ..fabric.topology import Topology
 
 __all__ = ["AtmFabric"]
+
+
+@dataclass
+class _VcRoute:
+    """Signaling-plane record of one directional VC, kept so the route
+    can be re-programmed when a trunk on its path fails."""
+
+    src_switch: int
+    dst_switch: int
+    dst_port: int
+    key: int
+    path: List[int] = field(default_factory=list)
 
 
 class AtmFabric:
@@ -72,6 +85,14 @@ class AtmFabric:
         self._next_vci = 32
         self._path_key = 0
         self.hosts: List[Host] = []
+        #: vci -> signaling record enabling failover re-programming
+        self._vc_routes: Dict[int, _VcRoute] = {}
+        #: VCs whose endpoints are currently partitioned (retried on heal)
+        self._stranded: Set[int] = set()
+        #: saved deliver callbacks of blackholed trunks
+        self._trunk_saved: Dict[Tuple[int, int], Optional[Callable]] = {}
+        self.reroutes = 0
+        self.cells_blackholed = 0
         for a, b in topology.trunks:
             self._join(a, b, trunk_phy, trunk_propagation_us)
 
@@ -152,12 +173,16 @@ class AtmFabric:
             raise ChannelError("both hosts must be attached to the fabric")
         switch_a, port_a = self._host_port[backend_a]
         switch_b, port_b = self._host_port[backend_b]
-        path = self.topology.path(switch_a, switch_b, key=self._path_key)
+        key = self._path_key
+        path = self.topology.path(switch_a, switch_b, key=key)
         self._path_key += 1
         vci_ab = self._allocate_vci()
         vci_ba = self._allocate_vci()
         self._program_path(vci_ab, path, port_b)
         self._program_path(vci_ba, list(reversed(path)), port_a)
+        self._vc_routes[vci_ab] = _VcRoute(switch_a, switch_b, port_b, key, list(path))
+        self._vc_routes[vci_ba] = _VcRoute(switch_b, switch_a, port_a, key,
+                                           list(reversed(path)))
         return vci_ab, vci_ba
 
     def connect(self, a: UserEndpoint, b: UserEndpoint) -> Tuple[int, int]:
@@ -186,3 +211,63 @@ class AtmFabric:
         switch_a, _ = self._host_port[a.host.backend]
         switch_b, _ = self._host_port[b.host.backend]
         return self.topology.hops(switch_a, switch_b)
+
+    # ------------------------------------------------------------ failover
+    def set_trunk_state(self, a: int, b: int, up: bool) -> bool:
+        """Fail (``up=False``) or restore the duplex trunk ``a — b``.
+
+        Going down, both directional links start blackholing in-flight
+        cells (counted in :attr:`cells_blackholed`, as a yanked fiber
+        would) and the signaling plane re-programs every VC whose path
+        crossed the trunk along a surviving shortest path — keeping the
+        VC's original spreading key, so re-keying stays deterministic.
+        VCs with no surviving path are *stranded* and re-programmed when
+        a trunk comes back.  Returns True when the state changed.
+        """
+        if not self.topology.set_trunk(a, b, up):
+            return False
+        for x, y in ((a, b), (b, a)):
+            link = self._trunk_links[(x, y)]
+            if up:
+                saved = self._trunk_saved.pop((x, y), None)
+                if saved is not None:
+                    link.deliver = saved
+            elif (x, y) not in self._trunk_saved:
+                self._trunk_saved[(x, y)] = link.deliver
+                link.deliver = self._blackhole
+        if up:
+            for vci in sorted(self._stranded):
+                self._reprogram(vci)
+        else:
+            for vci in sorted(self._vc_routes):
+                if _uses_trunk(self._vc_routes[vci].path, a, b):
+                    self._reprogram(vci)
+        return True
+
+    def _blackhole(self, cell) -> None:
+        self.cells_blackholed += 1
+
+    def _reprogram(self, vci: int) -> None:
+        route = self._vc_routes[vci]
+        try:
+            path = self.topology.path(route.src_switch, route.dst_switch,
+                                      key=route.key)
+        except NoPathError:
+            self._stranded.add(vci)
+            return
+        self._program_path(vci, path, route.dst_port)
+        route.path = list(path)
+        self._stranded.discard(vci)
+        self.reroutes += 1
+
+    def backends_reachable(self, backend_a: UNetAtmBackend,
+                           backend_b: UNetAtmBackend) -> bool:
+        """Whether a live switch path joins the two attached NICs."""
+        switch_a, _ = self._host_port[backend_a]
+        switch_b, _ = self._host_port[backend_b]
+        return self.topology.connected(switch_a, switch_b)
+
+
+def _uses_trunk(path: List[int], a: int, b: int) -> bool:
+    return any((x == a and y == b) or (x == b and y == a)
+               for x, y in zip(path, path[1:]))

@@ -288,6 +288,8 @@ def _cmd_soak(args) -> int:
         return _cmd_soak_multitenant(args)
     if args.suite == "transport":
         return _cmd_soak_transport(args)
+    if args.suite == "fabric":
+        return _cmd_soak_fabric(args)
     names = args.scenario or [n for n in SCENARIOS if n != "bursty-atm"]
     unknown = [n for n in names if n not in SCENARIOS]
     if unknown:
@@ -472,6 +474,32 @@ def _cmd_soak_transport(args) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def _cmd_soak_fabric(args) -> int:
+    from .faults.fabricsoak import (
+        FABRIC_SCENARIOS,
+        render_fabric_table,
+        run_fabric_suite,
+        write_fabric_report,
+    )
+
+    names = args.scenario or list(FABRIC_SCENARIOS)
+    unknown = [n for n in names if n not in FABRIC_SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s) {unknown}; choose from "
+              f"{sorted(FABRIC_SCENARIOS)}", file=sys.stderr)
+        return 2
+    results = run_fabric_suite(seed=args.seed, scenarios=names,
+                               progress=lambda m: print(f"  {m}"))
+    print(render_fabric_table(results))
+    for r in results:
+        for violation in r.violations:
+            print(f"  !! {r.scenario}: {violation}")
+    if args.output:
+        write_fabric_report(args.output, results, seed=args.seed)
+        print(f"wrote {args.output}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 def _cmd_bench(args) -> int:
     """Wall-clock benchmark rig on the live U-Net/OS substrate."""
     if args.compare:
@@ -536,14 +564,15 @@ def _cmd_bench(args) -> int:
 def _cmd_conformance(args) -> int:
     """Differential conformance sweep / single-case replay."""
     from .conformance import (
-        BUGS, generate_case, load_artifact_meta, render_report, run_case,
-        save_artifact, shrink_case,
+        BUGS, FABRIC_BUGS, generate_case, load_artifact_meta, render_fabric_case,
+        render_report, run_case, run_fabric_case, save_artifact, shrink_case,
     )
     from .core.substrates import SubstrateUnavailable, ensure_available
 
     substrates = tuple(args.substrate) if args.substrate else ("atm", "ethernet")
-    if args.bug and args.bug not in BUGS:
-        print(f"unknown bug {args.bug!r}; choose from {sorted(BUGS)}", file=sys.stderr)
+    if args.bug and args.bug not in BUGS and args.bug not in FABRIC_BUGS:
+        print(f"unknown bug {args.bug!r}; choose from "
+              f"{sorted(BUGS) + sorted(FABRIC_BUGS)}", file=sys.stderr)
         return 2
 
     if args.replay:
@@ -576,9 +605,17 @@ def _cmd_conformance(args) -> int:
     configs = tuple(args.config) if args.config else ("fixed", "adaptive",
                                                       "credit", "crash",
                                                       "sack", "ecn")
+    # the fabric preset runs its own sim-only healing harness, not the
+    # AM-level differential loop
+    fabric_sweep = "fabric" in configs or (args.bug in FABRIC_BUGS)
+    configs = tuple(c for c in configs if c != "fabric")
     if args.bug:
         # a bug only shows where its machinery is engaged
-        configs = tuple(c for c in configs if c in BUGS[args.bug]["configs"]) or configs
+        if args.bug in FABRIC_BUGS:
+            configs = ()
+        else:
+            fabric_sweep = False
+            configs = tuple(c for c in configs if c in BUGS[args.bug]["configs"]) or configs
     failures = []
     ran = 0
     for seed in range(args.seed_base, args.seed_base + args.seeds):
@@ -608,8 +645,22 @@ def _cmd_conformance(args) -> int:
                 break
         if args.fail_fast and failures:
             break
+    if fabric_sweep and not (args.fail_fast and failures):
+        fabric_bug = args.bug if args.bug in FABRIC_BUGS else None
+        for seed in range(args.seed_base, args.seed_base + args.seeds):
+            report = run_fabric_case(seed, bug=fabric_bug)
+            ran += 1
+            if report.ok:
+                if args.verbose:
+                    print(render_fabric_case(report, context=False))
+                continue
+            failures.append(report)
+            print(render_fabric_case(report))
+            if args.fail_fast:
+                break
+    swept = list(configs) + (["fabric"] if fabric_sweep else [])
     verdict = "no divergences" if not failures else f"{len(failures)} divergent case(s)"
-    print(f"conformance: {ran} differential runs over {list(configs)} "
+    print(f"conformance: {ran} differential runs over {swept} "
           f"on {list(substrates)}: {verdict}")
     return 0 if not failures else 1
 
@@ -707,14 +758,16 @@ def build_parser() -> argparse.ArgumentParser:
     pk = sub.add_parser("soak", help=_EXPERIMENTS["soak"])
     pk.add_argument("--suite", default="chaos",
                     choices=("chaos", "overload", "crash", "multitenant",
-                             "transport"),
+                             "transport", "fabric"),
                     help="chaos soaks the wire; overload soaks the receiver's "
                          "service capacity (incast, sick endpoints); crash "
                          "kills and restarts the receiver mid-stream; "
                          "multitenant churns hundreds of QoS-classed tenants "
                          "through misbehave/crash/recover cycles; transport "
                          "races go-back-N vs SACK vs ECN through bursty loss, "
-                         "reordering, and an incast bottleneck")
+                         "reordering, and an incast bottleneck; fabric kills "
+                         "spines, flaps trunks, partitions and heals Clos "
+                         "fabrics under NIC-resident collectives")
     pk.add_argument("--scenario", action="append",
                     help="scenario name (repeatable; default: every scenario of the suite)")
     pk.add_argument("--mode", default="compare", choices=("compare", "adaptive", "fixed"),
@@ -780,8 +833,10 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--messages", type=int, default=12, help="workload length per case")
     pc.add_argument("--config", action="append",
                     choices=("fixed", "adaptive", "credit", "crash",
-                             "sack", "ecn"),
-                    help="config preset (repeatable; default: all six)")
+                             "sack", "ecn", "fabric"),
+                    help="config preset (repeatable; default: the six "
+                         "AM-level presets; fabric adds the collective-"
+                         "healing oracle cases)")
     from .core.substrates import substrate_names
 
     pc.add_argument("--substrate", action="append", choices=substrate_names(),

@@ -25,10 +25,12 @@ from .adapters import (
 from .engine import (
     REDUCE_DTYPES,
     REDUCE_OPS,
+    CollectiveAborted,
     CollectiveConfig,
     CollectiveError,
     NicCollectiveEngine,
 )
+from .membership import CollectiveGroup
 from .tree import GEN_MOD, KAryTree, gen_after, next_gen
 
 __all__ = [
@@ -38,6 +40,8 @@ __all__ = [
     "next_gen",
     "CollectiveConfig",
     "CollectiveError",
+    "CollectiveAborted",
+    "CollectiveGroup",
     "NicCollectiveEngine",
     "REDUCE_OPS",
     "REDUCE_DTYPES",

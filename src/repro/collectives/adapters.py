@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..ethernet.frames import UNET_FE_MAX_PDU
 from .engine import CollectiveConfig, NicCollectiveEngine
+from .membership import CollectiveGroup
 from .tree import KAryTree
 
 __all__ = [
@@ -67,8 +68,15 @@ def wire_atm_collectives(
     hosts: Sequence,
     fanout: int = 4,
     config: Optional[CollectiveConfig] = None,
-) -> List[NicCollectiveEngine]:
-    """One engine per host; tree edges become fabric-routed VCs."""
+    healing: bool = False,
+):
+    """One engine per host; tree edges become fabric-routed VCs.
+
+    With ``healing=True`` returns ``(engines, group)``: a
+    :class:`~repro.collectives.membership.CollectiveGroup` owns the
+    engines, fed by the fabric's reachability and a lazy edge-wiring
+    callback that signals fresh VCs for edges a heal creates.
+    """
     tree = KAryTree(len(hosts), fanout=fanout)
     sim = fabric.sim
     adapters = [AtmCollectiveAdapter(host.backend) for host in hosts]
@@ -76,16 +84,33 @@ def wire_atm_collectives(
         NicCollectiveEngine(sim, node, tree, adapters[node], config)
         for node in range(len(hosts))
     ]
+
+    def wire_edge(i: int, j: int) -> None:
+        if j in adapters[i].tx_vci:
+            return
+        vci_ij, vci_ji = fabric.connect_collective(hosts[i].backend,
+                                                   hosts[j].backend)
+        adapters[i].tx_vci[j] = vci_ij
+        adapters[j].tx_vci[i] = vci_ji
+        hosts[j].backend.register_collective_vci(vci_ij, engines[j].on_packet)
+        hosts[i].backend.register_collective_vci(vci_ji, engines[i].on_packet)
+
     for child in range(1, len(hosts)):
-        parent = tree.parent(child)
-        backend_p = hosts[parent].backend
-        backend_c = hosts[child].backend
-        vci_pc, vci_cp = fabric.connect_collective(backend_p, backend_c)
-        adapters[parent].tx_vci[child] = vci_pc
-        adapters[child].tx_vci[parent] = vci_cp
-        backend_c.register_collective_vci(vci_pc, engines[child].on_packet)
-        backend_p.register_collective_vci(vci_cp, engines[parent].on_packet)
-    return engines
+        wire_edge(tree.parent(child), child)
+    if not healing:
+        return engines
+    group = CollectiveGroup(
+        sim, engines, wire_edge=wire_edge,
+        reachable=_reachability(fabric, hosts))
+    return engines, group
+
+
+def _reachability(network, hosts: Sequence):
+    """Node-indexed reachability over the fabric, if it tracks any."""
+    probe = getattr(network, "backends_reachable", None)
+    if probe is None:
+        return None
+    return lambda i, j: probe(hosts[i].backend, hosts[j].backend)
 
 
 def wire_fe_collectives(
@@ -93,8 +118,14 @@ def wire_fe_collectives(
     hosts: Sequence,
     fanout: int = 4,
     config: Optional[CollectiveConfig] = None,
-) -> List[NicCollectiveEngine]:
-    """One engine per host; tree edges address peers by MAC."""
+    healing: bool = False,
+):
+    """One engine per host; tree edges address peers by MAC.
+
+    With ``healing=True`` returns ``(engines, group)``; MACs are flat
+    addresses, so every pair is pre-addressed and heals need no edge
+    wiring — only the fabric's reachability feeds the group.
+    """
     tree = KAryTree(len(hosts), fanout=fanout)
     sim = network.sim
     adapters = [FeCollectiveAdapter(host.backend) for host in hosts]
@@ -104,6 +135,15 @@ def wire_fe_collectives(
     ]
     for node, host in enumerate(hosts):
         host.backend.register_collective(engines[node].on_packet)
+    if healing:
+        # a healed tree can join any pair: pre-address the full mesh
+        for a in range(len(hosts)):
+            for b in range(len(hosts)):
+                if a != b:
+                    adapters[a].peer_mac[b] = hosts[b].backend.mac
+        group = CollectiveGroup(sim, engines,
+                                reachable=_reachability(network, hosts))
+        return engines, group
     for child in range(1, len(hosts)):
         parent = tree.parent(child)
         adapters[parent].peer_mac[child] = hosts[child].backend.mac

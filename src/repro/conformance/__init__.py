@@ -23,6 +23,13 @@ from .checker import (
     run_case,
     run_substrate,
 )
+from .fabric import (
+    FABRIC_BUGS,
+    FabricCaseReport,
+    inject_fabric_bug,
+    render_fabric_case,
+    run_fabric_case,
+)
 from .model import RefTrace, run_reference
 from .observe import ObservationProbe, ObservedTrace
 from .schedule import CONFIG_PRESETS, ConformanceCase, Message, generate_case
@@ -47,7 +54,12 @@ __all__ = [
     "CaseReport",
     "SUBSTRATES",
     "BUGS",
+    "FABRIC_BUGS",
+    "FabricCaseReport",
     "inject_bug",
+    "inject_fabric_bug",
+    "run_fabric_case",
+    "render_fabric_case",
     "run_substrate",
     "run_case",
     "diff_case",

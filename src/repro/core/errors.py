@@ -13,6 +13,8 @@ __all__ = [
     "StaleEpochError",
     "AdmissionRejected",
     "ConfigError",
+    "NoPathError",
+    "ClusterPartitionError",
 ]
 
 
@@ -85,6 +87,32 @@ class ConfigError(UNetError, ValueError):
     def __init__(self, message: str, *, knob: str = "") -> None:
         super().__init__(message)
         self.knob = knob
+
+
+class NoPathError(ChannelError, ValueError):
+    """No usable switch path exists between two fabric attachment points.
+
+    Raised both for topologies that were never connected and for pairs
+    severed by trunk faults (``Topology.set_trunk``).  Subclasses
+    :class:`ValueError` because the topology layer historically raised
+    that for disconnected graphs — old call sites keep working."""
+
+    def __init__(self, message: str, *, src: int = -1, dst: int = -1) -> None:
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+
+
+class ClusterPartitionError(UNetError):
+    """This host sits on the minority side of a cluster partition and
+    must fail fast rather than diverge.  The majority side keeps
+    running in degraded mode; see ``ClusterPartitionMonitor``."""
+
+    def __init__(self, message: str = "cluster partitioned", *,
+                 host: str = "", component: object = None) -> None:
+        super().__init__(message)
+        self.host = host
+        self.component = tuple(component) if component is not None else ()
 
 
 class StaleEpochError(UNetError):

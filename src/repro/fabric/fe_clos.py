@@ -22,9 +22,10 @@ Two forwarding regimes:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.api import Host, UserEndpoint
+from ..core.errors import NoPathError
 from ..ethernet.medium import SimplexChannel
 from ..ethernet.network import _FeNetworkBase
 from ..ethernet.switch import BAY_28115, EthernetSwitch, SwitchModel
@@ -79,6 +80,14 @@ class ClosFeNetwork(_FeNetworkBase):
                 self._join(leaf, spine, rate_mbps, trunk_propagation_us)
         self._leaf_of_backend: Dict[object, int] = {}
         self._host_count = 0
+        #: every statically-programmed host: (mac, leaf, host_index)
+        self._mac_programs: List[Tuple[int, int, int]] = []
+        #: (mac, source leaf) -> spine its MAC entry currently routes via
+        self._via: Dict[Tuple[int, int], int] = {}
+        #: saved deliver callbacks of blackholed trunk channels
+        self._trunk_saved: Dict[Tuple[str, int, int], Optional[Callable]] = {}
+        self.reroutes = 0
+        self.frames_blackholed = 0
 
     def _join(self, leaf: int, spine: int, rate_mbps: float, propagation_us: float) -> None:
         leaf_sw = self.leaf_switches[leaf]
@@ -134,14 +143,77 @@ class ClosFeNetwork(_FeNetworkBase):
 
         The host's leaf knows it directly (programmed by ``attach``);
         spines point at that leaf; other leaves point at a spine chosen
-        per host, spreading destinations across parallel trunks.
+        per host among the *live* trunks, spreading destinations across
+        parallel paths.  Re-run by :meth:`set_trunk_state` — the static
+        analogue of MAC re-learning after a topology change.
         """
-        via_spine = host_index % self.spines
+        self._mac_programs.append((mac, leaf, host_index))
         for spine, switch in enumerate(self.spine_switches):
             switch.program_mac(mac, self._spine_downlink[(spine, leaf)])
+        self._program_leaves(mac, leaf, host_index)
+
+    def _program_leaves(self, mac: int, leaf: int, host_index: int) -> None:
+        topo = self.topology
         for other, switch in enumerate(self.leaf_switches):
-            if other != leaf:
-                switch.program_mac(mac, self._leaf_uplink[(other, via_spine)])
+            if other == leaf:
+                continue
+            candidates = [s for s in range(self.spines)
+                          if topo.trunk_up(other, self.leaves + s)
+                          and topo.trunk_up(leaf, self.leaves + s)]
+            if not candidates:
+                # partitioned pair: leave the stale entry; frames die in
+                # the blackholed trunk until a path returns
+                continue
+            via = candidates[host_index % len(candidates)]
+            previous = self._via.get((mac, other))
+            if previous != via:
+                switch.program_mac(mac, self._leaf_uplink[(other, via)])
+                self._via[(mac, other)] = via
+                if previous is not None:
+                    self.reroutes += 1
+
+    # ------------------------------------------------------------ failover
+    def set_trunk_state(self, a: int, b: int, up: bool) -> bool:
+        """Fail or restore the trunk between topology switches ``a`` and
+        ``b`` (one a leaf index, the other ``leaves + spine``).  Both
+        simplex trunk channels blackhole in-flight frames while down and
+        every destination MAC is re-spread across surviving spines.
+        Returns True when the state changed."""
+        if not self.topology.set_trunk(a, b, up):
+            return False
+        leaf, spine = (a, b - self.leaves) if a < self.leaves else (b, a - self.leaves)
+        for kind in ("up", "down"):
+            key = (kind, leaf, spine)
+            channel = self.trunk_channels[key]
+            if up:
+                saved = self._trunk_saved.pop(key, None)
+                if saved is not None:
+                    channel.deliver = saved
+            elif key not in self._trunk_saved:
+                self._trunk_saved[key] = channel.deliver
+                channel.deliver = self._blackhole
+        for mac, host_leaf, host_index in self._mac_programs:
+            self._program_leaves(mac, host_leaf, host_index)
+        return True
+
+    def _blackhole(self, frame) -> None:
+        self.frames_blackholed += 1
+
+    def backends_reachable(self, backend_a, backend_b) -> bool:
+        """Whether a live switch path joins the two attached NICs."""
+        leaf_a = self._leaf_of_backend[backend_a]
+        leaf_b = self._leaf_of_backend[backend_b]
+        return self.topology.connected(leaf_a, leaf_b)
+
+    def connect(self, a: UserEndpoint, b: UserEndpoint) -> Tuple[int, int]:
+        """Duplex channel; refuses (typed) when the leaves are partitioned."""
+        leaf_a = self._leaf_of_backend[a.host.backend]
+        leaf_b = self._leaf_of_backend[b.host.backend]
+        if not self.topology.connected(leaf_a, leaf_b):
+            raise NoPathError(
+                f"leaves {leaf_a} and {leaf_b} are partitioned",
+                src=leaf_a, dst=leaf_b)
+        return super().connect(a, b)
 
     def hops_between(self, a: UserEndpoint, b: UserEndpoint) -> int:
         """Switches a frame between ``a`` and ``b`` traverses (1 or 3)."""

@@ -12,11 +12,20 @@ Path selection is deterministic: :meth:`Topology.path` enumerates all
 shortest paths in lexicographic order and picks one by ``key``-modulo,
 so callers spread successive connections across parallel spines simply
 by passing an incrementing key — no RNG, fully reproducible.
+
+Trunks carry an up/down state (:meth:`Topology.set_trunk`): path
+computation walks only live trunks, so after a spine or trunk failure
+``path(src, dst, key)`` transparently re-keys across the survivors.
+When no live path remains the typed
+:class:`~repro.core.errors.NoPathError` fires — callers distinguish a
+partitioned fabric from a programming error.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..core.errors import NoPathError
 
 __all__ = [
     "Topology",
@@ -49,10 +58,53 @@ class Topology:
             self._adj[b].append(a)
         for neighbours in self._adj.values():
             neighbours.sort()
-        self._path_cache: Dict[Tuple[int, int], List[List[int]]] = {}
+        self._down: Set[Tuple[int, int]] = set()
+        # keyed by (src, dst, limit): a capped result must not satisfy a
+        # later query with a larger cap
+        self._path_cache: Dict[Tuple[int, int, int], List[List[int]]] = {}
 
     def neighbours(self, switch: int) -> List[int]:
         return list(self._adj[switch])
+
+    @staticmethod
+    def _trunk_key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def trunk_up(self, a: int, b: int) -> bool:
+        """Whether the (undirected) trunk between ``a`` and ``b`` is live."""
+        if b not in self._adj[a]:
+            raise ValueError(f"no trunk between switches {a} and {b}")
+        return self._trunk_key(a, b) not in self._down
+
+    def set_trunk(self, a: int, b: int, up: bool) -> bool:
+        """Mark the trunk between ``a`` and ``b`` up or down.
+
+        Returns True when the state actually changed; a change
+        invalidates the shortest-path cache so subsequent ``path``
+        calls route around the failure (or rediscover a healed trunk).
+        """
+        if b not in self._adj[a]:
+            raise ValueError(f"no trunk between switches {a} and {b}")
+        key = self._trunk_key(a, b)
+        changed = (key in self._down) == up
+        if changed:
+            if up:
+                self._down.discard(key)
+            else:
+                self._down.add(key)
+            self._path_cache.clear()
+        return changed
+
+    @property
+    def down_trunks(self) -> List[Tuple[int, int]]:
+        """The currently-failed trunks, sorted (normalized a < b)."""
+        return sorted(self._down)
+
+    def _live_neighbours(self, switch: int) -> List[int]:
+        if not self._down:
+            return self._adj[switch]
+        return [n for n in self._adj[switch]
+                if self._trunk_key(switch, n) not in self._down]
 
     def shortest_paths(self, src: int, dst: int, limit: int = 64) -> List[List[int]]:
         """All shortest src→dst switch paths, lexicographic, capped at
@@ -60,23 +112,25 @@ class Topology:
         pathological hand-built meshes)."""
         if src == dst:
             return [[src]]
-        cached = self._path_cache.get((src, dst))
+        cached = self._path_cache.get((src, dst, limit))
         if cached is not None:
             return cached
         # BFS distance field from dst, then walk strictly downhill from
-        # src — every downhill walk is a shortest path.
+        # src — every downhill walk is a shortest path.  Only live
+        # trunks participate, so failures reshape the path set.
         dist = {dst: 0}
         frontier = [dst]
         while frontier:
             nxt = []
             for node in frontier:
-                for neighbour in self._adj[node]:
+                for neighbour in self._live_neighbours(node):
                     if neighbour not in dist:
                         dist[neighbour] = dist[node] + 1
                         nxt.append(neighbour)
             frontier = nxt
         if src not in dist:
-            raise ValueError(f"switches {src} and {dst} are not connected")
+            raise NoPathError(
+                f"switches {src} and {dst} are not connected", src=src, dst=dst)
         paths: List[List[int]] = []
         stack: List[Tuple[int, List[int]]] = [(src, [src])]
         while stack and len(paths) < limit:
@@ -85,10 +139,10 @@ class Topology:
                 paths.append(walked)
                 continue
             # reversed push order keeps the pop order lexicographic
-            for neighbour in reversed(self._adj[node]):
+            for neighbour in reversed(self._live_neighbours(node)):
                 if dist.get(neighbour, -1) == dist[node] - 1:
                     stack.append((neighbour, walked + [neighbour]))
-        self._path_cache[(src, dst)] = paths
+        self._path_cache[(src, dst, limit)] = paths
         return paths
 
     def path(self, src: int, dst: int, key: int = 0) -> List[int]:
@@ -99,6 +153,14 @@ class Topology:
     def hops(self, src: int, dst: int) -> int:
         """Number of switches on a shortest path (1 when src == dst)."""
         return len(self.path(src, dst))
+
+    def connected(self, src: int, dst: int) -> bool:
+        """Whether a live path exists (cheap partition probe)."""
+        try:
+            self.shortest_paths(src, dst, limit=1)
+        except NoPathError:
+            return False
+        return True
 
 
 def linear_topology(switches: int) -> Topology:

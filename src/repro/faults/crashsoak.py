@@ -131,6 +131,7 @@ class CrashSoakResult:
             },
             "restarts": self.restarts,
             "recovery_times_us": list(self.recovery_times_us),
+            "mean_recovery_us": self.mean_recovery_us,
             "stale_epoch_drops": self.stale_epoch_drops,
             "peer_dead_drops": self.peer_dead_drops,
             "retransmissions": self.retransmissions,
@@ -593,7 +594,26 @@ def render_crash_table(results: Sequence[CrashSoakResult]) -> str:
     rate = engine_rate_line(results)
     if rate:
         lines.append(f"  {rate}")
+    for r in results:
+        if r.recovery_times_us:
+            lines.append(
+                f"  {r.scenario}[{r.substrate}]: recovery mean "
+                f"{r.mean_recovery_us / 1000.0:.1f}ms over "
+                f"{len(r.recovery_times_us)} restarts")
     return "\n".join(lines)
+
+
+def _recovery_snapshot(results: Sequence[CrashSoakResult]) -> dict:
+    """Suite-wide recovery-time snapshot for trend tracking across
+    commits: every restart's kill -> first-post-restart-delivery time,
+    pooled over all runs."""
+    samples = sorted(t for r in results for t in r.recovery_times_us)
+    return {
+        "restarts": len(samples),
+        "min_us": samples[0] if samples else 0.0,
+        "mean_us": (sum(samples) / len(samples)) if samples else 0.0,
+        "max_us": samples[-1] if samples else 0.0,
+    }
 
 
 def write_crash_report(path: str, results: Sequence[CrashSoakResult]) -> None:
@@ -601,6 +621,7 @@ def write_crash_report(path: str, results: Sequence[CrashSoakResult]) -> None:
     payload = {
         "format": "repro-crash-soak/1",
         "ok": all(r.ok for r in results),
+        "recovery": _recovery_snapshot(results),
         "results": [r.to_dict() for r in results],
     }
     with open(path, "w", encoding="utf-8") as fh:

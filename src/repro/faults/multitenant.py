@@ -201,7 +201,9 @@ class _Tenant:
     record: object = None        # EndpointHealth
     incarnation: int = 1
     stalled: bool = False
+    stalled_at: Optional[float] = None
     restarted_at: Optional[float] = None
+    recovered_at: Optional[float] = None
     sent: int = 0
     delivered: int = 0
     delivered_bytes: int = 0
@@ -313,6 +315,8 @@ def _apply_churn_event(kind: str, tenant: _Tenant, now: float,
                        aggregator: ClusterHealthAggregator) -> None:
     if kind == "stall":
         tenant.stalled = True
+        if tenant.stalled_at is None:
+            tenant.stalled_at = now
     else:  # restart: new incarnation, cluster-wide re-evaluation
         tenant.stalled = False
         tenant.incarnation += 1
@@ -365,6 +369,8 @@ def _drain_pass(scenario: MultitenantScenario, host: _HostState,
                 t.delivered_bytes += len(msg.data)
                 if t.restarted_at is not None:
                     t.delivered_after_restart += 1
+                    if t.recovered_at is None:
+                        t.recovered_at = now
                 if scenario.echo_every and t.delivered % scenario.echo_every == 0:
                     echoes.append((t, msg.data[:_HEADER.size]))
         host.rr[qos] = (start + 1) % n
@@ -654,6 +660,9 @@ class MultitenantResult:
     classes: Dict[str, dict]
     cluster: dict
     fates: Dict[str, int]
+    #: recovery-time snapshot over crashed tenants (stall -> first
+    #: post-restart delivery)
+    recovery: dict
     hosts: List[dict]
     tenant_rows: List[dict]
     #: engine throughput (main run only; the quiet baseline is excluded)
@@ -679,6 +688,7 @@ class MultitenantResult:
             "classes": {name: dict(row) for name, row in self.classes.items()},
             "cluster": dict(self.cluster),
             "fates": dict(self.fates),
+            "recovery": dict(self.recovery),
             "hosts": [dict(row) for row in self.hosts],
             "tenant_rows": [dict(row) for row in self.tenant_rows],
         }
@@ -794,6 +804,22 @@ def _finalize(scenario: MultitenantScenario, seed: int, outcome: _Outcome,
     for t in tenants:
         fates[t.fate] += 1
 
+    # recovery-time snapshot: stall -> first post-restart delivery, per
+    # crashed tenant (the "delivered nothing after restart" invariant
+    # above guarantees every crashed tenant has a sample on a clean run)
+    recovery_samples = sorted(
+        t.recovered_at - t.stalled_at for t in tenants
+        if t.fate == FATE_CRASHED
+        and t.stalled_at is not None and t.recovered_at is not None)
+    recovery = {
+        "crashed": fates[FATE_CRASHED],
+        "recovered": len(recovery_samples),
+        "min_us": float(recovery_samples[0]) if recovery_samples else 0.0,
+        "mean_us": (float(sum(recovery_samples) / len(recovery_samples))
+                    if recovery_samples else 0.0),
+        "max_us": float(recovery_samples[-1]) if recovery_samples else 0.0,
+    }
+
     rows = []
     for t in tenants:
         stats = (t.user.endpoint.drop_stats() if t.admitted
@@ -843,6 +869,7 @@ def _finalize(scenario: MultitenantScenario, seed: int, outcome: _Outcome,
             "cluster_quarantined": len(agg.cluster_quarantined),
         },
         fates=fates,
+        recovery=recovery,
         hosts=[dict(host.admission.stats(), host=host.name)
                for host in outcome.hosts],
         tenant_rows=rows,
@@ -901,6 +928,13 @@ def render_multitenant_table(results: Sequence[MultitenantResult]) -> str:
     if rate:
         lines.append(f"  {rate}")
     for r in results:
+        rec = r.recovery
+        if rec.get("crashed"):
+            lines.append(
+                f"  {r.scenario}: recovery {rec['recovered']}/{rec['crashed']}"
+                f" crashed tenants in {rec['min_us']:.0f}-{rec['max_us']:.0f}us"
+                f" (mean {rec['mean_us']:.0f}us)")
+    for r in results:
         for violation in r.violations:
             lines.append(f"  !! {r.scenario}: {violation}")
     return "\n".join(lines)
@@ -950,6 +984,10 @@ MULTITENANT_SCHEMA = {
     "fates": {
         FATE_HEALTHY: int, FATE_MISBEHAVED: int, FATE_CRASHED: int,
         FATE_REJECTED: int,
+    },
+    "recovery": {
+        "crashed": int, "recovered": int,
+        "min_us": float, "mean_us": float, "max_us": float,
     },
     "hosts": [_ROW_HOST],
     "tenant_rows": [_ROW_TENANT],

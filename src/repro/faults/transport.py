@@ -187,6 +187,10 @@ class TransportResult:
     delivered: int
     messages: int
     goodput_mbps: float
+    #: recovery-time snapshot: the longest sim-time gap between
+    #: consecutive sink deliveries (run start counts as the first
+    #: reference point) — how long the worst loss burst stalled the flow
+    worst_stall_us: float
     rexmit: int
     timeouts: int
     dup_rx: int
@@ -211,6 +215,7 @@ class TransportResult:
             "messages": self.messages,
             "elapsed_ms": round(self.elapsed_us / 1000.0, 3),
             "goodput_mbps": round(self.goodput_mbps, 4),
+            "worst_stall_us": round(self.worst_stall_us, 3),
             "rexmit": self.rexmit,
             "timeouts": self.timeouts,
             "dup_rx": self.dup_rx,
@@ -268,10 +273,12 @@ def run_transport(scenario: TransportScenario, mode: str,
 
     delivered: Dict[int, List[int]] = {s: [] for s in range(scenario.senders)}
     integrity_failures: List[tuple] = []
+    delivery_times: List[float] = []
 
     def handler(ctx) -> None:
         s, i = ctx.args[0], ctx.args[1]
         delivered[s].append(i)
+        delivery_times.append(sim.now)
         if ctx.data != _payload(s, i, scenario.payload_bytes):
             integrity_failures.append((s, i))
 
@@ -331,6 +338,11 @@ def run_transport(scenario: TransportScenario, mode: str,
         if isinstance(stage, BottleneckQueue):
             queue_marked += stage.marked
             queue_dropped += stage.dropped
+    worst_stall = 0.0
+    prev_t = 0.0
+    for t in delivery_times:
+        worst_stall = max(worst_stall, t - prev_t)
+        prev_t = t
     fault_stats = {f"pipeline{i}": p.stats() for i, p in enumerate(pipelines)}
     for pipeline in pipelines:
         pipeline.restore()
@@ -345,6 +357,7 @@ def run_transport(scenario: TransportScenario, mode: str,
         # bits per microsecond == megabits per second; goodput counts
         # payload bytes actually dispatched, not wire traffic
         goodput_mbps=got * scenario.payload_bytes * 8 / max(1.0, elapsed_us),
+        worst_stall_us=worst_stall,
         rexmit=sum(p["retransmissions"] for p in sender_snaps),
         timeouts=sum(p["timeouts"] for p in sender_snaps),
         dup_rx=sum(p["duplicates"] for p in sink_snaps.values()),
@@ -382,7 +395,8 @@ def run_transport_suite(seed: int = 0xC0FFEE,
 # ------------------------------------------------------------------ report
 _ROW_SCHEMA = {
     "completed": bool, "delivered": int, "messages": int,
-    "elapsed_ms": float, "goodput_mbps": float, "rexmit": int,
+    "elapsed_ms": float, "goodput_mbps": float, "worst_stall_us": float,
+    "rexmit": int,
     "timeouts": int, "dup_rx": int, "ecn_marks": int, "ecn_echoes": int,
     "ecn_backoffs": int, "queue_marked": int, "queue_dropped": int,
     "violations": int,
@@ -494,12 +508,13 @@ def render_transport_table(results: Sequence[TransportResult]) -> str:
             "ok" if r.ok else "FAIL",
             r.elapsed_us / 1000.0,
             f"{r.goodput_mbps:.2f}",
+            f"{r.worst_stall_us / 1000.0:.2f}",
             r.rexmit, r.timeouts, r.dup_rx,
             r.ecn_marks, r.ecn_backoffs,
         ])
     lines = [format_table(
         ("scenario", "mode", "invariants", "time_ms", "goodput_mbps",
-         "rexmit", "rto_fire", "dup_rx", "ce_marks", "backoffs"),
+         "stall_ms", "rexmit", "rto_fire", "dup_rx", "ce_marks", "backoffs"),
         rows,
         title="Transport ablation: go-back-N vs SACK vs ECN",
     )]

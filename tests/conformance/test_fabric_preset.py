@@ -1,0 +1,54 @@
+"""The fabric conformance preset: healing held to the arithmetic oracle."""
+
+import pytest
+
+from repro.conformance import (
+    FABRIC_BUGS,
+    inject_fabric_bug,
+    render_fabric_case,
+    run_fabric_case,
+)
+
+
+def test_clean_cases_pass_the_oracle():
+    for seed in range(4):
+        report = run_fabric_case(seed)
+        assert report.ok, (seed, report.violations)
+        assert report.bug is None
+        assert report.heals == 1
+        assert report.recovery_us > 0.0
+        assert 1 <= report.crash_node <= 12
+
+
+def test_seeds_vary_the_victim_and_schedule():
+    reports = [run_fabric_case(seed) for seed in range(6)]
+    assert len({r.crash_node for r in reports}) > 1
+    assert len({r.crash_at_us for r in reports}) > 1
+
+
+def test_heal_reroot_bug_is_caught():
+    """The injected stale-contribution bug must produce an out-of-oracle
+    sum on every seed — victims are drawn so the re-ranked tree always
+    re-parents someone across an old subtree boundary."""
+    for seed in range(4):
+        report = run_fabric_case(seed, bug="heal-reroot")
+        assert not report.ok, f"seed {seed}: bug survived the oracle"
+        assert any("exactness" in v or "agreement" in v
+                   for v in report.violations), report.violations
+
+
+def test_unknown_bug_is_rejected():
+    with pytest.raises(ValueError):
+        with inject_fabric_bug("heal-typo"):
+            pass
+    assert "heal-reroot" in FABRIC_BUGS
+
+
+def test_render_names_the_case_and_verdict():
+    report = run_fabric_case(0)
+    text = render_fabric_case(report)
+    assert "seed=0" in text and "ok" in text
+    bad = run_fabric_case(0, bug="heal-reroot")
+    text = render_fabric_case(bad, context=False)
+    assert "DIVERGED" in text and "bug=heal-reroot" in text
+    assert any(line for line in text.splitlines()[1:])  # violations shown

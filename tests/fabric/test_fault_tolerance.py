@@ -1,0 +1,155 @@
+"""Failure-aware routing: trunk state, re-keying, reroutes, path MTU."""
+
+import pytest
+
+from repro.core.errors import NoPathError
+from repro.ethernet.frames import UNET_FE_MAX_PDU
+from repro.fabric import ClosAtmFabric, ClosFeNetwork, MixedFabric
+from repro.fabric.topology import Topology, clos_topology
+from repro.hw import PENTIUM_120, SPARCSTATION_20
+from repro.sim import Simulator
+
+
+def _transfer(sim, src, dst, channel, payload):
+    def tx():
+        yield from src.send(channel, payload)
+
+    sim.process(tx())
+
+    def rx():
+        return (yield from dst.recv())
+
+    return sim.run_until_complete(sim.process(rx()))
+
+
+# ------------------------------------------------------------------ topology
+def test_trunk_state_reshapes_the_path_set():
+    topo = clos_topology(2, 3)  # leaves 0-1, spines 2-4
+    assert len(topo.shortest_paths(0, 1)) == 3
+    assert topo.set_trunk(0, 2, False)
+    assert not topo.set_trunk(0, 2, False)  # idempotent: no change
+    assert topo.down_trunks == [(0, 2)]
+    assert not topo.trunk_up(0, 2)
+    paths = topo.shortest_paths(0, 1)
+    assert len(paths) == 2
+    assert all(path[1] != 2 for path in paths)  # nothing via the dead spine
+    # keyed spreading only rotates over survivors
+    assert {tuple(topo.path(0, 1, key=k)) for k in range(6)} == {
+        (0, 3, 1), (0, 4, 1)}
+    assert topo.set_trunk(0, 2, True)
+    assert len(topo.shortest_paths(0, 1)) == 3
+
+
+def test_cutting_every_uplink_is_a_typed_partition():
+    topo = clos_topology(2, 2)
+    topo.set_trunk(0, 2, False)
+    assert topo.connected(0, 1)
+    topo.set_trunk(0, 3, False)
+    assert not topo.connected(0, 1)
+    with pytest.raises(NoPathError) as err:
+        topo.shortest_paths(0, 1)
+    assert err.value.src == 0 and err.value.dst == 1
+    with pytest.raises(ValueError):  # NoPathError is also a ValueError
+        topo.shortest_paths(0, 1)
+
+
+def test_shortest_paths_respects_and_isolates_the_limit_cap():
+    """A capped query returns exactly ``limit`` paths, and the cap is
+    part of the cache key — a small-limit result must not satisfy a
+    later query with a larger cap (the cache-poisoning regression)."""
+    topo = clos_topology(2, 8)
+    assert len(topo.shortest_paths(0, 1, limit=3)) == 3
+    assert len(topo.shortest_paths(0, 1, limit=1)) == 1
+    # larger cap after the capped queries still sees every path
+    assert len(topo.shortest_paths(0, 1)) == 8
+    assert len(topo.shortest_paths(0, 1, limit=64)) == 8
+    # capped enumeration is still lexicographic and valid
+    capped = topo.shortest_paths(0, 1, limit=3)
+    assert capped == sorted(capped)
+    assert capped == topo.shortest_paths(0, 1)[:3]
+
+
+# ------------------------------------------------------------------ ATM Clos
+def test_atm_vcs_reroute_around_a_failed_trunk():
+    sim = Simulator()
+    fabric = ClosAtmFabric(sim, leaves=2, spines=2, hosts_per_leaf=2)
+    eps = []
+    for i in range(4):
+        host = fabric.add_host(f"h{i}", SPARCSTATION_20)
+        eps.append(host.create_endpoint(rx_buffers=16))
+    ch, _ = fabric.connect(eps[0], eps[2])  # cross-leaf VC
+    payload = bytes(range(200))
+    assert _transfer(sim, eps[0], eps[2], ch, payload).data == payload
+    # fail one leaf-0 uplink: every VC that crossed it is re-programmed
+    # onto the surviving spine and traffic keeps flowing
+    fabric.set_trunk_state(0, 2, False)
+    fabric.set_trunk_state(0, 3, False)
+    fabric.set_trunk_state(0, 2, True)  # leave exactly one spine up
+    assert fabric.reroutes >= 1
+    assert _transfer(sim, eps[0], eps[2], ch, payload).data == payload
+    assert fabric.backends_reachable(eps[0].host.backend,
+                                     eps[2].host.backend)
+
+
+def test_atm_connect_across_a_cut_raises_no_path():
+    sim = Simulator()
+    fabric = ClosAtmFabric(sim, leaves=2, spines=2, hosts_per_leaf=2)
+    eps = []
+    for i in range(4):
+        host = fabric.add_host(f"h{i}", SPARCSTATION_20)
+        eps.append(host.create_endpoint(rx_buffers=16))
+    fabric.set_trunk_state(0, 2, False)
+    fabric.set_trunk_state(0, 3, False)
+    assert not fabric.backends_reachable(eps[0].host.backend,
+                                         eps[2].host.backend)
+    with pytest.raises(NoPathError):
+        fabric.connect(eps[0], eps[2])
+
+
+# ------------------------------------------------------------------- FE Clos
+def test_fe_macs_relearn_across_surviving_spines():
+    sim = Simulator()
+    fabric = ClosFeNetwork(sim, leaves=2, spines=2, hosts_per_leaf=2)
+    eps = []
+    for i in range(4):
+        host = fabric.add_host(f"h{i}", PENTIUM_120)
+        eps.append(host.create_endpoint(rx_buffers=16))
+    ch, _ = fabric.connect(eps[0], eps[2])
+    payload = b"x" * 512
+    assert _transfer(sim, eps[0], eps[2], ch, payload).data == payload
+    fabric.set_trunk_state(0, 2, False)
+    assert fabric.reroutes >= 1  # MACs re-spread over the live spine
+    assert _transfer(sim, eps[0], eps[2], ch, payload).data == payload
+    # full cut: frames blackhole instead of wedging the switch, and the
+    # connect plane refuses with the typed error
+    fabric.set_trunk_state(0, 3, False)
+    with pytest.raises(NoPathError):
+        fabric.connect(eps[0], eps[3])
+    # heal: delivery resumes on the restored trunk
+    fabric.set_trunk_state(0, 2, True)
+    assert _transfer(sim, eps[0], eps[2], ch, payload).data == payload
+
+
+# -------------------------------------------------------------------- mixed
+def test_mixed_mtu_cap_survives_atm_leg_failover():
+    """The relay's path-MTU discipline is not route-dependent: after the
+    ATM leg fails over to another spine, an ATM-side sender still sees
+    the FE frame cap and a cap-sized message still crosses the splice."""
+    sim = Simulator()
+    fabric = MixedFabric(sim, hosts_per_leaf=2)
+    atm_host = fabric.add_host("a0", SPARCSTATION_20, side="atm")
+    fe_host = fabric.add_host("f0", PENTIUM_120, side="fe")
+    atm_ep = atm_host.create_endpoint(rx_buffers=16)
+    fe_ep = fe_host.create_endpoint(rx_buffers=16)
+    ch_a, _ = fabric.connect(atm_ep, fe_ep)
+    assert atm_host.backend.max_pdu == UNET_FE_MAX_PDU
+    payload = b"m" * UNET_FE_MAX_PDU
+    assert _transfer(sim, atm_ep, fe_ep, ch_a, payload).data == payload
+    # fail the ATM leaf-0 uplink to spine 2; the ATM leg of the spliced
+    # channel re-routes via spine 3 while the FE leg is untouched
+    assert fabric.set_trunk_state("atm", 0, 2, False)
+    assert atm_host.backend.max_pdu == UNET_FE_MAX_PDU  # cap unchanged
+    assert _transfer(sim, atm_ep, fe_ep, ch_a, payload).data == payload
+    assert fabric.backends_reachable(atm_host.backend, fe_host.backend)
+    with pytest.raises(ValueError):
+        fabric.set_trunk_state("token-ring", 0, 2, False)

@@ -65,6 +65,12 @@ def test_crash_report_artifact_round_trip(tmp_path):
                               "duplicated": result.duplicated,
                               "abandoned": result.abandoned}
     assert entry["restarts"] == 1
+    assert entry["mean_recovery_us"] == result.mean_recovery_us
+    # the suite-wide recovery snapshot pools every restart's sample
+    rec = payload["recovery"]
+    assert rec["restarts"] == len(result.recovery_times_us) == 1
+    assert rec["min_us"] <= rec["mean_us"] <= rec["max_us"]
+    assert rec["mean_us"] == result.mean_recovery_us
 
 
 def test_render_crash_table():
@@ -74,3 +80,4 @@ def test_render_crash_table():
     assert "atm-kill" in table
     assert "atm" in table
     assert "recovery(ms)" in table
+    assert "recovery mean" in table

@@ -83,6 +83,16 @@ def test_render_table_mentions_every_class(bench):
         assert token in table
 
 
+def test_recovery_snapshot_covers_every_crashed_tenant(bench):
+    rec = bench.recovery
+    assert rec["crashed"] == bench.fates["crashed"] > 0
+    # the "delivered nothing after restart" invariant means every
+    # crashed tenant produced a stall -> first-delivery sample
+    assert rec["recovered"] == rec["crashed"]
+    assert 0.0 < rec["min_us"] <= rec["mean_us"] <= rec["max_us"]
+    assert "recovery" in render_multitenant_table([bench])
+
+
 # --------------------------------------------------------------- artifact
 
 

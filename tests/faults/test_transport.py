@@ -58,6 +58,17 @@ def test_sack_goodput_beats_gbn_under_bursty_loss(ge_results):
     # the mechanism, not just the outcome: fewer retransmissions and no
     # spurious redeliveries at the receiver
     assert sack.rexmit < gbn.rexmit
+
+
+def test_worst_stall_names_the_recovery_cost(ge_results):
+    """The recovery-time snapshot: go-back-N's worst delivery gap under
+    bursty loss dwarfs SACK's, because each burst stalls the whole
+    window instead of just the holes."""
+    gbn, sack = ge_results["gbn"], ge_results["sack"]
+    assert 0.0 < sack.worst_stall_us < gbn.worst_stall_us
+    assert gbn.worst_stall_us >= 2.0 * sack.worst_stall_us
+    assert gbn.worst_stall_us <= gbn.elapsed_us
+    assert "stall_ms" in render_transport_table([gbn, sack])
     assert sack.dup_rx < gbn.dup_rx
 
 
@@ -99,7 +110,8 @@ def test_partial_mode_set_is_refused():
 
 def test_schema_rejects_shape_drift():
     row = {k: 0 for k in ("completed", "delivered", "messages", "elapsed_ms",
-                          "goodput_mbps", "rexmit", "timeouts", "dup_rx",
+                          "goodput_mbps", "worst_stall_us", "rexmit",
+                          "timeouts", "dup_rx",
                           "ecn_marks", "ecn_echoes", "ecn_backoffs",
                           "queue_marked", "queue_dropped", "violations")}
     row["completed"] = True
